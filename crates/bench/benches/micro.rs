@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks for the snapedge substrates: snapshot
+//! capture/restore scaling, CNN kernels, tensor text serialization, and a
+//! whole tiny offload round-trip.
+//!
+//! ```sh
+//! cargo bench -p snapedge-bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snapedge_core::{run_scenario, ScenarioConfig, Strategy};
+use snapedge_tensor::{ops, serialize, Tensor};
+use snapedge_webapp::{Browser, SnapshotOptions};
+
+fn browser_with_heap(objects: usize, floats: usize) -> Browser {
+    let mut b = Browser::new();
+    let mut script = String::from("var all = [];\n");
+    for i in 0..objects {
+        script.push_str(&format!(
+            "all.push({{id: {i}, name: \"obj{i}\", vals: [{i}, {}, {}]}});\n",
+            i * 2,
+            i * 3
+        ));
+    }
+    if floats > 0 {
+        script.push_str("var feats = new Float32Array([");
+        for i in 0..floats {
+            if i > 0 {
+                script.push(',');
+            }
+            script.push_str(&format!("{}", (i as f64 * 0.37).sin()));
+        }
+        script.push_str("]);\n");
+    }
+    b.exec_script(&script).expect("bench script runs");
+    b
+}
+
+fn bench_snapshot_capture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_capture");
+    for objects in [10usize, 100, 1000] {
+        let mut browser = browser_with_heap(objects, 0);
+        group.bench_with_input(BenchmarkId::new("objects", objects), &objects, |b, _| {
+            b.iter(|| {
+                browser
+                    .capture_snapshot(&SnapshotOptions::default())
+                    .unwrap()
+                    .size_bytes()
+            })
+        });
+    }
+    for floats in [1_000usize, 10_000] {
+        let mut browser = browser_with_heap(10, floats);
+        group.bench_with_input(
+            BenchmarkId::new("feature_floats", floats),
+            &floats,
+            |b, _| {
+                b.iter(|| {
+                    browser
+                        .capture_snapshot(&SnapshotOptions::default())
+                        .unwrap()
+                        .size_bytes()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_snapshot_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_restore");
+    for objects in [100usize, 1000] {
+        let mut browser = browser_with_heap(objects, 1000);
+        let snapshot = browser
+            .capture_snapshot(&SnapshotOptions::default())
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("objects", objects), &objects, |b, _| {
+            b.iter(|| {
+                let mut fresh = Browser::new();
+                fresh.load_html(snapshot.html()).unwrap();
+                fresh.core().heap.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cnn_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnn_kernels");
+    let input = Tensor::from_fn(&[16, 32, 32], |i| ((i % 97) as f32) / 97.0).unwrap();
+    let weights = Tensor::from_fn(&[16, 16, 3, 3], |i| ((i % 13) as f32 - 6.0) / 13.0).unwrap();
+    let bias = Tensor::zeros(&[16]).unwrap();
+    group.bench_function("conv2d_naive_16x32x32_3x3", |b| {
+        b.iter(|| ops::conv2d(&input, &weights, &bias, 1, 1).unwrap().len())
+    });
+    group.bench_function("conv2d_im2col_16x32x32_3x3", |b| {
+        b.iter(|| {
+            ops::conv2d_im2col(&input, &weights, &bias, 1, 1, 1)
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("maxpool_3x3_s2", |b| {
+        b.iter(|| {
+            ops::pool2d(&input, ops::PoolKind::Max, 3, 2, 0)
+                .unwrap()
+                .len()
+        })
+    });
+    let fc_in = Tensor::from_fn(&[4096], |i| (i as f32).cos()).unwrap();
+    let fc_w = Tensor::from_fn(&[256, 4096], |i| ((i % 31) as f32 - 15.0) / 31.0).unwrap();
+    let fc_b = Tensor::zeros(&[256]).unwrap();
+    group.bench_function("fc_4096_to_256", |b| {
+        b.iter(|| ops::fully_connected(&fc_in, &fc_w, &fc_b).unwrap().len())
+    });
+    group.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor_serialization");
+    let t = Tensor::from_fn(&[50_000], |i| ((i as f32) * 0.137).sin() * 3.3).unwrap();
+    group.bench_function("js_text_50k_floats", |b| {
+        b.iter(|| serialize::to_js_text(&t).len())
+    });
+    group.bench_function("binary_50k_floats", |b| {
+        b.iter(|| serialize::to_binary(&t).len())
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    group.bench_function("tiny_offload_after_ack", |b| {
+        b.iter(|| {
+            run_scenario(&ScenarioConfig::tiny(Strategy::OffloadAfterAck))
+                .unwrap()
+                .total
+        })
+    });
+    group.bench_function("tiny_partial_1st_pool", |b| {
+        b.iter(|| {
+            run_scenario(&ScenarioConfig::tiny(Strategy::Partial {
+                cut: "1st_pool".to_string(),
+            }))
+            .unwrap()
+            .total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_capture,
+    bench_snapshot_restore,
+    bench_cnn_kernels,
+    bench_serialization,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Extension experiment: the adaptive controller under a mobility trace.
+//!
+//! A mobile client walks through varying coverage (30 → 0.2 → 30 Mbps,
+//! with a lossy patch). For each inference the controller re-evaluates
+//! "the runtime network status" (Section III-B.2) and picks local / full /
+//! partial execution; we compare against always-offloading and
+//! always-local baselines.
+//!
+//! ```sh
+//! cargo run --release -p snapedge-bench --bin adaptive
+//! ```
+
+use snapedge_bench::print_table;
+use snapedge_core::{
+    edge_server_x86, odroid_xu4, AdaptiveOffloader, AdaptivePolicy, Decision, PartitionOptimizer,
+};
+use snapedge_dnn::{zoo, ModelBundle};
+use snapedge_net::LinkConfig;
+
+fn main() -> Result<(), snapedge_core::OffloadError> {
+    println!("Adaptive offloading under a mobility trace (googlenet, privacy on)\n");
+
+    let net = zoo::googlenet();
+    let model_bytes = ModelBundle::from_network(&net).total_bytes();
+    let controller = AdaptiveOffloader::new(
+        net.clone(),
+        odroid_xu4(),
+        edge_server_x86(),
+        model_bytes,
+        AdaptivePolicy {
+            require_privacy: true,
+        },
+    );
+
+    // (bandwidth Mbps, loss) per inference along the walk.
+    let trace: [(f64, f64); 8] = [
+        (30.0, 0.0),
+        (18.0, 0.0),
+        (6.0, 0.05),
+        (1.0, 0.20),
+        (0.2, 0.30),
+        (2.0, 0.10),
+        (12.0, 0.0),
+        (30.0, 0.0),
+    ];
+
+    let mut rows = Vec::new();
+    let (mut adaptive_total, mut offload_total, mut local_total) = (0.0f64, 0.0, 0.0);
+    for (step, (mbps, loss)) in trace.iter().enumerate() {
+        let link = LinkConfig::mbps(*mbps).with_loss(*loss);
+        let plan = controller.decide(&link, true)?;
+        let optimizer =
+            PartitionOptimizer::new(&net, odroid_xu4(), edge_server_x86(), link.clone());
+        let always_offload = optimizer.best(true)?.times.total().as_secs_f64();
+        let local = plan.local_time.as_secs_f64();
+        adaptive_total += plan.predicted.as_secs_f64();
+        offload_total += always_offload;
+        local_total += local;
+        rows.push(vec![
+            format!("{}", step + 1),
+            format!("{mbps:.1}"),
+            format!("{:.0}%", loss * 100.0),
+            match &plan.decision {
+                Decision::Local => "local".to_string(),
+                Decision::FullOffload => "full offload".to_string(),
+                Decision::Partial { cut } => format!("partial @{cut}"),
+            },
+            format!("{:.1}", plan.predicted.as_secs_f64()),
+            format!("{always_offload:.1}"),
+            format!("{local:.1}"),
+        ]);
+    }
+    print_table(
+        &[
+            "step",
+            "Mbps",
+            "loss",
+            "decision",
+            "adaptive(s)",
+            "always-offload(s)",
+            "always-local(s)",
+        ],
+        &rows,
+        &[5, 6, 5, 20, 12, 18, 16],
+    );
+    println!(
+        "\ntotals: adaptive {adaptive_total:.1}s | always-offload {offload_total:.1}s | always-local {local_total:.1}s"
+    );
+    println!("Adaptive never loses to either fixed policy — it IS one of them at");
+    println!("every step, chosen from the predicted times.");
+    Ok(())
+}

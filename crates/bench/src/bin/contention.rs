@@ -1,0 +1,47 @@
+//! Extension experiment: how a generic edge server degrades as more
+//! clients offload to it — per-inference latency, queueing delay and
+//! server duty cycle versus population.
+//!
+//! ```sh
+//! cargo run --release -p snapedge-bench --bin contention
+//! ```
+
+use snapedge_bench::print_table;
+use snapedge_core::{simulate_contention, ContentionConfig};
+
+fn main() -> Result<(), snapedge_core::OffloadError> {
+    println!("Multi-client contention at one edge server (full offloading)\n");
+
+    for model in ["googlenet", "agenet"] {
+        println!("== {model}");
+        let mut rows = Vec::new();
+        for clients in [1usize, 2, 4, 8, 16] {
+            let report = simulate_contention(&ContentionConfig::paper(model, clients))?;
+            rows.push(vec![
+                clients.to_string(),
+                format!("{:.2}", report.mean_latency.as_secs_f64()),
+                format!("{:.2}", report.max_latency.as_secs_f64()),
+                format!("{:.2}", report.mean_queue_wait.as_secs_f64()),
+                format!("{:.0}%", report.server_utilization * 100.0),
+            ]);
+        }
+        print_table(
+            &[
+                "clients",
+                "mean lat (s)",
+                "max lat (s)",
+                "queue wait (s)",
+                "server util",
+            ],
+            &rows,
+            &[8, 12, 12, 14, 12],
+        );
+        println!();
+    }
+
+    println!("Reading: one x86 edge server absorbs a few clients gracefully, but");
+    println!("GoogLeNet-class service times (~2.7 s) saturate it quickly — the");
+    println!("queueing delay, not the network, becomes the offloading bottleneck,");
+    println!("motivating the paper's vision of many small dispersed edge servers.");
+    Ok(())
+}

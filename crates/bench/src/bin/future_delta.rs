@@ -1,0 +1,67 @@
+//! Extension experiment — the paper's future work, measured: repeated
+//! offloading to the same edge server using **delta snapshots** that reuse
+//! "the data and code left at the server from the first offloading"
+//! (Section VI), versus sending a full snapshot every time.
+//!
+//! ```sh
+//! cargo run --release -p snapedge-bench --bin future_delta
+//! ```
+
+use snapedge_bench::print_table;
+use snapedge_core::{OffloadSession, SessionConfig};
+
+fn main() -> Result<(), snapedge_core::OffloadError> {
+    println!("Future work: repeated offloading with delta snapshots\n");
+
+    const ROUNDS: u64 = 6;
+    for model in ["googlenet", "agenet"] {
+        println!("== {model} (full offloading, model pre-sent once)");
+        let mut with = OffloadSession::new(SessionConfig::paper(model))?;
+        let mut without = OffloadSession::new(SessionConfig {
+            use_deltas: false,
+            ..SessionConfig::paper(model)
+        })?;
+
+        let mut rows = Vec::new();
+        let (mut delta_total, mut full_total) = (0u64, 0u64);
+        for round in 1..=ROUNDS {
+            let a = with.infer(1000 + round)?;
+            let b = without.infer(1000 + round)?;
+            assert_eq!(a.result, b.result, "deltas must not change results");
+            delta_total += a.up_bytes + a.down_bytes;
+            full_total += b.up_bytes + b.down_bytes;
+            rows.push(vec![
+                round.to_string(),
+                format!("{}", b.up_bytes + b.down_bytes),
+                format!("{}", a.up_bytes + a.down_bytes),
+                if a.delta_up { "delta" } else { "full" }.to_string(),
+                format!("{:.0} ms", a.total.as_secs_f64() * 1000.0),
+                format!("{:.0} ms", b.total.as_secs_f64() * 1000.0),
+            ]);
+        }
+        print_table(
+            &[
+                "round",
+                "full bytes",
+                "delta bytes",
+                "mode",
+                "delta time",
+                "full time",
+            ],
+            &rows,
+            &[6, 12, 12, 7, 11, 10],
+        );
+        println!(
+            "   total migrated over {ROUNDS} rounds: {:.1} KiB (deltas) vs {:.1} KiB (full) — {:.1}x less\n",
+            delta_total as f64 / 1024.0,
+            full_total as f64 / 1024.0,
+            full_total as f64 / delta_total as f64
+        );
+    }
+
+    println!("Reading: after the first (necessarily full) offload, each further");
+    println!("inference ships only the changed image string, the new result and");
+    println!("the re-dispatch — the state and code left at the server are reused,");
+    println!("exactly the optimization the paper sketches as future work.");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Table I**: overhead of VM-based installation versus
+//! snapshot-based offloading with and without pre-sending.
+//!
+//! ```sh
+//! cargo run --release -p snapedge-bench --bin table1
+//! ```
+
+use snapedge_bench::{mib, print_table, run_paper, secs, PAPER_MODELS};
+use snapedge_core::{vm_install, Strategy};
+use snapedge_dnn::{zoo, ModelBundle};
+use snapedge_net::LinkConfig;
+use snapedge_vmsynth::SynthesisConfig;
+
+fn main() -> Result<(), snapedge_core::OffloadError> {
+    println!("Table I: Overhead of VM-based installation for snapshot-based offloading\n");
+
+    let mut rows = Vec::new();
+    for model in PAPER_MODELS {
+        let net = zoo::by_name(model)?;
+        let model_bytes = ModelBundle::from_network(&net).total_bytes();
+
+        // --- VM synthesis (dynamic installation carrying the model).
+        let install = vm_install(
+            model,
+            model_bytes,
+            &LinkConfig::wifi_30mbps(),
+            &SynthesisConfig::default(),
+        )?;
+
+        // --- Snapshot-based offloading with pre-sending: migration is the
+        // total minus the server's DNN execution time.
+        let with = run_paper(model, Strategy::OffloadAfterAck)?;
+        let with_migration = with.total - with.breakdown.exec_server;
+
+        // --- Without pre-sending: the first offload also carries the model.
+        let without = run_paper(model, Strategy::OffloadBeforeAck)?;
+        let without_migration = without.total - without.breakdown.exec_server;
+
+        rows.push(vec![
+            model.to_string(),
+            secs(install.total()),
+            mib(install.overlay_bytes),
+            secs(with_migration),
+            mib(with.snapshot_up_bytes),
+            secs(without_migration),
+            mib(without.snapshot_up_bytes + without.model_upload_bytes),
+        ]);
+    }
+    print_table(
+        &[
+            "model",
+            "synth s",
+            "overlay MiB",
+            "w/ presend s",
+            "snap MiB",
+            "w/o presend s",
+            "snap+model MiB",
+        ],
+        &rows,
+        &[10, 9, 12, 13, 9, 14, 15],
+    );
+
+    println!();
+    println!("Paper values: synthesis 19.31/24.29/24.31 s with 65/82/82 MB overlays;");
+    println!("migration 0.60/0.34/0.34 s with pre-sending (0.09/0.02/0.02 MB snapshots)");
+    println!("and 7.79/12.07/12.07 s without (27/44/44 MB model + snapshot).");
+    Ok(())
+}

@@ -1,0 +1,317 @@
+//! `snapedge` — command-line driver for the offloading simulator.
+//!
+//! ```text
+//! snapedge run     --model googlenet --strategy after-ack [--mbps 30] [--cut 1st_pool]
+//! snapedge sweep   --model agenet                 # Fig. 8 partition sweep
+//! snapedge session --model googlenet --rounds 5   # repeated offloads w/ deltas
+//! snapedge install --model agenet                 # VM-synthesis cost
+//! snapedge models                                 # list zoo models & cuts
+//! ```
+
+use snapedge_core::{
+    run_scenario, vm_install, OffloadSession, ScenarioConfig, SessionConfig, Strategy,
+};
+use snapedge_dnn::{zoo, ModelBundle};
+use snapedge_net::LinkConfig;
+use snapedge_vmsynth::SynthesisConfig;
+use std::process::ExitCode;
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        Args::from_vec(std::env::args().skip(1).collect())
+    }
+
+    fn from_vec(raw: Vec<String>) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = raw.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn model(&self) -> String {
+        self.flag("model").unwrap_or("googlenet").to_string()
+    }
+
+    fn mbps(&self) -> Result<f64, String> {
+        match self.flag("mbps") {
+            Some(v) => v.parse().map_err(|e| format!("bad --mbps: {e}")),
+            None => Ok(30.0),
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  snapedge run     --model <name> --strategy <client|server|before-ack|after-ack|partial>
+                   [--cut <label>] [--mbps <rate>]
+  snapedge sweep   --model <name> [--mbps <rate>]
+  snapedge session --model <name> [--rounds <n>] [--no-deltas true]
+  snapedge install --model <name> [--mbps <rate>]
+  snapedge models";
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::parse()?;
+    match args.positional.first().map(String::as_str) {
+        Some("run") => cmd_run(&args),
+        Some("sweep") => cmd_sweep(&args),
+        Some("session") => cmd_session(&args),
+        Some("install") => cmd_install(&args),
+        Some("models") => cmd_models(),
+        _ => Err("missing or unknown subcommand".to_string()),
+    }
+}
+
+fn parse_strategy(args: &Args) -> Result<Strategy, String> {
+    match args.flag("strategy").unwrap_or("after-ack") {
+        "client" => Ok(Strategy::ClientOnly),
+        "server" => Ok(Strategy::ServerOnly),
+        "before-ack" => Ok(Strategy::OffloadBeforeAck),
+        "after-ack" => Ok(Strategy::OffloadAfterAck),
+        "partial" => Ok(Strategy::Partial {
+            cut: args.flag("cut").unwrap_or("1st_pool").to_string(),
+        }),
+        other => Err(format!("unknown strategy {other:?}")),
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let mut cfg = ScenarioConfig::paper(&args.model(), parse_strategy(args)?);
+    cfg.link = LinkConfig::mbps(args.mbps()?);
+    let report = run_scenario(&cfg).map_err(|e| e.to_string())?;
+    println!("model:      {}", report.model);
+    println!("strategy:   {:?}", report.strategy);
+    println!("result:     {}", report.result);
+    println!("total:      {:.3}s", report.total.as_secs_f64());
+    let b = report.breakdown;
+    println!(
+        "breakdown:  exec(C) {:.3}s | capture(C) {:.3}s | up {:.3}s | restore(S) {:.3}s",
+        b.exec_client.as_secs_f64(),
+        b.capture_client.as_secs_f64(),
+        b.transfer_up.as_secs_f64(),
+        b.restore_server.as_secs_f64()
+    );
+    println!(
+        "            exec(S) {:.3}s | capture(S) {:.3}s | down {:.3}s | restore(C) {:.3}s",
+        b.exec_server.as_secs_f64(),
+        b.capture_server.as_secs_f64(),
+        b.transfer_down.as_secs_f64(),
+        b.restore_client.as_secs_f64()
+    );
+    if let Some(ack) = report.ack_at {
+        println!(
+            "pre-send:   {} bytes, ACK at {:.3}s; snapshots {} B up / {} B down",
+            report.model_upload_bytes,
+            ack.as_secs_f64(),
+            report.snapshot_up_bytes,
+            report.snapshot_down_bytes
+        );
+    }
+    if args.flag("timeline").is_some() {
+        println!("\ntimeline (C=client, N=network, S=server):");
+        let spans = snapedge_core::timeline::spans(&report);
+        print!("{}", snapedge_core::timeline::render_ascii(&spans, 50));
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let model = args.model();
+    let mbps = args.mbps()?;
+    println!("partition sweep for {model} at {mbps:.0} Mbps:");
+    println!("{:<14} {:>10} {:>14}", "cut", "total(s)", "snapshot(MiB)");
+    for cut in zoo::fig8_cuts(&model) {
+        let strategy = if cut == "input" {
+            Strategy::OffloadAfterAck
+        } else {
+            Strategy::Partial {
+                cut: cut.to_string(),
+            }
+        };
+        let mut cfg = ScenarioConfig::paper(&model, strategy);
+        cfg.link = LinkConfig::mbps(mbps);
+        let report = run_scenario(&cfg).map_err(|e| e.to_string())?;
+        println!(
+            "{:<14} {:>10.2} {:>14.2}",
+            cut,
+            report.total.as_secs_f64(),
+            report.snapshot_up_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_session(args: &Args) -> Result<(), String> {
+    let rounds: u64 = match args.flag("rounds") {
+        Some(v) => v.parse().map_err(|e| format!("bad --rounds: {e}"))?,
+        None => 3,
+    };
+    let mut cfg = SessionConfig::paper(&args.model());
+    if args.flag("no-deltas").is_some() {
+        cfg.use_deltas = false;
+    }
+    let mut session = OffloadSession::new(cfg).map_err(|e| e.to_string())?;
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>10}",
+        "round", "mode", "up bytes", "down bytes", "total"
+    );
+    for round in 1..=rounds {
+        let r = session.infer(round).map_err(|e| e.to_string())?;
+        println!(
+            "{:>6} {:>8} {:>12} {:>12} {:>9.2}s   {}",
+            r.round,
+            if r.delta_up { "delta" } else { "full" },
+            r.up_bytes,
+            r.down_bytes,
+            r.total.as_secs_f64(),
+            r.result
+        );
+    }
+    Ok(())
+}
+
+fn cmd_install(args: &Args) -> Result<(), String> {
+    let model = args.model();
+    let net = zoo::by_name(&model).map_err(|e| e.to_string())?;
+    let bytes = ModelBundle::from_network(&net).total_bytes();
+    let report = vm_install(
+        &model,
+        bytes,
+        &LinkConfig::mbps(args.mbps()?),
+        &SynthesisConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "overlay: {:.1} MiB (model {:.1} MiB inside)",
+        report.overlay_bytes as f64 / (1024.0 * 1024.0),
+        bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "synthesis: upload {:.2}s + apply {:.2}s = {:.2}s",
+        report.upload.as_secs_f64(),
+        report.apply.as_secs_f64(),
+        report.total().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_models() -> Result<(), String> {
+    for name in [
+        "googlenet",
+        "agenet",
+        "gendernet",
+        "tiny_cnn",
+        "tiny_inception",
+    ] {
+        let net = zoo::by_name(name).map_err(|e| e.to_string())?;
+        let profile = net.profile();
+        println!(
+            "{name}: {} layers, {:.1} MiB params, {:.2} GFLOPs",
+            net.node_count(),
+            profile.total_param_bytes() as f64 / (1024.0 * 1024.0),
+            profile.total_flops() as f64 / 1e9
+        );
+        let cuts: Vec<String> = net.cut_points().iter().map(|c| c.label.clone()).collect();
+        println!("  cuts: {}", cuts.join(", "));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::from_vec(parts.iter().map(|s| s.to_string()).collect()).unwrap()
+    }
+
+    #[test]
+    fn parses_positional_and_flags() {
+        let a = args(&[
+            "run",
+            "--model",
+            "agenet",
+            "--strategy",
+            "partial",
+            "--cut",
+            "2nd_pool",
+        ]);
+        assert_eq!(a.positional, vec!["run"]);
+        assert_eq!(a.model(), "agenet");
+        assert_eq!(a.flag("cut"), Some("2nd_pool"));
+    }
+
+    #[test]
+    fn later_flags_win() {
+        let a = args(&["run", "--mbps", "10", "--mbps", "25"]);
+        assert_eq!(a.mbps().unwrap(), 25.0);
+    }
+
+    #[test]
+    fn missing_flag_value_is_an_error() {
+        assert!(Args::from_vec(vec!["run".into(), "--model".into()]).is_err());
+    }
+
+    #[test]
+    fn strategy_parsing() {
+        assert_eq!(
+            parse_strategy(&args(&["run"])).unwrap(),
+            Strategy::OffloadAfterAck
+        );
+        assert_eq!(
+            parse_strategy(&args(&["run", "--strategy", "client"])).unwrap(),
+            Strategy::ClientOnly
+        );
+        assert_eq!(
+            parse_strategy(&args(&["run", "--strategy", "partial"])).unwrap(),
+            Strategy::Partial {
+                cut: "1st_pool".into()
+            }
+        );
+        assert!(parse_strategy(&args(&["run", "--strategy", "teleport"])).is_err());
+    }
+
+    #[test]
+    fn defaults() {
+        let a = args(&["run"]);
+        assert_eq!(a.model(), "googlenet");
+        assert_eq!(a.mbps().unwrap(), 30.0);
+    }
+
+    #[test]
+    fn bad_mbps_is_an_error() {
+        assert!(args(&["run", "--mbps", "fast"]).mbps().is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Runtime offloading decisions.
+//!
+//! The paper decides partition points from two factors: predicted layer
+//! times and *"the runtime network status"* (Section III-B.2), and notes
+//! that before the model upload finishes *"it would be better for the
+//! client to execute the DNN locally"* (Section IV-A). This module turns
+//! those remarks into a controller: given the current link estimate and
+//! whether the pre-send has been ACKed, pick local execution, full
+//! offloading, or a partial cut — whichever minimizes predicted inference
+//! time (optionally under the privacy constraint).
+
+use crate::device::DeviceProfile;
+use crate::partition::PartitionOptimizer;
+use crate::OffloadError;
+use snapedge_dnn::{Network, NetworkProfile};
+use snapedge_net::LinkConfig;
+use std::time::Duration;
+
+/// What the controller chose for one inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Run the whole DNN on the client.
+    Local,
+    /// Offload everything (snapshot carries the encoded input only).
+    FullOffload,
+    /// Offload at the named cut.
+    Partial {
+        /// Cut-point label.
+        cut: String,
+    },
+}
+
+/// A decision plus its predicted cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The chosen execution mode.
+    pub decision: Decision,
+    /// Predicted end-to-end inference time.
+    pub predicted: Duration,
+    /// Predicted time of pure local execution (the baseline the decision
+    /// beat or fell back to).
+    pub local_time: Duration,
+}
+
+/// Policy knobs for [`AdaptiveOffloader`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdaptivePolicy {
+    /// Require at least one front layer (denature the input) whenever the
+    /// controller chooses to offload.
+    pub require_privacy: bool,
+}
+
+/// Per-inference offloading controller.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOffloader {
+    net: Network,
+    profile: NetworkProfile,
+    client: DeviceProfile,
+    server: DeviceProfile,
+    policy: AdaptivePolicy,
+    model_bytes: u64,
+}
+
+impl AdaptiveOffloader {
+    /// Builds a controller for `net`.
+    pub fn new(
+        net: Network,
+        client: DeviceProfile,
+        server: DeviceProfile,
+        model_bytes: u64,
+        policy: AdaptivePolicy,
+    ) -> AdaptiveOffloader {
+        let profile = net.profile();
+        AdaptiveOffloader {
+            net,
+            profile,
+            client,
+            server,
+            policy,
+            model_bytes,
+        }
+    }
+
+    /// Predicted pure-local inference time.
+    pub fn local_time(&self) -> Duration {
+        self.client.full_exec_time(&self.profile)
+    }
+
+    /// Chooses the execution mode for the next inference under the given
+    /// link estimate. `model_ready` says whether the pre-send ACK has
+    /// arrived; when it has not, offloading pays for the (remaining) model
+    /// upload on the same link, exactly the before-ACK penalty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer failures (cannot occur for zoo networks).
+    pub fn decide(&self, link: &LinkConfig, model_ready: bool) -> Result<Plan, OffloadError> {
+        let local_time = self.local_time();
+        let optimizer = PartitionOptimizer::new(
+            &self.net,
+            self.client.clone(),
+            self.server.clone(),
+            link.clone(),
+        );
+        let best = optimizer.best(self.policy.require_privacy)?;
+        let mut offload_time = best.times.total();
+        if !model_ready {
+            // The snapshot queues behind the model upload.
+            offload_time += link.transfer_time(self.model_bytes);
+        }
+        if offload_time < local_time {
+            let decision = if best.cut.id.index() == 0 {
+                Decision::FullOffload
+            } else {
+                Decision::Partial {
+                    cut: best.cut.label.clone(),
+                }
+            };
+            Ok(Plan {
+                decision,
+                predicted: offload_time,
+                local_time,
+            })
+        } else {
+            Ok(Plan {
+                decision: Decision::Local,
+                predicted: local_time,
+                local_time,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{edge_server_x86, odroid_xu4};
+    use snapedge_dnn::{zoo, ModelBundle};
+
+    fn offloader(model: &str, privacy: bool) -> AdaptiveOffloader {
+        let net = zoo::by_name(model).unwrap();
+        let model_bytes = ModelBundle::from_network(&net).total_bytes();
+        AdaptiveOffloader::new(
+            net,
+            odroid_xu4(),
+            edge_server_x86(),
+            model_bytes,
+            AdaptivePolicy {
+                require_privacy: privacy,
+            },
+        )
+    }
+
+    #[test]
+    fn fast_link_and_ready_model_choose_full_offload() {
+        let plan = offloader("googlenet", false)
+            .decide(&LinkConfig::wifi_30mbps(), true)
+            .unwrap();
+        assert_eq!(plan.decision, Decision::FullOffload);
+        assert!(plan.predicted < plan.local_time);
+    }
+
+    #[test]
+    fn privacy_policy_chooses_first_pool() {
+        let plan = offloader("googlenet", true)
+            .decide(&LinkConfig::wifi_30mbps(), true)
+            .unwrap();
+        assert_eq!(
+            plan.decision,
+            Decision::Partial {
+                cut: "1st_pool".into()
+            }
+        );
+    }
+
+    #[test]
+    fn model_upload_in_flight_makes_agenet_run_locally() {
+        // Fig. 6's observation: before the ACK, AgeNet/GenderNet lose to
+        // local execution — the controller must pick Local.
+        for model in ["agenet", "gendernet"] {
+            let plan = offloader(model, false)
+                .decide(&LinkConfig::wifi_30mbps(), false)
+                .unwrap();
+            assert_eq!(plan.decision, Decision::Local, "{model}");
+        }
+        // GoogLeNet still wins by offloading even before the ACK.
+        let plan = offloader("googlenet", false)
+            .decide(&LinkConfig::wifi_30mbps(), false)
+            .unwrap();
+        assert_ne!(plan.decision, Decision::Local);
+    }
+
+    #[test]
+    fn dead_slow_link_falls_back_to_local() {
+        let plan = offloader("agenet", false)
+            .decide(&LinkConfig::mbps(0.05), true)
+            .unwrap();
+        assert_eq!(plan.decision, Decision::Local);
+        assert_eq!(plan.predicted, plan.local_time);
+    }
+
+    #[test]
+    fn lossy_links_degrade_toward_local() {
+        let off = offloader("agenet", false);
+        let clean = off.decide(&LinkConfig::mbps(2.0), true).unwrap();
+        let lossy = off
+            .decide(&LinkConfig::mbps(2.0).with_loss(0.9), true)
+            .unwrap();
+        assert!(lossy.predicted >= clean.predicted);
+    }
+
+    #[test]
+    fn predicted_time_never_exceeds_local() {
+        // The controller can always fall back; its plan is never worse
+        // than local execution.
+        let off = offloader("googlenet", true);
+        for mbps in [0.1, 1.0, 5.0, 30.0, 200.0] {
+            for ready in [false, true] {
+                let plan = off.decide(&LinkConfig::mbps(mbps), ready).unwrap();
+                assert!(
+                    plan.predicted <= plan.local_time,
+                    "mbps {mbps} ready {ready}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The benchmark web apps, generated as MiniJS/HTML source.
+//!
+//! [`full_inference_app`] mirrors the paper's Fig. 2 (load an image, click
+//! inference, show the label); [`partial_inference_app`] mirrors Fig. 5
+//! (front part locally, `front_complete` event offloads the rear part).
+//!
+//! One adaptation: the offload trigger in this runtime matches an *event
+//! name*, so the inference button's click handler immediately re-dispatches
+//! a dedicated `run_inference` event and offloading is armed on that (for
+//! partial inference the paper itself already uses a dedicated
+//! `front_complete` event — Fig. 5, lines 9/17-18).
+//!
+//! Images travel as compact **encoded data URLs** (as real web apps hold
+//! them), not raw pixels — which is why the paper's Table I app state is
+//! tiny (0.02–0.09 MB) while partial-inference feature data is megabytes
+//! of decoded floats.
+
+/// Deterministic synthetic "encoded image": a data-URL-shaped string of
+/// `bytes` base64-ish characters, seeded so every run is identical.
+pub fn synthetic_image_data_url(seed: u64, bytes: usize) -> String {
+    const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(bytes + 24);
+    out.push_str("data:image/jpeg;base64,");
+    // SplitMix-style seed expansion: adjacent seeds must yield unrelated
+    // streams (`seed | 1` would collide for consecutive even/odd pairs).
+    let mut z = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    for _ in 0..bytes {
+        z = z
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.push(ALPHABET[(z >> 33) as usize % ALPHABET.len()] as char);
+    }
+    out
+}
+
+/// The full-inference app (paper Fig. 2): the whole DNN runs wherever the
+/// `run_inference` event is handled — locally, or on the edge server after
+/// snapshot migration.
+pub fn full_inference_app(image_url: &str) -> String {
+    format!(
+        r#"<html><body>
+<img id="photo" src="{image_url}"></img>
+<button id="load">Load image</button>
+<button id="infer">Inference</button>
+<div id="result">waiting</div>
+</body>
+<script>
+var imageUrl = null;
+var resultText = null;
+function onLoad() {{
+  imageUrl = document.getElementById("photo").getAttribute("src");
+  document.getElementById("result").textContent = "image loaded";
+}}
+function onInferClick() {{
+  document.getElementById("infer").dispatchEvent("run_inference");
+}}
+function runInference() {{
+  resultText = model.inference(imageUrl);
+  document.getElementById("result").textContent = resultText;
+}}
+document.getElementById("load").addEventListener("click", onLoad);
+document.getElementById("infer").addEventListener("click", onInferClick);
+document.getElementById("infer").addEventListener("run_inference", runInference);
+</script></html>
+"#
+    )
+}
+
+/// The partial-inference app (paper Fig. 5): `front()` denatures the input
+/// locally and dispatches `front_complete`; offloading is armed on that
+/// event, so the snapshot carries feature data instead of the input image.
+/// The app also scrubs the input from its own state before the snapshot —
+/// the developer-side privacy discipline Section III-B.2 describes.
+pub fn partial_inference_app(image_url: &str) -> String {
+    format!(
+        r#"<html><body>
+<img id="photo" src="{image_url}"></img>
+<button id="load">Load image</button>
+<button id="infer">Inference</button>
+<div id="result">waiting</div>
+</body>
+<script>
+var imageUrl = null;
+var feature = null;
+var resultText = null;
+function onLoad() {{
+  imageUrl = document.getElementById("photo").getAttribute("src");
+  document.getElementById("result").textContent = "image loaded";
+}}
+function front() {{
+  feature = model.inference_front(imageUrl);
+  imageUrl = null;
+  document.getElementById("photo").setAttribute("src", "");
+  document.getElementById("infer").dispatchEvent("front_complete");
+}}
+function rear() {{
+  resultText = model.inference_rear(feature);
+  feature = null;
+  document.getElementById("result").textContent = resultText;
+}}
+document.getElementById("load").addEventListener("click", onLoad);
+document.getElementById("infer").addEventListener("click", front);
+document.getElementById("infer").addEventListener("front_complete", rear);
+</script></html>
+"#
+    )
+}
+
+/// Event name that triggers offloading in the full-inference app.
+pub const FULL_OFFLOAD_EVENT: &str = "run_inference";
+/// Event name that triggers offloading in the partial-inference app
+/// (the paper's `front_complete`).
+pub const PARTIAL_OFFLOAD_EVENT: &str = "front_complete";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_url_is_deterministic_and_sized() {
+        let a = synthetic_image_data_url(7, 1000);
+        let b = synthetic_image_data_url(7, 1000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000 + "data:image/jpeg;base64,".len());
+        let c = synthetic_image_data_url(8, 1000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn apps_parse_as_valid_html_and_minijs() {
+        let url = synthetic_image_data_url(1, 64);
+        for app in [full_inference_app(&url), partial_inference_app(&url)] {
+            let parsed = snapedge_webapp::html::parse_document(&app).unwrap();
+            assert_eq!(parsed.scripts.len(), 1);
+            snapedge_webapp::parser::parse_program(&parsed.scripts[0]).unwrap();
+        }
+    }
+}

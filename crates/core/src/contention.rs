@@ -1,0 +1,252 @@
+//! Multi-client contention at one edge server.
+//!
+//! The paper's edge servers are *generic*: any client may offload to them
+//! on demand, so a popular hotspot server ends up serving many clients at
+//! once. This module runs a closed-loop discrete-event simulation (on
+//! [`EventQueue`]) of N clients sharing one server — each client thinks,
+//! offloads an inference, waits for the result, repeats — and measures how
+//! per-inference latency degrades with population, plus the server's duty
+//! cycle. Device and size parameters come from the same calibrated models
+//! the single-client scenarios use.
+
+use crate::device::DeviceProfile;
+use crate::OffloadError;
+use snapedge_dnn::zoo;
+use snapedge_net::{EventQueue, LinkConfig};
+use std::time::Duration;
+
+/// Configuration of a contention simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionConfig {
+    /// Model each client runs.
+    pub model: String,
+    /// Number of clients sharing the server.
+    pub clients: usize,
+    /// Inferences each client performs.
+    pub inferences_per_client: usize,
+    /// Think time between receiving a result and the next request.
+    pub think_time: Duration,
+    /// Each client's own link to the server.
+    pub link: LinkConfig,
+    /// Client device model.
+    pub client_device: DeviceProfile,
+    /// Server device model.
+    pub server_device: DeviceProfile,
+    /// Snapshot bytes per request (app state; full offloading).
+    pub snapshot_bytes: u64,
+}
+
+impl ContentionConfig {
+    /// Paper-flavoured defaults: full offloading of `model` over 30 Mbps
+    /// links, 70 KB snapshots, 2 s think time.
+    pub fn paper(model: &str, clients: usize) -> ContentionConfig {
+        ContentionConfig {
+            model: model.to_string(),
+            clients,
+            inferences_per_client: 4,
+            think_time: Duration::from_secs(2),
+            link: LinkConfig::wifi_30mbps(),
+            client_device: crate::device::odroid_xu4(),
+            server_device: crate::device::edge_server_x86(),
+            snapshot_bytes: 70 * 1024,
+        }
+    }
+}
+
+/// Results of a contention simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionReport {
+    /// Mean click-to-result latency over all inferences.
+    pub mean_latency: Duration,
+    /// Worst single-inference latency.
+    pub max_latency: Duration,
+    /// Mean time requests spent queued at the server (excluded service).
+    pub mean_queue_wait: Duration,
+    /// Fraction of the simulated horizon the server spent executing.
+    pub server_utilization: f64,
+    /// Number of completed inferences.
+    pub completed: usize,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Client `i` issues its next request.
+    Issue { client: usize },
+    /// Request from client `i` fully arrived at the server.
+    ArriveAtServer { client: usize, issued: Duration },
+    /// Server finished serving client `i`; response starts back.
+    ServiceDone { client: usize, issued: Duration },
+    /// Response arrived at client `i`.
+    Complete { client: usize, issued: Duration },
+}
+
+/// Runs the closed-loop simulation.
+///
+/// # Errors
+///
+/// Returns [`OffloadError`] for unknown models or zero-client configs.
+pub fn simulate_contention(cfg: &ContentionConfig) -> Result<ContentionReport, OffloadError> {
+    if cfg.clients == 0 || cfg.inferences_per_client == 0 {
+        return Err(OffloadError::Config(
+            "contention needs at least one client and one inference".into(),
+        ));
+    }
+    let net = zoo::by_name(&cfg.model)?;
+    let profile = net.profile();
+    // Per-request service demand at the server: restore + execute +
+    // capture of the result snapshot.
+    let service = cfg.server_device.restore_time(cfg.snapshot_bytes)
+        + cfg.server_device.full_exec_time(&profile)
+        + cfg.server_device.capture_time(cfg.snapshot_bytes);
+    // Client-side per-request costs.
+    let capture = cfg.client_device.capture_time(cfg.snapshot_bytes);
+    let restore = cfg.client_device.restore_time(cfg.snapshot_bytes);
+    let uplink = cfg.link.transfer_time(cfg.snapshot_bytes);
+    let downlink = cfg.link.transfer_time(cfg.snapshot_bytes);
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    // Stagger app starts slightly so the horizon is not phase-locked.
+    for client in 0..cfg.clients {
+        queue.push(
+            Duration::from_millis(50 * client as u64),
+            Event::Issue { client },
+        );
+    }
+
+    let mut remaining = vec![cfg.inferences_per_client; cfg.clients];
+    let mut server_busy_until = Duration::ZERO;
+    let mut server_busy_total = Duration::ZERO;
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut queue_waits: Vec<Duration> = Vec::new();
+    let mut horizon = Duration::ZERO;
+
+    while let Some((now, event)) = queue.pop() {
+        horizon = horizon.max(now);
+        match event {
+            Event::Issue { client } => {
+                // Capture locally, then the snapshot travels.
+                let sent = now + capture;
+                queue.push(
+                    sent + uplink,
+                    Event::ArriveAtServer {
+                        client,
+                        issued: now,
+                    },
+                );
+            }
+            Event::ArriveAtServer { client, issued } => {
+                let start = now.max(server_busy_until);
+                queue_waits.push(start - now);
+                let done = start + service;
+                server_busy_until = done;
+                server_busy_total += service;
+                queue.push(done, Event::ServiceDone { client, issued });
+            }
+            Event::ServiceDone { client, issued } => {
+                queue.push(now + downlink, Event::Complete { client, issued });
+            }
+            Event::Complete { client, issued } => {
+                let latency = now + restore - issued;
+                latencies.push(latency);
+                remaining[client] -= 1;
+                if remaining[client] > 0 {
+                    queue.push(now + restore + cfg.think_time, Event::Issue { client });
+                }
+            }
+        }
+    }
+
+    let completed = latencies.len();
+    let sum: Duration = latencies.iter().sum();
+    let mean_latency = sum / completed as u32;
+    let max_latency = latencies.iter().copied().max().unwrap_or_default();
+    let wait_sum: Duration = queue_waits.iter().sum();
+    let mean_queue_wait = wait_sum / queue_waits.len().max(1) as u32;
+    let server_utilization = if horizon > Duration::ZERO {
+        (server_busy_total.as_secs_f64() / horizon.as_secs_f64()).min(1.0)
+    } else {
+        0.0
+    };
+    Ok(ContentionReport {
+        mean_latency,
+        max_latency,
+        mean_queue_wait,
+        server_utilization,
+        completed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_client_has_no_queueing() {
+        let report = simulate_contention(&ContentionConfig::paper("agenet", 1)).unwrap();
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.mean_queue_wait, Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_grows_with_population() {
+        let one = simulate_contention(&ContentionConfig::paper("googlenet", 1)).unwrap();
+        let eight = simulate_contention(&ContentionConfig::paper("googlenet", 8)).unwrap();
+        assert!(eight.mean_latency > one.mean_latency);
+        assert!(eight.mean_queue_wait > one.mean_queue_wait);
+        assert!(eight.server_utilization > one.server_utilization);
+    }
+
+    #[test]
+    fn every_requested_inference_completes() {
+        let cfg = ContentionConfig {
+            clients: 5,
+            inferences_per_client: 3,
+            ..ContentionConfig::paper("agenet", 5)
+        };
+        let report = simulate_contention(&cfg).unwrap();
+        assert_eq!(report.completed, 15);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        for clients in [1, 4, 16] {
+            let report =
+                simulate_contention(&ContentionConfig::paper("googlenet", clients)).unwrap();
+            assert!(
+                (0.0..=1.0).contains(&report.server_utilization),
+                "{clients}"
+            );
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = simulate_contention(&ContentionConfig::paper("agenet", 6)).unwrap();
+        let b = simulate_contention(&ContentionConfig::paper("agenet", 6)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_clients_is_a_config_error() {
+        let cfg = ContentionConfig {
+            clients: 0,
+            ..ContentionConfig::paper("agenet", 0)
+        };
+        assert!(simulate_contention(&cfg).is_err());
+    }
+
+    #[test]
+    fn longer_think_time_relieves_the_server() {
+        let busy = simulate_contention(&ContentionConfig {
+            think_time: Duration::from_millis(100),
+            ..ContentionConfig::paper("googlenet", 8)
+        })
+        .unwrap();
+        let relaxed = simulate_contention(&ContentionConfig {
+            think_time: Duration::from_secs(20),
+            ..ContentionConfig::paper("googlenet", 8)
+        })
+        .unwrap();
+        assert!(relaxed.mean_queue_wait < busy.mean_queue_wait);
+    }
+}

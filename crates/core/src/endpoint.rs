@@ -1,0 +1,111 @@
+//! An endpoint: a browser plus a device model plus the shared clock.
+//! The client board and the edge server are both just endpoints — the
+//! paper's symmetry ("any generic edge server, equipped with a browser and
+//! our offloading system") made concrete.
+
+use crate::device::DeviceProfile;
+use crate::mlhost::{CaffeJsHost, ExecTracker};
+use crate::OffloadError;
+use snapedge_dnn::{ExecMode, Network, NodeId, ParamStore};
+use snapedge_net::SimClock;
+use snapedge_webapp::{Browser, RunOutcome, Snapshot, SnapshotOptions};
+use std::time::Duration;
+
+/// A browser-bearing machine participating in offloading.
+pub struct Endpoint {
+    name: String,
+    /// The web runtime.
+    pub browser: Browser,
+    /// The device latency model.
+    pub device: DeviceProfile,
+    clock: SimClock,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("name", &self.name)
+            .field("device", &self.device.name())
+            .field("browser", &self.browser)
+            .finish()
+    }
+}
+
+impl Endpoint {
+    /// Creates an endpoint charging simulated time to `clock`.
+    pub fn new(name: &str, device: DeviceProfile, clock: SimClock) -> Endpoint {
+        Endpoint {
+            name: name.to_string(),
+            browser: Browser::new(),
+            device,
+            clock,
+        }
+    }
+
+    /// Endpoint name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Registers the Caffe.js host (`model`) backed by `net`, returning the
+    /// execution tracker.
+    pub fn install_model(
+        &mut self,
+        net: Network,
+        params: ParamStore,
+        mode: ExecMode,
+        cut: Option<NodeId>,
+        seed: u64,
+    ) -> ExecTracker {
+        let host = CaffeJsHost::new(net, params, self.device.clone(), mode, self.clock.clone())
+            .with_cut(cut)
+            .with_seed(seed);
+        let tracker = host.tracker();
+        self.browser.register_host("model", Box::new(host));
+        tracker
+    }
+
+    /// Captures a snapshot, charging the device's capture time to the
+    /// clock; returns the snapshot and the charged duration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot serialization failures.
+    pub fn capture(
+        &mut self,
+        options: &SnapshotOptions,
+    ) -> Result<(Snapshot, Duration), OffloadError> {
+        let snapshot = self.browser.capture_snapshot(options)?;
+        let cost = self.device.capture_time(snapshot.size_bytes());
+        self.clock.advance_by(cost);
+        Ok((snapshot, cost))
+    }
+
+    /// Restores a snapshot, charging the device's restore time; returns
+    /// the charged duration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot parse/execution failures.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<Duration, OffloadError> {
+        self.browser.restore_snapshot(snapshot)?;
+        let cost = self.device.restore_time(snapshot.size_bytes());
+        self.clock.advance_by(cost);
+        Ok(cost)
+    }
+
+    /// Runs the event loop to idle (or to the armed offload point). DNN
+    /// time is charged by the model host as handlers execute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates app runtime errors.
+    pub fn run(&mut self) -> Result<RunOutcome, OffloadError> {
+        Ok(self.browser.run_until_idle()?)
+    }
+}

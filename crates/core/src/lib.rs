@@ -1,0 +1,79 @@
+//! # snapedge-core
+//!
+//! **Snapshot-based computation offloading for ML web apps** — a
+//! from-scratch Rust reproduction of Jeong, Jeong, Lee & Moon,
+//! *"Computation Offloading for Machine Learning Web Apps in the Edge
+//! Server Environment"* (ICDCS 2018).
+//!
+//! The idea: a DNN web app runs on a weak embedded client; just before the
+//! expensive inference event handler executes, the client serializes its
+//! entire execution state into a *snapshot* — itself a self-contained web
+//! app — and ships it to a nearby generic edge server. The server runs the
+//! snapshot on its own browser (restoring state and re-dispatching the
+//! event), executes the DNN with stronger hardware, snapshots the updated
+//! state (result on screen included), and ships it back.
+//!
+//! This crate is the offloading runtime on top of the workspace substrates:
+//!
+//! | concern | module |
+//! |---|---|
+//! | client/server device latency models (Odroid-XU4 vs x86) | [`device`] |
+//! | the Caffe.js `model` host object apps call | [`mlhost`] |
+//! | the two benchmark apps (paper Figs. 2 & 5) | [`apps`] |
+//! | a browser-bearing machine | [`endpoint`] |
+//! | pre-sending, ACK, migration, partial inference — full scenarios | [`scenario`] |
+//! | Neurosurgeon-style partition-point optimization | [`partition`] |
+//! | per-layer latency prediction (regression models) | [`predictor`] |
+//! | the feature-inversion attack and the withholding defense | [`privacy`] |
+//! | on-demand installation via VM synthesis | [`install`] |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use snapedge_core::{run_scenario, ScenarioConfig, Strategy};
+//!
+//! # fn main() -> Result<(), snapedge_core::OffloadError> {
+//! // Offload a (tiny, real-arithmetic) inference after model pre-sending.
+//! let report = run_scenario(&ScenarioConfig::tiny(Strategy::OffloadAfterAck))?;
+//! assert!(report.result.starts_with("class_"));
+//! println!("inference took {:?} (server exec {:?})",
+//!          report.total, report.breakdown.exec_server);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod apps;
+pub mod contention;
+pub mod device;
+mod endpoint;
+pub mod energy;
+mod error;
+pub mod install;
+mod mlhost;
+pub mod partition;
+pub mod predictor;
+pub mod privacy;
+mod scenario;
+mod session;
+pub mod timeline;
+
+pub use adaptive::{AdaptiveOffloader, AdaptivePolicy, Decision, Plan};
+pub use contention::{simulate_contention, ContentionConfig, ContentionReport};
+pub use device::{edge_server_x86, odroid_xu4, DeviceProfile};
+pub use endpoint::Endpoint;
+pub use energy::{client_energy, odroid_xu4_energy, EnergyProfile, EnergyReport};
+pub use error::OffloadError;
+pub use install::{vm_install, InstallReport};
+pub use mlhost::{CaffeJsHost, ExecKind, ExecRecord, ExecTracker};
+pub use partition::{PartitionOptimizer, PartitionPrediction, PredictedTimes};
+pub use predictor::{LatencyPredictor, LayerSample, LinearModel};
+pub use privacy::{evaluate_privacy, reconstruct_input, AttackConfig, PrivacyReport};
+pub use scenario::{
+    run_scenario, run_scenario_with_links, run_with_fallback, Breakdown, ScenarioConfig,
+    ScenarioReport, Strategy,
+};
+pub use session::{OffloadSession, RoundReport, SessionConfig};

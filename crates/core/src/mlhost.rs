@@ -1,0 +1,378 @@
+//! The Caffe.js stand-in: a [`HostObject`] named `model` that web apps call
+//! for DNN inference. It executes the real layer graph (or shape-faithful
+//! synthetic execution) and charges *simulated device time* to the shared
+//! [`SimClock`] — which is how browser-level app runs produce the paper's
+//! timing numbers deterministically.
+
+use crate::device::DeviceProfile;
+use crate::OffloadError;
+use snapedge_dnn::{ExecMode, Network, NetworkProfile, NodeId, ParamStore};
+use snapedge_net::SimClock;
+use snapedge_tensor::Tensor;
+use snapedge_webapp::{Core, HeapCell, HostObject, JsValue, WebError};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Which part of the network an execution covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecKind {
+    /// Whole network (`model.inference`).
+    Full,
+    /// Input through the cut (`model.inference_front`).
+    Front,
+    /// After the cut to the output (`model.inference_rear`).
+    Rear,
+}
+
+/// One recorded DNN execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecRecord {
+    /// Which range ran.
+    pub kind: ExecKind,
+    /// Simulated duration charged to the clock.
+    pub duration: Duration,
+}
+
+/// Shared view of a host's execution history.
+pub type ExecTracker = Rc<RefCell<Vec<ExecRecord>>>;
+
+/// The `model` host object.
+pub struct CaffeJsHost {
+    net: Network,
+    profile: NetworkProfile,
+    params: ParamStore,
+    device: DeviceProfile,
+    mode: ExecMode,
+    clock: SimClock,
+    cut: Option<NodeId>,
+    seed: u64,
+    tracker: ExecTracker,
+}
+
+impl CaffeJsHost {
+    /// Builds a host for `net` on `device`, charging time to `clock`.
+    pub fn new(
+        net: Network,
+        params: ParamStore,
+        device: DeviceProfile,
+        mode: ExecMode,
+        clock: SimClock,
+    ) -> CaffeJsHost {
+        let profile = net.profile();
+        CaffeJsHost {
+            net,
+            profile,
+            params,
+            device,
+            mode,
+            clock,
+            cut: None,
+            seed: 0x5eed,
+            tracker: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Configures the partial-inference cut point, builder-style.
+    pub fn with_cut(mut self, cut: Option<NodeId>) -> CaffeJsHost {
+        self.cut = cut;
+        self
+    }
+
+    /// Seed for decoding synthetic images deterministically.
+    pub fn with_seed(mut self, seed: u64) -> CaffeJsHost {
+        self.seed = seed;
+        self
+    }
+
+    /// A shared handle to this host's execution log (keep a clone before
+    /// registering the host with a browser).
+    pub fn tracker(&self) -> ExecTracker {
+        Rc::clone(&self.tracker)
+    }
+
+    fn charge(&self, kind: ExecKind, duration: Duration) {
+        self.clock.advance_by(duration);
+        self.tracker
+            .borrow_mut()
+            .push(ExecRecord { kind, duration });
+    }
+
+    /// Decodes the app-supplied input: an encoded image string (pixels are
+    /// synthesized deterministically from its hash, standing in for JPEG
+    /// decode) or an already-decoded `Float32Array` of pixel data.
+    fn decode_input(&self, value: &JsValue, core: &Core) -> Result<Tensor, WebError> {
+        let dims = self.net.input_shape().dims().to_vec();
+        match value {
+            JsValue::Str(url) => {
+                let mut h: u64 = self.seed;
+                for b in url.bytes() {
+                    h = h.wrapping_mul(1099511628211).wrapping_add(b as u64);
+                }
+                Tensor::from_fn(&dims, |i| {
+                    let mut z = h.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                    z ^= z >> 29;
+                    ((z % 256) as f32) / 255.0
+                })
+                .map_err(|e| WebError::Runtime(format!("decode: {e}")))
+            }
+            JsValue::Float32Array(id) => {
+                let HeapCell::Float32Array(data) = core
+                    .heap
+                    .cell(*id)
+                    .map_err(|e| WebError::Runtime(e.to_string()))?
+                else {
+                    unreachable!()
+                };
+                Tensor::from_vec(&dims, data.clone())
+                    .map_err(|e| WebError::Runtime(format!("pixel input: {e}")))
+            }
+            other => Err(WebError::Runtime(format!(
+                "model input must be an image string or Float32Array, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn label(&self, output: &Tensor) -> String {
+        let idx = output.argmax();
+        let score = output.data()[idx];
+        let label: String = match self.net.name() {
+            "agenet" => {
+                const AGES: [&str; 8] = [
+                    "(0-2)", "(4-6)", "(8-13)", "(15-20)", "(25-32)", "(38-43)", "(48-53)",
+                    "(60-100)",
+                ];
+                AGES.get(idx).copied().unwrap_or("(?)").to_string()
+            }
+            "gendernet" => ["male", "female"]
+                .get(idx)
+                .copied()
+                .unwrap_or("?")
+                .to_string(),
+            _ => format!("class_{idx}"),
+        };
+        format!("{label} (score {score:.3})")
+    }
+
+    fn require_cut(&self) -> Result<NodeId, WebError> {
+        self.cut.ok_or_else(|| {
+            WebError::Runtime("partial inference requires a configured cut point".into())
+        })
+    }
+}
+
+impl HostObject for CaffeJsHost {
+    fn call(
+        &mut self,
+        method: &str,
+        args: &[JsValue],
+        core: &mut Core,
+    ) -> Result<JsValue, WebError> {
+        let to_web = |e: OffloadError| WebError::Runtime(e.to_string());
+        match method {
+            "inference" => {
+                let input = self.decode_input(
+                    args.first()
+                        .ok_or_else(|| WebError::Runtime("inference needs an input".into()))?,
+                    core,
+                )?;
+                let fwd = self
+                    .net
+                    .forward(&self.params, &input, self.mode)
+                    .map_err(|e| to_web(OffloadError::Dnn(e)))?;
+                self.charge(ExecKind::Full, self.device.full_exec_time(&self.profile));
+                Ok(JsValue::Str(self.label(fwd.final_output())))
+            }
+            "inference_front" => {
+                let cut = self.require_cut()?;
+                let input = self.decode_input(
+                    args.first().ok_or_else(|| {
+                        WebError::Runtime("inference_front needs an input".into())
+                    })?,
+                    core,
+                )?;
+                let fwd = self
+                    .net
+                    .forward_until(&self.params, &input, cut, self.mode)
+                    .map_err(|e| to_web(OffloadError::Dnn(e)))?;
+                self.charge(
+                    ExecKind::Front,
+                    self.device.exec_time(&self.profile, None, Some(cut)),
+                );
+                let feature = fwd.output(cut).map_err(|e| to_web(OffloadError::Dnn(e)))?;
+                Ok(core.heap.alloc_f32(feature.data().to_vec()))
+            }
+            "inference_rear" => {
+                let cut = self.require_cut()?;
+                let feature_value = args
+                    .first()
+                    .ok_or_else(|| WebError::Runtime("inference_rear needs feature data".into()))?;
+                let JsValue::Float32Array(id) = feature_value else {
+                    return Err(WebError::Runtime(format!(
+                        "feature data must be a Float32Array, got {}",
+                        feature_value.type_name()
+                    )));
+                };
+                let HeapCell::Float32Array(data) = core
+                    .heap
+                    .cell(*id)
+                    .map_err(|e| WebError::Runtime(e.to_string()))?
+                else {
+                    unreachable!()
+                };
+                let dims = self
+                    .net
+                    .output_shape(cut)
+                    .map_err(|e| to_web(OffloadError::Dnn(e)))?
+                    .dims()
+                    .to_vec();
+                let feature = Tensor::from_vec(&dims, data.clone())
+                    .map_err(|e| WebError::Runtime(format!("feature shape: {e}")))?;
+                let fwd = self
+                    .net
+                    .forward_from(&self.params, cut, feature, self.mode)
+                    .map_err(|e| to_web(OffloadError::Dnn(e)))?;
+                self.charge(
+                    ExecKind::Rear,
+                    self.device.exec_time(&self.profile, Some(cut), None),
+                );
+                Ok(JsValue::Str(self.label(fwd.final_output())))
+            }
+            other => Err(WebError::Runtime(format!("model has no method {other:?}"))),
+        }
+    }
+
+    fn get(&mut self, property: &str, _core: &mut Core) -> Result<JsValue, WebError> {
+        match property {
+            "name" => Ok(JsValue::Str(self.net.name().to_string())),
+            "layerCount" => Ok(JsValue::Number(self.net.node_count() as f64)),
+            other => Err(WebError::Runtime(format!(
+                "model has no property {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{edge_server_x86, odroid_xu4};
+    use snapedge_dnn::zoo;
+    use snapedge_webapp::Browser;
+
+    fn host_browser(mode: ExecMode, cut_label: Option<&str>) -> (Browser, SimClock, ExecTracker) {
+        let net = zoo::tiny_cnn();
+        let params = net.init_params(1).unwrap();
+        let cut = cut_label.map(|l| net.cut_point(l).unwrap().id);
+        let clock = SimClock::new();
+        let host = CaffeJsHost::new(net, params, odroid_xu4(), mode, clock.clone()).with_cut(cut);
+        let tracker = host.tracker();
+        let mut b = Browser::new();
+        b.register_host("model", Box::new(host));
+        (b, clock, tracker)
+    }
+
+    #[test]
+    fn inference_returns_a_label_and_charges_time() {
+        let (mut b, clock, tracker) = host_browser(ExecMode::Real, None);
+        b.exec_script(r#"var r = model.inference("data:image/jpeg;base64,AAA");"#)
+            .unwrap();
+        let JsValue::Str(label) = b.global("r") else {
+            panic!()
+        };
+        assert!(label.starts_with("class_"), "{label}");
+        assert!(clock.now() > Duration::ZERO);
+        assert_eq!(tracker.borrow().len(), 1);
+        assert_eq!(tracker.borrow()[0].kind, ExecKind::Full);
+    }
+
+    #[test]
+    fn front_plus_rear_equals_full_result_and_time() {
+        let (mut b1, _c1, _t1) = host_browser(ExecMode::Real, Some("1st_pool"));
+        b1.exec_script(
+            r#"
+            var f = model.inference_front("data:image/jpeg;base64,XYZ");
+            var r = model.inference_rear(f);
+        "#,
+        )
+        .unwrap();
+        let (mut b2, _c2, _t2) = host_browser(ExecMode::Real, None);
+        b2.exec_script(r#"var r = model.inference("data:image/jpeg;base64,XYZ");"#)
+            .unwrap();
+        assert_eq!(b1.global("r"), b2.global("r"), "split must match full");
+    }
+
+    #[test]
+    fn front_rear_times_sum_to_full_time() {
+        let net = zoo::tiny_cnn();
+        let profile = net.profile();
+        let dev = edge_server_x86();
+        let cut = net.cut_point("1st_pool").unwrap().id;
+        let full = dev.full_exec_time(&profile);
+        let split =
+            dev.exec_time(&profile, None, Some(cut)) + dev.exec_time(&profile, Some(cut), None);
+        assert!(full.abs_diff(split) < Duration::from_micros(5));
+    }
+
+    #[test]
+    fn partial_without_cut_is_an_error() {
+        let (mut b, _c, _t) = host_browser(ExecMode::Real, None);
+        assert!(b
+            .exec_script(r#"var f = model.inference_front("x");"#)
+            .is_err());
+    }
+
+    #[test]
+    fn rear_rejects_wrong_feature_size() {
+        let (mut b, _c, _t) = host_browser(ExecMode::Real, Some("1st_pool"));
+        assert!(b
+            .exec_script("var r = model.inference_rear(new Float32Array([1, 2, 3]));")
+            .is_err());
+    }
+
+    #[test]
+    fn same_image_string_decodes_identically() {
+        let (mut b, _c, _t) = host_browser(ExecMode::Real, None);
+        b.exec_script(
+            r#"
+            var a = model.inference("data:image/jpeg;base64,SAME");
+            var b = model.inference("data:image/jpeg;base64,SAME");
+            var c = model.inference("data:image/jpeg;base64,OTHER");
+            var stable = a == b;
+        "#,
+        )
+        .unwrap();
+        assert_eq!(b.global("stable"), JsValue::Bool(true));
+    }
+
+    #[test]
+    fn synthetic_mode_works_without_params() {
+        let net = zoo::agenet();
+        let clock = SimClock::new();
+        let host = CaffeJsHost::new(
+            net,
+            ParamStore::empty("agenet"),
+            edge_server_x86(),
+            ExecMode::Synthetic { seed: 9 },
+            clock.clone(),
+        );
+        let mut b = Browser::new();
+        b.register_host("model", Box::new(host));
+        b.exec_script(r#"var r = model.inference("img");"#).unwrap();
+        let JsValue::Str(label) = b.global("r") else {
+            panic!()
+        };
+        assert!(label.starts_with('('), "age label, got {label}");
+        assert!(clock.now() > Duration::from_secs(1));
+    }
+
+    #[test]
+    fn host_properties() {
+        let (mut b, _c, _t) = host_browser(ExecMode::Real, None);
+        b.exec_script("var n = model.name; var k = model.layerCount;")
+            .unwrap();
+        assert_eq!(b.global("n"), JsValue::Str("tiny_cnn".into()));
+        assert!(matches!(b.global("k"), JsValue::Number(n) if n > 5.0));
+    }
+}

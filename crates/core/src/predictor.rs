@@ -1,0 +1,209 @@
+//! Per-layer latency prediction, Neurosurgeon-style [16].
+//!
+//! Neurosurgeon fits regression models (time vs. configuration) per layer
+//! type from profiling runs, then predicts partition costs at runtime
+//! without executing the DNN. We reproduce that pipeline: generate noisy
+//! profiling observations from a device, fit one least-squares linear
+//! model per layer type (time = slope·FLOPs + intercept), and use the fit
+//! to predict network execution times.
+
+use crate::device::DeviceProfile;
+use snapedge_dnn::NetworkProfile;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// One profiling observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSample {
+    /// Layer type tag (`"conv"`, `"fc"`, ...).
+    pub op_tag: &'static str,
+    /// Layer FLOPs.
+    pub flops: u64,
+    /// Observed execution time.
+    pub observed: Duration,
+}
+
+/// A fitted `time = slope · flops + intercept` model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// Seconds per FLOP.
+    pub slope: f64,
+    /// Fixed seconds per invocation.
+    pub intercept: f64,
+    /// Coefficient of determination of the fit.
+    pub r2: f64,
+}
+
+impl LinearModel {
+    /// Least-squares fit over `(flops, seconds)` points.
+    ///
+    /// Returns `None` for fewer than 2 points or degenerate x-variance.
+    pub fn fit(points: &[(f64, f64)]) -> Option<LinearModel> {
+        if points.len() < 2 {
+            return None;
+        }
+        let n = points.len() as f64;
+        let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+        let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+            .sum();
+        let r2 = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Some(LinearModel {
+            slope,
+            intercept,
+            r2,
+        })
+    }
+
+    /// Predicted time for a layer of `flops`.
+    pub fn predict(&self, flops: u64) -> Duration {
+        Duration::from_secs_f64((self.slope * flops as f64 + self.intercept).max(0.0))
+    }
+}
+
+/// Per-layer-type latency predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyPredictor {
+    models: BTreeMap<&'static str, LinearModel>,
+}
+
+impl LatencyPredictor {
+    /// Fits one model per layer type from profiling samples.
+    pub fn fit(samples: &[LayerSample]) -> LatencyPredictor {
+        let mut by_tag: BTreeMap<&'static str, Vec<(f64, f64)>> = BTreeMap::new();
+        for s in samples {
+            by_tag
+                .entry(s.op_tag)
+                .or_default()
+                .push((s.flops as f64, s.observed.as_secs_f64()));
+        }
+        let models = by_tag
+            .into_iter()
+            .filter_map(|(tag, points)| LinearModel::fit(&points).map(|m| (tag, m)))
+            .collect();
+        LatencyPredictor { models }
+    }
+
+    /// Generates profiling observations by "running" each layer of the
+    /// given network profiles on `device`, with deterministic ±3%
+    /// measurement noise — the stand-in for Neurosurgeon's real profiling
+    /// phase.
+    pub fn profile_device(
+        device: &DeviceProfile,
+        profiles: &[&NetworkProfile],
+        seed: u64,
+    ) -> Vec<LayerSample> {
+        let mut samples = Vec::new();
+        let mut z = seed | 1;
+        for profile in profiles {
+            for layer in profile.layers() {
+                if layer.flops == 0 {
+                    continue;
+                }
+                z = z
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let noise = 1.0 + (((z >> 33) % 600) as f64 - 300.0) / 10_000.0; // ±3%
+                let t = device.layer_time(layer.op_tag, layer.flops).as_secs_f64() * noise;
+                samples.push(LayerSample {
+                    op_tag: layer.op_tag,
+                    flops: layer.flops,
+                    observed: Duration::from_secs_f64(t),
+                });
+            }
+        }
+        samples
+    }
+
+    /// The fitted model for a layer type, if any.
+    pub fn model(&self, op_tag: &str) -> Option<&LinearModel> {
+        self.models.get(op_tag)
+    }
+
+    /// Predicted time for one layer.
+    pub fn predict_layer(&self, op_tag: &str, flops: u64) -> Option<Duration> {
+        self.models.get(op_tag).map(|m| m.predict(flops))
+    }
+
+    /// Predicted time for a whole network (layers whose type was never
+    /// profiled contribute zero).
+    pub fn predict_network(&self, profile: &NetworkProfile) -> Duration {
+        profile
+            .layers()
+            .iter()
+            .filter(|l| l.flops > 0)
+            .filter_map(|l| self.predict_layer(l.op_tag, l.flops))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::odroid_xu4;
+    use snapedge_dnn::zoo;
+
+    #[test]
+    fn fit_recovers_a_linear_relationship() {
+        let points: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 2.0 * i as f64 + 5.0)).collect();
+        let m = LinearModel::fit(&points).unwrap();
+        assert!((m.slope - 2.0).abs() < 1e-9);
+        assert!((m.intercept - 5.0).abs() < 1e-9);
+        assert!(m.r2 > 0.999999);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        assert!(LinearModel::fit(&[]).is_none());
+        assert!(LinearModel::fit(&[(1.0, 2.0)]).is_none());
+        assert!(LinearModel::fit(&[(3.0, 1.0), (3.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn trained_predictor_matches_device_model_closely() {
+        // Neurosurgeon's premise: per-type regressions predict layer
+        // latency well. Train on AgeNet + tiny nets, test on GoogLeNet.
+        let device = odroid_xu4();
+        let train = [zoo::agenet().profile(), zoo::tiny_cnn().profile()];
+        let train_refs: Vec<&NetworkProfile> = train.iter().collect();
+        let samples = LatencyPredictor::profile_device(&device, &train_refs, 11);
+        let predictor = LatencyPredictor::fit(&samples);
+
+        let test = zoo::googlenet().profile();
+        let predicted = predictor.predict_network(&test).as_secs_f64();
+        let actual = device.full_exec_time(&test).as_secs_f64();
+        let rel_err = (predicted - actual).abs() / actual;
+        assert!(rel_err < 0.10, "relative error {rel_err}");
+    }
+
+    #[test]
+    fn conv_model_has_high_r2_despite_noise() {
+        let device = odroid_xu4();
+        let profiles = [zoo::googlenet().profile()];
+        let refs: Vec<&NetworkProfile> = profiles.iter().collect();
+        let samples = LatencyPredictor::profile_device(&device, &refs, 3);
+        let predictor = LatencyPredictor::fit(&samples);
+        let conv = predictor.model("conv").unwrap();
+        assert!(conv.r2 > 0.95, "r2 = {}", conv.r2);
+    }
+
+    #[test]
+    fn unprofiled_types_predict_none() {
+        let predictor = LatencyPredictor::fit(&[]);
+        assert!(predictor.predict_layer("conv", 100).is_none());
+    }
+}

@@ -1,0 +1,577 @@
+//! End-to-end inference scenarios — the experiment driver behind the
+//! paper's Figs. 6, 7 and 8.
+//!
+//! A scenario builds *real* browsers for the client board and the edge
+//! server, loads the actual benchmark web app, arms the offload trigger,
+//! and migrates *real snapshots* over the simulated 30 Mbps link while a
+//! shared virtual clock accumulates device and network time. Nothing is
+//! hand-waved: the bytes that cross the link are the bytes of the snapshot
+//! HTML the client actually captured.
+
+use crate::apps;
+use crate::device::DeviceProfile;
+use crate::endpoint::Endpoint;
+use crate::OffloadError;
+use snapedge_dnn::{zoo, ExecMode, ModelBundle, ParamStore};
+use snapedge_net::{Link, LinkConfig, SimClock};
+use snapedge_webapp::{RunOutcome, SnapshotOptions};
+use std::time::Duration;
+
+/// Where (and when) the inference runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Strategy {
+    /// Run everything on the client board (Fig. 6 "Client").
+    ClientOnly,
+    /// Run everything on the edge server (Fig. 6 "Server").
+    ServerOnly,
+    /// Offload immediately after app start, before the model upload ACK
+    /// arrives — the snapshot queues behind the still-uploading model.
+    OffloadBeforeAck,
+    /// Offload after the model pre-send is acknowledged (Fig. 6
+    /// "Offloading after ACK").
+    OffloadAfterAck,
+    /// Partial inference: run up to the named cut on the client, offload
+    /// the rest; only the rear model is pre-sent (Section III-B.2).
+    Partial {
+        /// Cut-point label (`"1st_pool"` etc. — see
+        /// [`zoo::fig8_cuts`]).
+        cut: String,
+    },
+}
+
+/// Full description of a scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Model name from the zoo (`"googlenet"`, `"agenet"`, ...).
+    pub model: String,
+    /// Execution strategy.
+    pub strategy: Strategy,
+    /// Network between client and edge server (each direction gets one).
+    pub link: LinkConfig,
+    /// Client device model.
+    pub client_device: DeviceProfile,
+    /// Server device model.
+    pub server_device: DeviceProfile,
+    /// Real arithmetic (tiny models) or synthetic (paper-scale models).
+    pub exec_mode: ExecMode,
+    /// Seed for parameters and synthetic inputs.
+    pub seed: u64,
+    /// Size of the encoded input image carried by the app, in bytes.
+    pub image_bytes: usize,
+    /// Snapshot generation options.
+    pub snapshot: SnapshotOptions,
+    /// Compress snapshots (LZ77+Huffman) before transmission, paying
+    /// codec CPU time on both sides — an extension the paper does not
+    /// evaluate (see the `compression` bench).
+    pub compress: bool,
+}
+
+impl ScenarioConfig {
+    /// The paper's configuration: 30 Mbps link, Odroid-XU4 client, x86
+    /// edge server, synthetic execution (shape-faithful), a ~35 KB
+    /// encoded image.
+    pub fn paper(model: &str, strategy: Strategy) -> ScenarioConfig {
+        ScenarioConfig {
+            model: model.to_string(),
+            strategy,
+            link: LinkConfig::wifi_30mbps(),
+            client_device: crate::device::odroid_xu4(),
+            server_device: crate::device::edge_server_x86(),
+            exec_mode: ExecMode::Synthetic { seed: 0xCAFE },
+            seed: 42,
+            image_bytes: 35_000,
+            snapshot: SnapshotOptions::default(),
+            compress: false,
+        }
+    }
+
+    /// A fast configuration running the real tiny CNN end-to-end — used by
+    /// tests and the quickstart example.
+    pub fn tiny(strategy: Strategy) -> ScenarioConfig {
+        ScenarioConfig {
+            model: "tiny_cnn".to_string(),
+            strategy,
+            link: LinkConfig::wifi_30mbps(),
+            client_device: crate::device::odroid_xu4(),
+            server_device: crate::device::edge_server_x86(),
+            exec_mode: ExecMode::Real,
+            seed: 7,
+            image_bytes: 2_000,
+            snapshot: SnapshotOptions::default(),
+            compress: false,
+        }
+    }
+}
+
+/// Per-phase timing of an inference (the paper's Fig. 7 segments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// DNN execution on the client (full for `ClientOnly`, front part for
+    /// partial inference, ~0 for full offload).
+    pub exec_client: Duration,
+    /// Snapshot capture at the client.
+    pub capture_client: Duration,
+    /// Client→server transmission, including queueing behind an unfinished
+    /// model upload (the before-ACK penalty).
+    pub transfer_up: Duration,
+    /// Snapshot restoration at the server.
+    pub restore_server: Duration,
+    /// DNN execution at the server.
+    pub exec_server: Duration,
+    /// Snapshot capture at the server.
+    pub capture_server: Duration,
+    /// Server→client transmission of the result snapshot.
+    pub transfer_down: Duration,
+    /// Snapshot restoration at the client.
+    pub restore_client: Duration,
+}
+
+impl Breakdown {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.exec_client
+            + self.capture_client
+            + self.transfer_up
+            + self.restore_server
+            + self.exec_server
+            + self.capture_server
+            + self.transfer_down
+            + self.restore_client
+    }
+}
+
+/// Everything a scenario run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Model name.
+    pub model: String,
+    /// Strategy executed.
+    pub strategy: Strategy,
+    /// Per-phase timing.
+    pub breakdown: Breakdown,
+    /// End-to-end inference time: click → result visible on the client.
+    pub total: Duration,
+    /// When the pre-send ACK arrived (offload strategies only).
+    pub ack_at: Option<Duration>,
+    /// When the user clicked the inference button.
+    pub clicked_at: Duration,
+    /// Bytes of model files pre-sent to the server.
+    pub model_upload_bytes: u64,
+    /// Client→server snapshot size.
+    pub snapshot_up_bytes: u64,
+    /// Server→client snapshot size.
+    pub snapshot_down_bytes: u64,
+    /// The label shown on the client's screen at the end.
+    pub result: String,
+}
+
+/// Runs a scenario to completion.
+///
+/// # Errors
+///
+/// Returns [`OffloadError`] for unknown models/cuts, app failures, or
+/// network failures (when injected).
+pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioReport, OffloadError> {
+    match &cfg.strategy {
+        Strategy::ClientOnly => run_local(cfg, /* on_server = */ false),
+        Strategy::ServerOnly => run_local(cfg, /* on_server = */ true),
+        _ => run_offload(
+            cfg,
+            &mut Link::new(cfg.link.clone()),
+            &mut Link::new(cfg.link.clone()),
+        ),
+    }
+}
+
+/// Runs a scenario with caller-provided links — the failure-injection
+/// entry point (fail a link, watch the protocol error surface).
+///
+/// # Errors
+///
+/// Same conditions as [`run_scenario`], plus [`OffloadError::Net`] when a
+/// link is down.
+pub fn run_scenario_with_links(
+    cfg: &ScenarioConfig,
+    uplink: &mut Link,
+    downlink: &mut Link,
+) -> Result<ScenarioReport, OffloadError> {
+    match &cfg.strategy {
+        Strategy::ClientOnly => run_local(cfg, false),
+        Strategy::ServerOnly => run_local(cfg, true),
+        _ => run_offload(cfg, uplink, downlink),
+    }
+}
+
+/// Runs an offloading scenario, falling back to local (client-only)
+/// execution when the network fails — the behaviour the paper recommends
+/// while the model is still uploading or the edge is unreachable.
+/// Returns the report plus whether the fallback was taken.
+///
+/// # Errors
+///
+/// Propagates non-network failures.
+pub fn run_with_fallback(
+    cfg: &ScenarioConfig,
+    uplink: &mut Link,
+    downlink: &mut Link,
+) -> Result<(ScenarioReport, bool), OffloadError> {
+    match run_scenario_with_links(cfg, uplink, downlink) {
+        Ok(report) => Ok((report, false)),
+        Err(OffloadError::Net(_)) => {
+            let mut local = cfg.clone();
+            local.strategy = Strategy::ClientOnly;
+            Ok((run_local(&local, false)?, true))
+        }
+        Err(other) => Err(other),
+    }
+}
+
+/// Outcome of moving one snapshot across a link, compressed or not.
+struct Shipped {
+    /// Bytes that actually crossed the wire.
+    wire_bytes: u64,
+    /// Sender-side codec time (zero when uncompressed).
+    extra_send: Duration,
+    /// Link occupancy including queueing.
+    transfer: Duration,
+    /// Receiver-side codec time (zero when uncompressed).
+    extra_recv: Duration,
+}
+
+/// Transfers a snapshot over `link`, optionally through the LZ+Huffman
+/// codec (the real codec runs; the clock is charged from the device
+/// models). Advances the shared clock past the arrival.
+fn ship(
+    cfg: &ScenarioConfig,
+    snapshot: &snapedge_webapp::Snapshot,
+    sender: &crate::device::DeviceProfile,
+    receiver: &crate::device::DeviceProfile,
+    link: &mut Link,
+    clock: &SimClock,
+) -> Result<Shipped, OffloadError> {
+    if !cfg.compress {
+        let xfer = link.schedule(clock.now(), snapshot.size_bytes())?;
+        let transfer = xfer.finish - clock.now();
+        clock.advance_to(xfer.finish);
+        return Ok(Shipped {
+            wire_bytes: snapshot.size_bytes(),
+            extra_send: Duration::ZERO,
+            transfer,
+            extra_recv: Duration::ZERO,
+        });
+    }
+    let packed = snapedge_net::compress::compress(snapshot.html().as_bytes());
+    let extra_send = sender.compress_time(snapshot.size_bytes());
+    clock.advance_by(extra_send);
+    let xfer = link.schedule(clock.now(), packed.len() as u64)?;
+    let transfer = xfer.finish - clock.now();
+    clock.advance_to(xfer.finish);
+    let unpacked = snapedge_net::compress::decompress(&packed)?;
+    if unpacked != snapshot.html().as_bytes() {
+        return Err(OffloadError::Protocol("codec roundtrip mismatch".into()));
+    }
+    let extra_recv = receiver.decompress_time(snapshot.size_bytes());
+    clock.advance_by(extra_recv);
+    Ok(Shipped {
+        wire_bytes: packed.len() as u64,
+        extra_send,
+        transfer,
+        extra_recv,
+    })
+}
+
+fn app_html(cfg: &ScenarioConfig) -> String {
+    let url = apps::synthetic_image_data_url(cfg.seed, cfg.image_bytes);
+    match &cfg.strategy {
+        Strategy::Partial { .. } => apps::partial_inference_app(&url),
+        _ => apps::full_inference_app(&url),
+    }
+}
+
+fn params_for(
+    cfg: &ScenarioConfig,
+    net: &snapedge_dnn::Network,
+) -> Result<ParamStore, OffloadError> {
+    Ok(match cfg.exec_mode {
+        ExecMode::Real => net.init_params(cfg.seed)?,
+        ExecMode::Synthetic { .. } => ParamStore::empty(net.name()),
+    })
+}
+
+fn run_local(cfg: &ScenarioConfig, on_server: bool) -> Result<ScenarioReport, OffloadError> {
+    let net = zoo::by_name(&cfg.model)?;
+    let params = params_for(cfg, &net)?;
+    let clock = SimClock::new();
+    let device = if on_server {
+        cfg.server_device.clone()
+    } else {
+        cfg.client_device.clone()
+    };
+    let mut ep = Endpoint::new(
+        if on_server { "server" } else { "client" },
+        device,
+        clock.clone(),
+    );
+    let cut = match &cfg.strategy {
+        Strategy::Partial { cut } => Some(net.cut_point(cut)?.id),
+        _ => None,
+    };
+    ep.install_model(net, params, cfg.exec_mode, cut, cfg.seed);
+    ep.browser.load_html(&app_html(cfg))?;
+    ep.browser.click("load")?;
+    ep.run()?;
+
+    let clicked_at = clock.now();
+    ep.browser.click("infer")?;
+    let outcome = ep.run()?;
+    if !matches!(outcome, RunOutcome::Idle { .. }) {
+        return Err(OffloadError::Protocol(
+            "local run unexpectedly hit an offload point".into(),
+        ));
+    }
+    let exec = clock.now() - clicked_at;
+    let mut breakdown = Breakdown::default();
+    if on_server {
+        breakdown.exec_server = exec;
+    } else {
+        breakdown.exec_client = exec;
+    }
+    Ok(ScenarioReport {
+        model: cfg.model.clone(),
+        strategy: cfg.strategy.clone(),
+        breakdown,
+        total: exec,
+        ack_at: None,
+        clicked_at,
+        model_upload_bytes: 0,
+        snapshot_up_bytes: 0,
+        snapshot_down_bytes: 0,
+        result: ep.browser.element_text("result")?.to_string(),
+    })
+}
+
+fn run_offload(
+    cfg: &ScenarioConfig,
+    uplink: &mut Link,
+    downlink: &mut Link,
+) -> Result<ScenarioReport, OffloadError> {
+    let net = zoo::by_name(&cfg.model)?;
+    let clock = SimClock::new();
+    let mut client = Endpoint::new("client", cfg.client_device.clone(), clock.clone());
+    let mut server = Endpoint::new("edge-server", cfg.server_device.clone(), clock.clone());
+
+    let (cut, offload_event) = match &cfg.strategy {
+        Strategy::Partial { cut } => (Some(net.cut_point(cut)?.id), apps::PARTIAL_OFFLOAD_EVENT),
+        _ => (None, apps::FULL_OFFLOAD_EVENT),
+    };
+
+    // --- Model pre-sending (Section III-B.1). The client starts uploading
+    // the model files the moment the app starts (t = 0). For partial
+    // inference only the rear bundle travels; the front parameters stay
+    // on the client for privacy (Section III-B.2).
+    let client_params = params_for(cfg, &net)?;
+    let full_bundle = match cfg.exec_mode {
+        ExecMode::Real => ModelBundle::materialized(&net, &client_params)?,
+        ExecMode::Synthetic { .. } => ModelBundle::from_network(&net),
+    };
+    let sent_bundle = match cut {
+        Some(cut_id) => full_bundle.split(&net, cut_id)?.1,
+        None => full_bundle.clone(),
+    };
+    let model_upload_bytes = sent_bundle.total_bytes();
+    let model_xfer = uplink.schedule(Duration::ZERO, model_upload_bytes)?;
+    let ack_xfer = downlink.schedule(model_xfer.finish, 64)?;
+    let ack_at = ack_xfer.finish;
+
+    // Server-side parameters come from the received bundle (rear-only for
+    // partial inference): the server *cannot* run front layers.
+    let server_params = match cfg.exec_mode {
+        ExecMode::Real => ParamStore::from_bundle(&sent_bundle)?,
+        ExecMode::Synthetic { .. } => ParamStore::empty(net.name()),
+    };
+    server.install_model(net.clone(), server_params, cfg.exec_mode, cut, cfg.seed);
+    client.install_model(net.clone(), client_params, cfg.exec_mode, cut, cfg.seed);
+
+    // --- App start and user interaction on the client.
+    client.browser.load_html(&app_html(cfg))?;
+    client.browser.click("load")?;
+    client.run()?;
+    client.browser.set_offload_trigger(Some(offload_event));
+
+    let clicked_at = match cfg.strategy {
+        Strategy::OffloadBeforeAck => Duration::ZERO,
+        _ => ack_at,
+    };
+    clock.advance_to(clicked_at);
+
+    client.browser.click("infer")?;
+    let before_exec = clock.now();
+    let outcome = client.run()?;
+    if !matches!(outcome, RunOutcome::OffloadPoint { .. }) {
+        return Err(OffloadError::Protocol(format!(
+            "expected to reach offload point {offload_event:?}, got {outcome:?}"
+        )));
+    }
+    let exec_client = clock.now() - before_exec;
+
+    // --- Client-to-server migration.
+    let (snap_up, mut capture_client) = client.capture(&cfg.snapshot)?;
+    let shipped_up = ship(
+        cfg,
+        &snap_up,
+        &client.device,
+        &server.device,
+        uplink,
+        &clock,
+    )?;
+    capture_client += shipped_up.extra_send;
+    let transfer_up = shipped_up.transfer;
+    let restore_server = server.restore(&snap_up)? + shipped_up.extra_recv;
+    let before_server = clock.now();
+    server.run()?;
+    let exec_server = clock.now() - before_server;
+
+    // --- Server-to-client migration of the updated state.
+    let (snap_down, mut capture_server) = server.capture(&cfg.snapshot)?;
+    let shipped_down = ship(
+        cfg,
+        &snap_down,
+        &server.device,
+        &client.device,
+        downlink,
+        &clock,
+    )?;
+    capture_server += shipped_down.extra_send;
+    let transfer_down = shipped_down.transfer;
+    let restore_client = client.restore(&snap_down)? + shipped_down.extra_recv;
+    client.browser.set_offload_trigger(None);
+    client.run()?;
+
+    let breakdown = Breakdown {
+        exec_client,
+        capture_client,
+        transfer_up,
+        restore_server,
+        exec_server,
+        capture_server,
+        transfer_down,
+        restore_client,
+    };
+    Ok(ScenarioReport {
+        model: cfg.model.clone(),
+        strategy: cfg.strategy.clone(),
+        breakdown,
+        total: clock.now() - clicked_at,
+        ack_at: Some(ack_at),
+        clicked_at,
+        model_upload_bytes,
+        snapshot_up_bytes: shipped_up.wire_bytes,
+        snapshot_down_bytes: shipped_down.wire_bytes,
+        result: client.browser.element_text("result")?.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_end_to_end_all_strategies_agree_on_the_result() {
+        // The same label must appear on the client's screen no matter
+        // where the DNN ran — the paper's seamlessness claim.
+        let reference = run_scenario(&ScenarioConfig::tiny(Strategy::ClientOnly)).unwrap();
+        assert!(
+            reference.result.starts_with("class_"),
+            "{}",
+            reference.result
+        );
+        for strategy in [
+            Strategy::ServerOnly,
+            Strategy::OffloadBeforeAck,
+            Strategy::OffloadAfterAck,
+            Strategy::Partial {
+                cut: "1st_pool".into(),
+            },
+        ] {
+            let report = run_scenario(&ScenarioConfig::tiny(strategy.clone())).unwrap();
+            assert_eq!(report.result, reference.result, "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn server_only_is_faster_than_client_only() {
+        let client = run_scenario(&ScenarioConfig::tiny(Strategy::ClientOnly)).unwrap();
+        let server = run_scenario(&ScenarioConfig::tiny(Strategy::ServerOnly)).unwrap();
+        assert!(server.total < client.total);
+    }
+
+    #[test]
+    fn before_ack_pays_for_the_model_upload() {
+        // Needs a paper-scale model: a tiny model finishes uploading before
+        // the first snapshot is even captured.
+        let before =
+            run_scenario(&ScenarioConfig::paper("agenet", Strategy::OffloadBeforeAck)).unwrap();
+        let after =
+            run_scenario(&ScenarioConfig::paper("agenet", Strategy::OffloadAfterAck)).unwrap();
+        // Before-ACK queues the snapshot behind the model on the uplink.
+        assert!(before.breakdown.transfer_up > after.breakdown.transfer_up);
+        assert!(before.total > after.total);
+        // The queueing penalty is roughly the 44 MiB model transfer: >10 s.
+        assert!(before.breakdown.transfer_up.as_secs_f64() > 10.0);
+    }
+
+    #[test]
+    fn partial_pre_sends_less_model_data() {
+        let full = run_scenario(&ScenarioConfig::tiny(Strategy::OffloadAfterAck)).unwrap();
+        let partial = run_scenario(&ScenarioConfig::tiny(Strategy::Partial {
+            cut: "1st_pool".into(),
+        }))
+        .unwrap();
+        assert!(partial.model_upload_bytes < full.model_upload_bytes);
+        assert!(partial.ack_at.unwrap() < full.ack_at.unwrap());
+        // But it executes the front on the weak client.
+        assert!(partial.breakdown.exec_client > full.breakdown.exec_client);
+    }
+
+    #[test]
+    fn offload_breakdown_sums_to_total() {
+        let report = run_scenario(&ScenarioConfig::tiny(Strategy::OffloadAfterAck)).unwrap();
+        let diff = report.breakdown.total().abs_diff(report.total);
+        assert!(diff < Duration::from_millis(1), "diff = {diff:?}");
+    }
+
+    #[test]
+    fn compression_preserves_results_and_shrinks_the_wire() {
+        let plain = run_scenario(&ScenarioConfig::tiny(Strategy::OffloadAfterAck)).unwrap();
+        let mut cfg = ScenarioConfig::tiny(Strategy::OffloadAfterAck);
+        cfg.compress = true;
+        let packed = run_scenario(&cfg).unwrap();
+        assert_eq!(packed.result, plain.result);
+        assert!(packed.snapshot_up_bytes < plain.snapshot_up_bytes);
+    }
+
+    #[test]
+    fn compression_wins_on_slow_links_for_feature_heavy_snapshots() {
+        let strategy = Strategy::Partial {
+            cut: "1st_pool".into(),
+        };
+        let mut plain = ScenarioConfig::paper("googlenet", strategy.clone());
+        plain.link = crate::scenario::LinkConfig::mbps(5.0);
+        let mut packed = plain.clone();
+        packed.compress = true;
+        let a = run_scenario(&plain).unwrap();
+        let b = run_scenario(&packed).unwrap();
+        assert!(b.total < a.total, "{:?} vs {:?}", b.total, a.total);
+    }
+
+    #[test]
+    fn unknown_model_and_cut_are_config_errors() {
+        let mut cfg = ScenarioConfig::tiny(Strategy::ClientOnly);
+        cfg.model = "resnet".into();
+        assert!(run_scenario(&cfg).is_err());
+        let cfg = ScenarioConfig::tiny(Strategy::Partial {
+            cut: "nonexistent".into(),
+        });
+        assert!(run_scenario(&cfg).is_err());
+    }
+}

@@ -1,0 +1,478 @@
+//! Long-lived offloading sessions — repeated inferences against the same
+//! edge server, implementing the paper's **future work**: *"how to simplify
+//! the snapshot creation/transmission/restoration for future offloading
+//! using the data and code left at the server from the first offloading"*.
+//!
+//! The first offload of a session migrates a full snapshot. Afterwards the
+//! client and server share an agreed state, so subsequent offloads send
+//! [`DeltaScript`](snapedge_webapp::DeltaScript)s — typically orders of
+//! magnitude smaller. A [`OffloadSession::handoff`] to a new edge server
+//! (the roaming case) drops the agreement and transparently returns to a
+//! full snapshot, demonstrating that snapshots keep no dependence on the
+//! previous server.
+
+use crate::apps;
+use crate::device::DeviceProfile;
+use crate::endpoint::Endpoint;
+use crate::OffloadError;
+use snapedge_dnn::{zoo, ExecMode, ModelBundle, Network, NodeId, ParamStore};
+use snapedge_net::{Link, LinkConfig, SimClock};
+use snapedge_webapp::{DeltaCapture, RunOutcome, SnapshotOptions, StateBase};
+use std::time::Duration;
+
+/// Configuration of a multi-inference session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionConfig {
+    /// Model name from the zoo.
+    pub model: String,
+    /// Partial-inference cut label, or `None` for full offloading.
+    pub cut: Option<String>,
+    /// Network between client and edge server.
+    pub link: LinkConfig,
+    /// Client device model.
+    pub client_device: DeviceProfile,
+    /// Server device model.
+    pub server_device: DeviceProfile,
+    /// Real or synthetic layer execution.
+    pub exec_mode: ExecMode,
+    /// Seed for parameters and image generation.
+    pub seed: u64,
+    /// Encoded image size in bytes.
+    pub image_bytes: usize,
+    /// Snapshot options.
+    pub snapshot: SnapshotOptions,
+    /// Use delta snapshots after the first offload (the future-work
+    /// optimization); `false` sends a full snapshot every time.
+    pub use_deltas: bool,
+}
+
+impl SessionConfig {
+    /// Paper-scale configuration (synthetic execution).
+    pub fn paper(model: &str) -> SessionConfig {
+        SessionConfig {
+            model: model.to_string(),
+            cut: None,
+            link: LinkConfig::wifi_30mbps(),
+            client_device: crate::device::odroid_xu4(),
+            server_device: crate::device::edge_server_x86(),
+            exec_mode: ExecMode::Synthetic { seed: 0xCAFE },
+            seed: 42,
+            image_bytes: 35_000,
+            snapshot: SnapshotOptions::default(),
+            use_deltas: true,
+        }
+    }
+
+    /// Tiny real-arithmetic configuration for tests.
+    pub fn tiny() -> SessionConfig {
+        SessionConfig {
+            model: "tiny_cnn".to_string(),
+            cut: None,
+            link: LinkConfig::wifi_30mbps(),
+            client_device: crate::device::odroid_xu4(),
+            server_device: crate::device::edge_server_x86(),
+            exec_mode: ExecMode::Real,
+            seed: 7,
+            image_bytes: 2_000,
+            snapshot: SnapshotOptions::default(),
+            use_deltas: true,
+        }
+    }
+}
+
+/// Report for one inference round of a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundReport {
+    /// 1-based round number.
+    pub round: usize,
+    /// Whether the uplink migration used a delta instead of a full
+    /// snapshot.
+    pub delta_up: bool,
+    /// Whether the downlink migration used a delta.
+    pub delta_down: bool,
+    /// Bytes sent client→server for this inference.
+    pub up_bytes: u64,
+    /// Bytes sent server→client.
+    pub down_bytes: u64,
+    /// Click-to-result time for this round.
+    pub total: Duration,
+    /// Label displayed on the client's screen.
+    pub result: String,
+}
+
+/// A persistent offloading relationship between one client and its current
+/// edge server.
+pub struct OffloadSession {
+    cfg: SessionConfig,
+    net: Network,
+    cut: Option<NodeId>,
+    clock: SimClock,
+    client: Endpoint,
+    server: Endpoint,
+    uplink: Link,
+    downlink: Link,
+    agreed: Option<StateBase>,
+    round: usize,
+    /// When the current server acknowledged the model pre-send.
+    ack_at: Duration,
+}
+
+impl std::fmt::Debug for OffloadSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OffloadSession")
+            .field("model", &self.cfg.model)
+            .field("round", &self.round)
+            .field("agreed", &self.agreed.is_some())
+            .finish()
+    }
+}
+
+impl OffloadSession {
+    /// Starts a session: builds both endpoints, loads the app on the
+    /// client, and pre-sends the model to the edge server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OffloadError`] for unknown models/cuts or app failures.
+    pub fn new(cfg: SessionConfig) -> Result<OffloadSession, OffloadError> {
+        let net = zoo::by_name(&cfg.model)?;
+        let cut = match &cfg.cut {
+            Some(label) => Some(net.cut_point(label)?.id),
+            None => None,
+        };
+        let clock = SimClock::new();
+        let client = Endpoint::new("client", cfg.client_device.clone(), clock.clone());
+        let mut session = OffloadSession {
+            server: Endpoint::new("edge-server-1", cfg.server_device.clone(), clock.clone()),
+            uplink: Link::new(cfg.link.clone()),
+            downlink: Link::new(cfg.link.clone()),
+            cfg,
+            net,
+            cut,
+            clock,
+            client,
+            agreed: None,
+            round: 0,
+            ack_at: Duration::ZERO,
+        };
+        session.setup_client()?;
+        session.setup_server()?;
+        Ok(session)
+    }
+
+    fn client_params(&self) -> Result<ParamStore, OffloadError> {
+        Ok(match self.cfg.exec_mode {
+            ExecMode::Real => self.net.init_params(self.cfg.seed)?,
+            ExecMode::Synthetic { .. } => ParamStore::empty(self.net.name()),
+        })
+    }
+
+    fn setup_client(&mut self) -> Result<(), OffloadError> {
+        let params = self.client_params()?;
+        self.client.install_model(
+            self.net.clone(),
+            params,
+            self.cfg.exec_mode,
+            self.cut,
+            self.cfg.seed,
+        );
+        let url = apps::synthetic_image_data_url(self.cfg.seed, self.cfg.image_bytes);
+        let app = match self.cut {
+            Some(_) => apps::partial_inference_app(&url),
+            None => apps::full_inference_app(&url),
+        };
+        self.client.browser.load_html(&app)?;
+        let trigger = match self.cut {
+            Some(_) => apps::PARTIAL_OFFLOAD_EVENT,
+            None => apps::FULL_OFFLOAD_EVENT,
+        };
+        self.client.browser.set_offload_trigger(Some(trigger));
+        Ok(())
+    }
+
+    /// Pre-sends the model to the *current* server and installs the model
+    /// host there.
+    fn setup_server(&mut self) -> Result<(), OffloadError> {
+        let params = self.client_params()?;
+        let bundle = match self.cfg.exec_mode {
+            ExecMode::Real => ModelBundle::materialized(&self.net, &params)?,
+            ExecMode::Synthetic { .. } => ModelBundle::from_network(&self.net),
+        };
+        let sent = match self.cut {
+            Some(cut) => bundle.split(&self.net, cut)?.1,
+            None => bundle,
+        };
+        let xfer = self.uplink.schedule(self.clock.now(), sent.total_bytes())?;
+        let ack = self.downlink.schedule(xfer.finish, 64)?;
+        self.ack_at = ack.finish;
+        let server_params = match self.cfg.exec_mode {
+            ExecMode::Real => ParamStore::from_bundle(&sent)?,
+            ExecMode::Synthetic { .. } => ParamStore::empty(self.net.name()),
+        };
+        self.server.install_model(
+            self.net.clone(),
+            server_params,
+            self.cfg.exec_mode,
+            self.cut,
+            self.cfg.seed,
+        );
+        Ok(())
+    }
+
+    /// When the current server acknowledged the model pre-send; offloads
+    /// before this time queue behind the model upload.
+    pub fn ack_at(&self) -> Duration {
+        self.ack_at
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    /// Moves the client to a *new, fresh* edge server (the roaming case).
+    /// The delta agreement is dropped; the model is pre-sent to the new
+    /// server. No state from the previous server is needed — snapshots are
+    /// self-contained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup failures.
+    pub fn handoff(&mut self) -> Result<(), OffloadError> {
+        let name = format!("edge-server-{}", self.round + 1);
+        self.server = Endpoint::new(&name, self.cfg.server_device.clone(), self.clock.clone());
+        self.uplink = Link::new(self.cfg.link.clone());
+        self.downlink = Link::new(self.cfg.link.clone());
+        self.agreed = None;
+        self.setup_server()
+    }
+
+    /// Performs one offloaded inference on a fresh image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OffloadError`] for app, protocol or network failures.
+    pub fn infer(&mut self, image_seed: u64) -> Result<RoundReport, OffloadError> {
+        self.round += 1;
+        // Wait for the pre-send ACK before the first offload (the paper's
+        // "after ACK" regime; `ScenarioConfig` covers the before-ACK case).
+        self.clock.advance_to(self.ack_at);
+
+        // The user loads a new image and clicks inference.
+        let url = apps::synthetic_image_data_url(image_seed, self.cfg.image_bytes);
+        let photo = self
+            .client
+            .browser
+            .core()
+            .doc
+            .get_element_by_id("photo")
+            .ok_or_else(|| OffloadError::Protocol("app lost its photo element".into()))?;
+        self.client
+            .browser
+            .core_mut()
+            .doc
+            .set_attr(photo, "src", &url)?;
+        self.client.browser.click("load")?;
+        self.client.run()?;
+
+        let clicked_at = self.clock.now();
+        self.client.browser.click("infer")?;
+        let outcome = self.client.run()?;
+        if !matches!(outcome, RunOutcome::OffloadPoint { .. }) {
+            return Err(OffloadError::Protocol(format!(
+                "expected offload point, got {outcome:?}"
+            )));
+        }
+
+        // --- Uplink migration: delta when an agreement exists.
+        let (up_bytes, delta_up) = self.migrate_up()?;
+
+        // The server runs the pending event.
+        let server_base = self.server.browser.state_base();
+        self.server.run()?;
+
+        // --- Downlink migration.
+        let (down_bytes, delta_down) = self.migrate_down(&server_base, delta_up)?;
+
+        self.client.browser.set_offload_trigger(None);
+        self.client.run()?;
+        // Re-arm for the next round.
+        let trigger = match self.cut {
+            Some(_) => apps::PARTIAL_OFFLOAD_EVENT,
+            None => apps::FULL_OFFLOAD_EVENT,
+        };
+        self.client.browser.set_offload_trigger(Some(trigger));
+
+        // Client and server now agree on the client's state.
+        self.agreed = Some(self.client.browser.state_base());
+
+        Ok(RoundReport {
+            round: self.round,
+            delta_up,
+            delta_down,
+            up_bytes,
+            down_bytes,
+            total: self.clock.now() - clicked_at,
+            result: self.client.browser.element_text("result")?.to_string(),
+        })
+    }
+
+    fn migrate_up(&mut self) -> Result<(u64, bool), OffloadError> {
+        if self.cfg.use_deltas {
+            if let Some(base) = self.agreed.clone() {
+                if let DeltaCapture::Delta(delta) = self
+                    .client
+                    .browser
+                    .capture_delta(&base, &self.cfg.snapshot)?
+                {
+                    let bytes = delta.size_bytes();
+                    self.charge_capture_client(bytes);
+                    let xfer = self.uplink.schedule(self.clock.now(), bytes)?;
+                    self.clock.advance_to(xfer.finish);
+                    self.server.browser.apply_delta(&delta)?;
+                    self.charge_restore_server(bytes);
+                    return Ok((bytes, true));
+                }
+            }
+        }
+        let (snapshot, _) = self.client.capture(&self.cfg.snapshot)?;
+        let bytes = snapshot.size_bytes();
+        let xfer = self.uplink.schedule(self.clock.now(), bytes)?;
+        self.clock.advance_to(xfer.finish);
+        self.server.restore(&snapshot)?;
+        Ok((bytes, false))
+    }
+
+    fn migrate_down(
+        &mut self,
+        server_base: &StateBase,
+        delta_possible: bool,
+    ) -> Result<(u64, bool), OffloadError> {
+        if self.cfg.use_deltas && delta_possible {
+            if let DeltaCapture::Delta(delta) = self
+                .server
+                .browser
+                .capture_delta(server_base, &self.cfg.snapshot)?
+            {
+                let bytes = delta.size_bytes();
+                self.charge_capture_server(bytes);
+                let xfer = self.downlink.schedule(self.clock.now(), bytes)?;
+                self.clock.advance_to(xfer.finish);
+                self.client.browser.apply_delta(&delta)?;
+                self.charge_restore_client(bytes);
+                return Ok((bytes, true));
+            }
+        }
+        let (snapshot, _) = self.server.capture(&self.cfg.snapshot)?;
+        let bytes = snapshot.size_bytes();
+        let xfer = self.downlink.schedule(self.clock.now(), bytes)?;
+        self.clock.advance_to(xfer.finish);
+        self.client.restore(&snapshot)?;
+        Ok((bytes, false))
+    }
+
+    fn charge_capture_client(&self, bytes: u64) {
+        self.clock
+            .advance_by(self.client.device.capture_time(bytes));
+    }
+    fn charge_restore_client(&self, bytes: u64) {
+        self.clock
+            .advance_by(self.client.device.restore_time(bytes));
+    }
+    fn charge_capture_server(&self, bytes: u64) {
+        self.clock
+            .advance_by(self.server.device.capture_time(bytes));
+    }
+    fn charge_restore_server(&self, bytes: u64) {
+        self.clock
+            .advance_by(self.server.device.restore_time(bytes));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_round_is_full_then_deltas() {
+        let mut session = OffloadSession::new(SessionConfig::tiny()).unwrap();
+        let r1 = session.infer(100).unwrap();
+        assert!(!r1.delta_up, "first offload must be a full snapshot");
+        let r2 = session.infer(101).unwrap();
+        assert!(r2.delta_up, "second offload should use a delta");
+        assert!(r2.delta_down);
+        assert!(r2.up_bytes < r1.up_bytes);
+    }
+
+    #[test]
+    fn delta_results_match_full_snapshot_results() {
+        let mut with = OffloadSession::new(SessionConfig::tiny()).unwrap();
+        let mut without = OffloadSession::new(SessionConfig {
+            use_deltas: false,
+            ..SessionConfig::tiny()
+        })
+        .unwrap();
+        for seed in [11u64, 12, 13, 14] {
+            let a = with.infer(seed).unwrap();
+            let b = without.infer(seed).unwrap();
+            assert_eq!(a.result, b.result, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn handoff_falls_back_to_full_then_resumes_deltas() {
+        let mut session = OffloadSession::new(SessionConfig::tiny()).unwrap();
+        session.infer(1).unwrap();
+        let r2 = session.infer(2).unwrap();
+        assert!(r2.delta_up);
+
+        session.handoff().unwrap();
+        let r3 = session.infer(3).unwrap();
+        assert!(
+            !r3.delta_up,
+            "new server has no state; full snapshot needed"
+        );
+        let r4 = session.infer(4).unwrap();
+        assert!(r4.delta_up, "agreement re-established after one offload");
+        assert!(r4.result.starts_with("class_"));
+    }
+
+    #[test]
+    fn deltas_are_much_smaller_than_full_snapshots() {
+        let mut session = OffloadSession::new(SessionConfig::tiny()).unwrap();
+        let r1 = session.infer(1).unwrap();
+        let r2 = session.infer(2).unwrap();
+        // The delta re-ships the image string + result, not functions/DOM.
+        assert!(
+            (r2.up_bytes as f64) < (r1.up_bytes as f64) * 0.9,
+            "round2 {} vs round1 {}",
+            r2.up_bytes,
+            r1.up_bytes
+        );
+    }
+
+    #[test]
+    fn rounds_are_faster_once_the_model_is_up() {
+        let mut session = OffloadSession::new(SessionConfig::tiny()).unwrap();
+        let r1 = session.infer(1).unwrap();
+        let r2 = session.infer(2).unwrap();
+        // Neither round waits for the model (infer() waits for ACK), so
+        // both are sub-second; and the delta round is no slower.
+        assert!(r1.total.as_secs_f64() < 1.0);
+        assert!(r2.total <= r1.total + Duration::from_millis(50));
+    }
+
+    #[test]
+    fn partial_inference_sessions_work_with_deltas() {
+        let mut session = OffloadSession::new(SessionConfig {
+            cut: Some("1st_pool".to_string()),
+            ..SessionConfig::tiny()
+        })
+        .unwrap();
+        let r1 = session.infer(5).unwrap();
+        let r2 = session.infer(6).unwrap();
+        assert!(r2.delta_up);
+        assert!(r1.result.starts_with("class_"));
+        assert!(r2.result.starts_with("class_"));
+    }
+}

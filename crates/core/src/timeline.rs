@@ -1,0 +1,149 @@
+//! Phase timelines: turning a [`ScenarioReport`] into spans and rendering
+//! them as an ASCII Gantt chart — a quick visual of where an inference's
+//! time went (the at-a-glance version of the paper's Fig. 7).
+
+use crate::scenario::ScenarioReport;
+use std::time::Duration;
+
+/// Which machine a phase ran on (or the wire between them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// The client board.
+    Client,
+    /// The network.
+    Network,
+    /// The edge server.
+    Server,
+}
+
+/// One phase of an inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Phase name.
+    pub name: &'static str,
+    /// Where it ran.
+    pub lane: Lane,
+    /// Start, relative to the inference click.
+    pub start: Duration,
+    /// End, relative to the inference click.
+    pub end: Duration,
+}
+
+impl Span {
+    /// Span duration.
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// Reconstructs the sequential phase spans of an offloaded inference.
+/// Local/server-only runs produce a single execution span.
+pub fn spans(report: &ScenarioReport) -> Vec<Span> {
+    let b = &report.breakdown;
+    let phases: [(&'static str, Lane, Duration); 8] = [
+        ("exec (client)", Lane::Client, b.exec_client),
+        ("capture (client)", Lane::Client, b.capture_client),
+        ("transfer up", Lane::Network, b.transfer_up),
+        ("restore (server)", Lane::Server, b.restore_server),
+        ("exec (server)", Lane::Server, b.exec_server),
+        ("capture (server)", Lane::Server, b.capture_server),
+        ("transfer down", Lane::Network, b.transfer_down),
+        ("restore (client)", Lane::Client, b.restore_client),
+    ];
+    let mut out = Vec::new();
+    let mut t = Duration::ZERO;
+    for (name, lane, d) in phases {
+        if d.is_zero() {
+            continue;
+        }
+        out.push(Span {
+            name,
+            lane,
+            start: t,
+            end: t + d,
+        });
+        t += d;
+    }
+    out
+}
+
+/// Renders spans as a fixed-width ASCII Gantt chart. `width` is the number
+/// of character cells representing the full duration (minimum 10).
+pub fn render_ascii(spans: &[Span], width: usize) -> String {
+    let width = width.max(10);
+    let total = spans.iter().map(|s| s.end).max().unwrap_or(Duration::ZERO);
+    if total.is_zero() {
+        return String::from("(empty timeline)\n");
+    }
+    let scale = |t: Duration| -> usize {
+        ((t.as_secs_f64() / total.as_secs_f64()) * width as f64).round() as usize
+    };
+    let mut out = String::new();
+    for span in spans {
+        let lane = match span.lane {
+            Lane::Client => "C",
+            Lane::Network => "N",
+            Lane::Server => "S",
+        };
+        let begin = scale(span.start).min(width);
+        let end = scale(span.end).clamp(begin + 1, width.max(begin + 1));
+        let mut bar = String::with_capacity(width + 2);
+        for _ in 0..begin {
+            bar.push(' ');
+        }
+        for _ in begin..end {
+            bar.push('#');
+        }
+        out.push_str(&format!(
+            "{lane} {name:<18} |{bar:<width$}| {secs:>8.3}s\n",
+            name = span.name,
+            secs = span.duration().as_secs_f64(),
+        ));
+    }
+    out.push_str(&format!("  {:<18} total {:.3}s\n", "", total.as_secs_f64()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_scenario, ScenarioConfig, Strategy};
+
+    #[test]
+    fn spans_cover_the_whole_inference() {
+        let report = run_scenario(&ScenarioConfig::tiny(Strategy::OffloadAfterAck)).unwrap();
+        let spans = spans(&report);
+        assert!(!spans.is_empty());
+        // Contiguous, ordered, and ending at the total.
+        for pair in spans.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        let last = spans.last().unwrap();
+        assert!(last.end.abs_diff(report.total) < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn local_runs_have_one_span() {
+        let report = run_scenario(&ScenarioConfig::tiny(Strategy::ClientOnly)).unwrap();
+        let spans = spans(&report);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].lane, Lane::Client);
+    }
+
+    #[test]
+    fn render_contains_every_phase_and_respects_width() {
+        let report = run_scenario(&ScenarioConfig::tiny(Strategy::OffloadAfterAck)).unwrap();
+        let chart = render_ascii(&spans(&report), 40);
+        assert!(chart.contains("exec (server)"));
+        assert!(chart.contains("transfer up"));
+        assert!(chart.contains("total"));
+        for line in chart.lines() {
+            assert!(line.len() < 100, "line too long: {line}");
+        }
+    }
+
+    #[test]
+    fn empty_timeline_renders_gracefully() {
+        assert_eq!(render_ascii(&[], 40), "(empty timeline)\n");
+    }
+}

@@ -1,0 +1,56 @@
+//! # snapedge-dnn
+//!
+//! A Caffe-style DNN **inference** engine: the stand-in for the Caffe.js
+//! framework the paper's web apps run on. It provides:
+//!
+//! * [`Op`] — the layer operations used by the paper's three CNNs,
+//! * [`Network`] — a validated layer DAG with shape inference, FLOP/param
+//!   accounting and forward execution,
+//! * [`ExecMode`] — real arithmetic or *synthetic* execution that produces
+//!   shape-faithful pseudo-activations (same sizes, no FLOPs burnt on the
+//!   host), so benchmarks can model device time without re-running GoogLeNet
+//!   for every data point,
+//! * [`zoo`] — faithful reconstructions of GoogLeNet and the Levi–Hassner
+//!   AgeNet / GenderNet,
+//! * [`ModelBundle`] — the on-disk/wire representation of a model
+//!   (description + per-layer parameter files), which is what the client
+//!   *pre-sends* to the edge server, and which is split into front/rear
+//!   parts for the paper's privacy-preserving partial inference,
+//! * [`CutPoint`] — the valid offloading partition points of a network
+//!   (`input`, `1st_conv`, `1st_pool`, ... in the paper's Fig. 8 labels).
+//!
+//! # Example
+//!
+//! ```
+//! use snapedge_dnn::{zoo, ExecMode};
+//!
+//! # fn main() -> Result<(), snapedge_dnn::DnnError> {
+//! let net = zoo::tiny_cnn();
+//! let params = net.init_params(42)?;
+//! let input = snapedge_tensor::Tensor::filled(net.input_shape().dims(), 0.5)?;
+//! let out = net.forward(&params, &input, ExecMode::Real)?;
+//! assert_eq!(out.final_output().len(), 10); // 10-way classifier
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod model_format;
+mod net;
+mod op;
+mod params;
+mod partition;
+mod profile;
+pub mod visualize;
+pub mod zoo;
+
+pub use error::DnnError;
+pub use model_format::{ModelBundle, ModelFile, ModelFileKind};
+pub use net::{ExecMode, Forward, Network, NetworkBuilder, NodeId};
+pub use op::{Op, PoolKind};
+pub use params::{LayerParams, ParamStore};
+pub use partition::CutPoint;
+pub use profile::{LayerProfile, NetworkProfile};

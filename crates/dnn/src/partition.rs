@@ -1,0 +1,115 @@
+//! Partition points for partial inference (Section III-B.2 of the paper).
+//!
+//! A partition point ("cut") is a node whose single output tensor is
+//! sufficient to resume execution — the client runs everything up to the
+//! cut, embeds the cut's output (the *feature data*) in its snapshot, and
+//! the server resumes from there. The paper's Fig. 8 sweeps these cuts
+//! (`Input`, `1st_conv`, `1st_pool`, `2nd_conv`, ...).
+
+use crate::{Network, NodeId};
+use snapedge_tensor::Shape;
+
+/// A valid offloading partition point of a network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutPoint {
+    /// The node after which execution migrates to the server.
+    pub id: NodeId,
+    /// The node's name, used as the Fig. 8 x-axis label
+    /// (`"input"`, `"1st_conv"`, `"1st_pool"`, ...).
+    pub label: String,
+    /// Caffe-style op tag of the cut node.
+    pub op_tag: &'static str,
+    /// Shape of the feature data produced at this cut.
+    pub feature_shape: Shape,
+    /// Element count of the feature data.
+    pub feature_elems: u64,
+}
+
+impl Network {
+    /// Enumerates every valid partition point, in execution order. The
+    /// first entry is always the input node (full offloading).
+    pub fn cut_points(&self) -> Vec<CutPoint> {
+        self.iter()
+            .filter(|(id, _, _)| self.is_cut_point(*id))
+            .map(|(id, name, op)| {
+                let shape = self.output_shape(id).expect("node exists").clone();
+                CutPoint {
+                    id,
+                    label: name.to_string(),
+                    op_tag: op.type_tag(),
+                    feature_elems: shape.volume() as u64,
+                    feature_shape: shape,
+                }
+            })
+            .collect()
+    }
+
+    /// Looks up a cut point by its label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::UnknownCut`](crate::DnnError::UnknownCut) when no
+    /// valid cut has that label.
+    pub fn cut_point(&self, label: &str) -> Result<CutPoint, crate::DnnError> {
+        self.cut_points()
+            .into_iter()
+            .find(|c| c.label == label)
+            .ok_or_else(|| crate::DnnError::UnknownCut(label.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::zoo;
+
+    #[test]
+    fn first_cut_is_the_input() {
+        for net in [zoo::tiny_cnn(), zoo::agenet(), zoo::googlenet()] {
+            let cuts = net.cut_points();
+            assert_eq!(cuts[0].label, "input", "{}", net.name());
+            assert_eq!(cuts[0].id.index(), 0);
+        }
+    }
+
+    #[test]
+    fn googlenet_has_the_papers_early_cuts() {
+        let net = zoo::googlenet();
+        for label in ["input", "1st_conv", "1st_pool", "2nd_conv", "2nd_pool"] {
+            assert!(net.cut_point(label).is_ok(), "missing cut {label}");
+        }
+    }
+
+    #[test]
+    fn googlenet_feature_sizes_shrink_at_pools() {
+        // Section IV-B: feature data surges at conv layers and shrinks at
+        // pool layers; 1st_conv has 4x the elements of 1st_pool.
+        let net = zoo::googlenet();
+        let conv1 = net.cut_point("1st_conv").unwrap();
+        let pool1 = net.cut_point("1st_pool").unwrap();
+        assert_eq!(conv1.feature_elems, 112 * 112 * 64);
+        assert_eq!(pool1.feature_elems, 56 * 56 * 64);
+        assert_eq!(conv1.feature_elems, 4 * pool1.feature_elems);
+    }
+
+    #[test]
+    fn agenet_pool_cuts_shrink_features() {
+        let net = zoo::agenet();
+        let conv1 = net.cut_point("1st_conv").unwrap();
+        let pool1 = net.cut_point("1st_pool").unwrap();
+        assert!(pool1.feature_elems < conv1.feature_elems);
+    }
+
+    #[test]
+    fn unknown_cut_is_an_error() {
+        assert!(zoo::tiny_cnn().cut_point("definitely_not_a_layer").is_err());
+    }
+
+    #[test]
+    fn cuts_are_in_execution_order() {
+        let net = zoo::googlenet();
+        let cuts = net.cut_points();
+        for pair in cuts.windows(2) {
+            assert!(pair[0].id.index() < pair[1].id.index());
+        }
+    }
+}

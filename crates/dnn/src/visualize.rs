@@ -1,0 +1,192 @@
+//! Feature-map visualization — the paper's Fig. 1.
+//!
+//! The paper renders each layer's output "as a grayscale image ... by
+//! creating two-dimension images from the feature data and putting them
+//! together like tiles", and uses those tiles to argue that feature data
+//! is "not easily recognizable by the human". This module produces the
+//! same tiled renderings, as portable PGM images or ASCII art.
+
+use crate::DnnError;
+use snapedge_tensor::Tensor;
+
+/// A grayscale image (row-major, one byte per pixel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Row-major pixel bytes.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Encodes as binary PGM (`P5`) — viewable by any image tool.
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// Renders as ASCII art, one character per `step`×`step` pixel block
+    /// (darker value → denser glyph).
+    pub fn to_ascii(&self, step: usize) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let step = step.max(1);
+        let mut out = String::new();
+        let mut y = 0;
+        while y < self.height {
+            let mut x = 0;
+            while x < self.width {
+                // Average the block.
+                let mut sum = 0u32;
+                let mut n = 0u32;
+                for yy in y..(y + step).min(self.height) {
+                    for xx in x..(x + step).min(self.width) {
+                        sum += self.pixels[yy * self.width + xx] as u32;
+                        n += 1;
+                    }
+                }
+                let avg = (sum / n.max(1)) as usize;
+                out.push(RAMP[avg * (RAMP.len() - 1) / 255] as char);
+                x += step;
+            }
+            out.push('\n');
+            y += step;
+        }
+        out
+    }
+}
+
+/// Renders a `CHW` feature tensor as the paper's tiled grayscale image:
+/// each channel becomes one `H`×`W` tile, tiles are laid out in a
+/// near-square grid (e.g. 64 channels of 56×56 → an 8×8 grid of tiles, as
+/// in Fig. 1's "(56x56x64)" panel). Values are min-max normalized.
+///
+/// # Errors
+///
+/// Returns [`DnnError::Tensor`]-style build errors for non-`CHW` input.
+pub fn tile_feature_map(feature: &Tensor) -> Result<GrayImage, DnnError> {
+    let dims = feature.shape().dims();
+    if dims.len() != 3 {
+        return Err(DnnError::Build(format!(
+            "visualization requires CHW features, got {}",
+            feature.shape()
+        )));
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let grid_w = (c as f64).sqrt().ceil() as usize;
+    let grid_h = c.div_ceil(grid_w);
+    let (min, max) = (feature.min(), feature.max());
+    let range = if max > min { max - min } else { 1.0 };
+    let (width, height) = (grid_w * w, grid_h * h);
+    let mut pixels = vec![0u8; width * height];
+    let data = feature.data();
+    for ch in 0..c {
+        let (ty, tx) = (ch / grid_w, ch % grid_w);
+        for y in 0..h {
+            for x in 0..w {
+                let v = data[(ch * h + y) * w + x];
+                let norm = ((v - min) / range * 255.0).clamp(0.0, 255.0) as u8;
+                pixels[(ty * h + y) * width + (tx * w + x)] = norm;
+            }
+        }
+    }
+    Ok(GrayImage {
+        width,
+        height,
+        pixels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{zoo, ExecMode};
+
+    #[test]
+    fn tiles_form_a_near_square_grid() {
+        // 64 channels of 56x56 -> 8x8 grid, like Fig. 1's upper-left panel.
+        let feature = Tensor::zeros(&[64, 56, 56]).unwrap();
+        let image = tile_feature_map(&feature).unwrap();
+        assert_eq!(image.width(), 8 * 56);
+        assert_eq!(image.height(), 8 * 56);
+    }
+
+    #[test]
+    fn odd_channel_counts_round_up() {
+        let feature = Tensor::zeros(&[5, 4, 4]).unwrap();
+        let image = tile_feature_map(&feature).unwrap();
+        assert_eq!(image.width(), 3 * 4);
+        assert_eq!(image.height(), 2 * 4);
+    }
+
+    #[test]
+    fn normalization_uses_full_range() {
+        let feature = Tensor::from_vec(&[1, 2, 2], vec![0.0, 0.5, 1.0, 0.25]).unwrap();
+        let image = tile_feature_map(&feature).unwrap();
+        assert_eq!(image.pixels()[0], 0);
+        assert_eq!(image.pixels()[2], 255); // row-major: (1,0) = 1.0
+    }
+
+    #[test]
+    fn constant_features_do_not_divide_by_zero() {
+        let feature = Tensor::filled(&[2, 3, 3], 7.0).unwrap();
+        let image = tile_feature_map(&feature).unwrap();
+        assert!(image.pixels().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn pgm_header_and_payload() {
+        let feature = Tensor::zeros(&[1, 2, 3]).unwrap();
+        let pgm = tile_feature_map(&feature).unwrap().to_pgm();
+        assert!(pgm.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n3 2\n255\n".len() + 6);
+    }
+
+    #[test]
+    fn ascii_rendering_has_expected_shape() {
+        let feature = Tensor::from_fn(&[1, 8, 8], |i| i as f32).unwrap();
+        let art = tile_feature_map(&feature).unwrap().to_ascii(2);
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.lines().all(|l| l.chars().count() == 4));
+        // Gradient: first char lighter than last.
+        let first = art.chars().next().unwrap();
+        let last = art.lines().last().unwrap().chars().last().unwrap();
+        assert_ne!(first, last);
+    }
+
+    #[test]
+    fn real_features_visualize_end_to_end() {
+        // Fig. 1 in miniature: run the tiny net and tile its pool output.
+        let net = zoo::tiny_cnn();
+        let params = net.init_params(3).unwrap();
+        let input =
+            Tensor::from_fn(net.input_shape().dims(), |i| ((i % 29) as f32) / 29.0).unwrap();
+        let cut = net.node_id("1st_pool").unwrap();
+        let fwd = net
+            .forward_until(&params, &input, cut, ExecMode::Real)
+            .unwrap();
+        let image = tile_feature_map(fwd.output(cut).unwrap()).unwrap();
+        assert_eq!(image.width(), 2 * 8); // 4 channels of 8x8 -> 2x2 grid
+        assert!(!image.to_ascii(2).is_empty());
+    }
+
+    #[test]
+    fn rejects_non_chw() {
+        let flat = Tensor::zeros(&[16]).unwrap();
+        assert!(tile_feature_map(&flat).is_err());
+    }
+}

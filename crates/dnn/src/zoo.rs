@@ -1,0 +1,351 @@
+//! The paper's three benchmark networks, reconstructed layer-for-layer:
+//!
+//! * [`googlenet`] — Szegedy et al., *Going deeper with convolutions*
+//!   (CVPR 2015): 224×224×3 input, stem + 9 inception modules, 1000-way
+//!   classifier, ≈7.0 M parameters (the paper's 27 MB model).
+//! * [`agenet`] / [`gendernet`] — Levi & Hassner, *Age and gender
+//!   classification using convolutional neural networks* (CVPR-W 2015):
+//!   227×227×3 input, 3 conv + 3 fc, 8-way (age) / 2-way (gender)
+//!   classifiers, ≈11.4 M parameters each (the paper's 44 MB models).
+//! * [`tiny_cnn`] — a miniature of the same topology for fast tests.
+//!
+//! Node names follow the paper's Fig. 8 x-axis labels (`1st_conv`,
+//! `1st_pool`, ...), so partition sweeps read exactly like the paper.
+
+use crate::{Network, NetworkBuilder, NodeId, Op, PoolKind};
+
+fn conv(out_channels: usize, kernel: usize, stride: usize, pad: usize) -> Op {
+    Op::Conv {
+        out_channels,
+        kernel,
+        stride,
+        pad,
+        groups: 1,
+    }
+}
+
+fn maxpool(kernel: usize, stride: usize, pad: usize) -> Op {
+    Op::Pool {
+        kind: PoolKind::Max,
+        kernel,
+        stride,
+        pad,
+    }
+}
+
+fn lrn() -> Op {
+    // Caffe defaults used by both GoogLeNet and the Levi-Hassner nets.
+    Op::Lrn {
+        local_size: 5,
+        alpha: 1e-4,
+        beta: 0.75,
+        k: 1.0,
+    }
+}
+
+/// Appends one GoogLeNet inception module and returns the concat node.
+///
+/// `sizes` = (#1x1, #3x3 reduce, #3x3, #5x5 reduce, #5x5, pool proj).
+fn inception(
+    b: &mut NetworkBuilder,
+    name: &str,
+    input: NodeId,
+    sizes: (usize, usize, usize, usize, usize, usize),
+) -> Result<NodeId, crate::DnnError> {
+    let (c1, c3r, c3, c5r, c5, pp) = sizes;
+    let n = |suffix: &str| format!("{name}/{suffix}");
+
+    let b1 = b.layer(&n("1x1"), conv(c1, 1, 1, 0), input)?;
+    let b1 = b.layer(&n("relu_1x1"), Op::Relu, b1)?;
+
+    let b2 = b.layer(&n("3x3_reduce"), conv(c3r, 1, 1, 0), input)?;
+    let b2 = b.layer(&n("relu_3x3_reduce"), Op::Relu, b2)?;
+    let b2 = b.layer(&n("3x3"), conv(c3, 3, 1, 1), b2)?;
+    let b2 = b.layer(&n("relu_3x3"), Op::Relu, b2)?;
+
+    let b3 = b.layer(&n("5x5_reduce"), conv(c5r, 1, 1, 0), input)?;
+    let b3 = b.layer(&n("relu_5x5_reduce"), Op::Relu, b3)?;
+    let b3 = b.layer(&n("5x5"), conv(c5, 5, 1, 2), b3)?;
+    let b3 = b.layer(&n("relu_5x5"), Op::Relu, b3)?;
+
+    let b4 = b.layer(&n("pool"), maxpool(3, 1, 1), input)?;
+    let b4 = b.layer(&n("pool_proj"), conv(pp, 1, 1, 0), b4)?;
+    let b4 = b.layer(&n("relu_pool_proj"), Op::Relu, b4)?;
+
+    b.concat(&n("output"), &[b1, b2, b3, b4])
+}
+
+/// GoogLeNet (Inception v1), the paper's image-recognition benchmark.
+///
+/// # Panics
+///
+/// Never panics: the architecture is statically valid (covered by tests).
+pub fn googlenet() -> Network {
+    let mut b = NetworkBuilder::new("googlenet", &[3, 224, 224]).expect("valid input");
+    let input = b.input();
+    (|| -> Result<Network, crate::DnnError> {
+        let x = b.layer("1st_conv", conv(64, 7, 2, 3), input)?;
+        let x = b.layer("relu1", Op::Relu, x)?;
+        let x = b.layer("1st_pool", maxpool(3, 2, 0), x)?;
+        let x = b.layer("norm1", lrn(), x)?;
+        let x = b.layer("2nd_conv_reduce", conv(64, 1, 1, 0), x)?;
+        let x = b.layer("relu2_reduce", Op::Relu, x)?;
+        let x = b.layer("2nd_conv", conv(192, 3, 1, 1), x)?;
+        let x = b.layer("relu2", Op::Relu, x)?;
+        let x = b.layer("norm2", lrn(), x)?;
+        let x = b.layer("2nd_pool", maxpool(3, 2, 0), x)?;
+
+        let x = inception(&mut b, "inception_3a", x, (64, 96, 128, 16, 32, 32))?;
+        let x = inception(&mut b, "inception_3b", x, (128, 128, 192, 32, 96, 64))?;
+        let x = b.layer("3rd_pool", maxpool(3, 2, 0), x)?;
+        let x = inception(&mut b, "inception_4a", x, (192, 96, 208, 16, 48, 64))?;
+        let x = inception(&mut b, "inception_4b", x, (160, 112, 224, 24, 64, 64))?;
+        let x = inception(&mut b, "inception_4c", x, (128, 128, 256, 24, 64, 64))?;
+        let x = inception(&mut b, "inception_4d", x, (112, 144, 288, 32, 64, 64))?;
+        let x = inception(&mut b, "inception_4e", x, (256, 160, 320, 32, 128, 128))?;
+        let x = b.layer("4th_pool", maxpool(3, 2, 0), x)?;
+        let x = inception(&mut b, "inception_5a", x, (256, 160, 320, 32, 128, 128))?;
+        let x = inception(&mut b, "inception_5b", x, (384, 192, 384, 48, 128, 128))?;
+
+        let x = b.layer(
+            "global_pool",
+            Op::Pool {
+                kind: PoolKind::Average,
+                kernel: 7,
+                stride: 1,
+                pad: 0,
+            },
+            x,
+        )?;
+        let x = b.layer("dropout", Op::Dropout { ratio: 0.4 }, x)?;
+        let x = b.layer("classifier", Op::Fc { out_features: 1000 }, x)?;
+        let out = b.layer("prob", Op::Softmax, x)?;
+        b.build(out)
+    })()
+    .expect("GoogLeNet architecture is valid")
+}
+
+/// Shared Levi–Hassner topology behind [`agenet`] and [`gendernet`].
+fn levi_hassner(name: &str, classes: usize) -> Network {
+    let mut b = NetworkBuilder::new(name, &[3, 227, 227]).expect("valid input");
+    let input = b.input();
+    (|| -> Result<Network, crate::DnnError> {
+        let x = b.layer("1st_conv", conv(96, 7, 4, 0), input)?;
+        let x = b.layer("relu1", Op::Relu, x)?;
+        let x = b.layer("1st_pool", maxpool(3, 2, 0), x)?;
+        let x = b.layer("norm1", lrn(), x)?;
+        let x = b.layer("2nd_conv", conv(256, 5, 1, 2), x)?;
+        let x = b.layer("relu2", Op::Relu, x)?;
+        let x = b.layer("2nd_pool", maxpool(3, 2, 0), x)?;
+        let x = b.layer("norm2", lrn(), x)?;
+        let x = b.layer("3rd_conv", conv(384, 3, 1, 1), x)?;
+        let x = b.layer("relu3", Op::Relu, x)?;
+        let x = b.layer("3rd_pool", maxpool(3, 2, 0), x)?;
+        let x = b.layer("fc6", Op::Fc { out_features: 512 }, x)?;
+        let x = b.layer("relu6", Op::Relu, x)?;
+        let x = b.layer("drop6", Op::Dropout { ratio: 0.5 }, x)?;
+        let x = b.layer("fc7", Op::Fc { out_features: 512 }, x)?;
+        let x = b.layer("relu7", Op::Relu, x)?;
+        let x = b.layer("drop7", Op::Dropout { ratio: 0.5 }, x)?;
+        let x = b.layer(
+            "fc8",
+            Op::Fc {
+                out_features: classes,
+            },
+            x,
+        )?;
+        let out = b.layer("prob", Op::Softmax, x)?;
+        b.build(out)
+    })()
+    .expect("Levi-Hassner architecture is valid")
+}
+
+/// AgeNet: Levi–Hassner CNN with an 8-way age-group classifier.
+pub fn agenet() -> Network {
+    levi_hassner("agenet", 8)
+}
+
+/// GenderNet: Levi–Hassner CNN with a 2-way gender classifier.
+pub fn gendernet() -> Network {
+    levi_hassner("gendernet", 2)
+}
+
+/// A miniature CNN (same layer vocabulary, 16×16 input, 10-way classifier)
+/// for fast real-arithmetic tests and examples.
+pub fn tiny_cnn() -> Network {
+    let mut b = NetworkBuilder::new("tiny_cnn", &[3, 16, 16]).expect("valid input");
+    let input = b.input();
+    (|| -> Result<Network, crate::DnnError> {
+        let x = b.layer("1st_conv", conv(4, 3, 1, 1), input)?;
+        let x = b.layer("relu1", Op::Relu, x)?;
+        let x = b.layer("1st_pool", maxpool(2, 2, 0), x)?;
+        let x = b.layer("2nd_conv", conv(8, 3, 1, 1), x)?;
+        let x = b.layer("relu2", Op::Relu, x)?;
+        let x = b.layer("2nd_pool", maxpool(2, 2, 0), x)?;
+        let x = b.layer("fc", Op::Fc { out_features: 10 }, x)?;
+        let out = b.layer("prob", Op::Softmax, x)?;
+        b.build(out)
+    })()
+    .expect("tiny architecture is valid")
+}
+
+/// A miniature network **with an inception-style module**, exercising DAG
+/// snapshots and DAG partition logic in tests without GoogLeNet's cost.
+pub fn tiny_inception() -> Network {
+    let mut b = NetworkBuilder::new("tiny_inception", &[3, 16, 16]).expect("valid input");
+    let input = b.input();
+    (|| -> Result<Network, crate::DnnError> {
+        let x = b.layer("1st_conv", conv(8, 3, 2, 1), input)?;
+        let x = b.layer("relu1", Op::Relu, x)?;
+        let x = b.layer("1st_pool", maxpool(2, 2, 0), x)?;
+        let x = inception(&mut b, "inception_a", x, (4, 4, 8, 2, 4, 4))?;
+        let x = b.layer("fc", Op::Fc { out_features: 5 }, x)?;
+        let out = b.layer("prob", Op::Softmax, x)?;
+        b.build(out)
+    })()
+    .expect("tiny inception architecture is valid")
+}
+
+/// Builds a zoo network by name (`"googlenet"`, `"agenet"`, `"gendernet"`,
+/// `"tiny_cnn"`, `"tiny_inception"`).
+///
+/// # Errors
+///
+/// Returns [`DnnError::UnknownNode`](crate::DnnError::UnknownNode) for an
+/// unknown model name.
+pub fn by_name(name: &str) -> Result<Network, crate::DnnError> {
+    match name {
+        "googlenet" => Ok(googlenet()),
+        "agenet" => Ok(agenet()),
+        "gendernet" => Ok(gendernet()),
+        "tiny_cnn" => Ok(tiny_cnn()),
+        "tiny_inception" => Ok(tiny_inception()),
+        other => Err(crate::DnnError::UnknownNode(format!("model {other:?}"))),
+    }
+}
+
+/// The partition points the paper sweeps in Fig. 8 for a given model.
+pub fn fig8_cuts(model: &str) -> Vec<&'static str> {
+    match model {
+        "googlenet" => vec!["input", "1st_conv", "1st_pool", "2nd_conv", "2nd_pool"],
+        "agenet" | "gendernet" => vec![
+            "input", "1st_conv", "1st_pool", "2nd_conv", "2nd_pool", "3rd_conv", "3rd_pool",
+        ],
+        _ => vec!["input"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExecMode;
+    use snapedge_tensor::Tensor;
+
+    #[test]
+    fn googlenet_shapes_match_figure_1() {
+        let net = googlenet();
+        // The paper's Fig. 1 annotates these intermediate shapes.
+        let shape = |n: &str| {
+            net.output_shape(net.node_id(n).unwrap())
+                .unwrap()
+                .dims()
+                .to_vec()
+        };
+        assert_eq!(shape("input"), vec![3, 224, 224]);
+        assert_eq!(shape("1st_conv"), vec![64, 112, 112]);
+        assert_eq!(shape("1st_pool"), vec![64, 56, 56]);
+        assert_eq!(shape("2nd_conv"), vec![192, 56, 56]);
+        assert_eq!(shape("2nd_pool"), vec![192, 28, 28]);
+        assert_eq!(shape("inception_3a/output"), vec![256, 28, 28]);
+        assert_eq!(shape("inception_3b/output"), vec![480, 28, 28]);
+        assert_eq!(shape("inception_4e/output"), vec![832, 14, 14]);
+        assert_eq!(shape("inception_5b/output"), vec![1024, 7, 7]);
+        assert_eq!(shape("global_pool"), vec![1024, 1, 1]);
+        assert_eq!(shape("prob"), vec![1000]);
+    }
+
+    #[test]
+    fn agenet_shapes_match_levi_hassner() {
+        let net = agenet();
+        let shape = |n: &str| {
+            net.output_shape(net.node_id(n).unwrap())
+                .unwrap()
+                .dims()
+                .to_vec()
+        };
+        assert_eq!(shape("1st_conv"), vec![96, 56, 56]);
+        assert_eq!(shape("1st_pool"), vec![96, 28, 28]);
+        assert_eq!(shape("2nd_conv"), vec![256, 28, 28]);
+        assert_eq!(shape("2nd_pool"), vec![256, 14, 14]);
+        assert_eq!(shape("3rd_conv"), vec![384, 14, 14]);
+        assert_eq!(shape("3rd_pool"), vec![384, 7, 7]);
+        assert_eq!(shape("prob"), vec![8]);
+    }
+
+    #[test]
+    fn gendernet_differs_only_in_classifier() {
+        let age = agenet();
+        let gender = gendernet();
+        assert_eq!(age.node_count(), gender.node_count());
+        let age_out = age.output_shape(age.node_id("prob").unwrap()).unwrap();
+        let gender_out = gender
+            .output_shape(gender.node_id("prob").unwrap())
+            .unwrap();
+        assert_eq!(age_out.dims(), &[8]);
+        assert_eq!(gender_out.dims(), &[2]);
+    }
+
+    #[test]
+    fn tiny_inception_runs_real_forward() {
+        let net = tiny_inception();
+        let params = net.init_params(9).unwrap();
+        let input = Tensor::from_fn(net.input_shape().dims(), |i| (i % 11) as f32 / 11.0).unwrap();
+        let fwd = net.forward(&params, &input, ExecMode::Real).unwrap();
+        assert_eq!(fwd.final_output().len(), 5);
+    }
+
+    #[test]
+    fn tiny_inception_split_equals_full() {
+        let net = tiny_inception();
+        let params = net.init_params(3).unwrap();
+        let input = Tensor::from_fn(net.input_shape().dims(), |i| (i % 5) as f32 / 5.0).unwrap();
+        let full = net.forward(&params, &input, ExecMode::Real).unwrap();
+        let cut = net.node_id("inception_a/output").unwrap();
+        let front = net
+            .forward_until(&params, &input, cut, ExecMode::Real)
+            .unwrap();
+        let rear = net
+            .forward_from(
+                &params,
+                cut,
+                front.output(cut).unwrap().clone(),
+                ExecMode::Real,
+            )
+            .unwrap();
+        assert_eq!(rear.final_output(), full.final_output());
+    }
+
+    #[test]
+    fn by_name_covers_zoo() {
+        for name in [
+            "googlenet",
+            "agenet",
+            "gendernet",
+            "tiny_cnn",
+            "tiny_inception",
+        ] {
+            assert_eq!(by_name(name).unwrap().name(), name);
+        }
+        assert!(by_name("resnet").is_err());
+    }
+
+    #[test]
+    fn fig8_cut_labels_exist_in_networks() {
+        for model in ["googlenet", "agenet", "gendernet"] {
+            let net = by_name(model).unwrap();
+            for label in fig8_cuts(model) {
+                assert!(net.cut_point(label).is_ok(), "{model} missing {label}");
+            }
+        }
+    }
+}

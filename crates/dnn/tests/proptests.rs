@@ -1,0 +1,204 @@
+//! Property tests over randomly generated networks: shape inference must
+//! match execution, partial execution must equal full execution at every
+//! cut, and the description format must round-trip.
+
+use proptest::prelude::*;
+use snapedge_dnn::{ExecMode, Network, NetworkBuilder, Op, PoolKind};
+use snapedge_tensor::Tensor;
+
+/// One randomly chosen layer of a linear CNN body.
+#[derive(Debug, Clone)]
+enum RandLayer {
+    Conv { out: usize, k: usize, pad: usize },
+    Relu,
+    Pool { k: usize },
+    Lrn,
+    Dropout,
+}
+
+fn layer_strategy() -> impl Strategy<Value = RandLayer> {
+    prop_oneof![
+        (1usize..5, 1usize..4, 0usize..2).prop_map(|(out, k, pad)| RandLayer::Conv { out, k, pad }),
+        Just(RandLayer::Relu),
+        (2usize..4).prop_map(|k| RandLayer::Pool { k }),
+        Just(RandLayer::Lrn),
+        Just(RandLayer::Dropout),
+    ]
+}
+
+/// Builds a network from the random body, skipping layers that would not
+/// fit the current spatial size (mirrors how an architect would design).
+fn build(body: &[RandLayer], classes: usize) -> Network {
+    let mut b = NetworkBuilder::new("random", &[2, 12, 12]).unwrap();
+    let mut x = b.input();
+    let mut hw = 12usize;
+    for (i, layer) in body.iter().enumerate() {
+        let name = format!("l{i}");
+        match layer {
+            RandLayer::Conv { out, k, pad } => {
+                if hw + 2 * pad < *k {
+                    continue;
+                }
+                hw = (hw + 2 * pad - k) + 1;
+                x = b
+                    .layer(
+                        &name,
+                        Op::Conv {
+                            out_channels: *out,
+                            kernel: *k,
+                            stride: 1,
+                            pad: *pad,
+                            groups: 1,
+                        },
+                        x,
+                    )
+                    .unwrap();
+            }
+            RandLayer::Relu => {
+                x = b.layer(&name, Op::Relu, x).unwrap();
+            }
+            RandLayer::Pool { k } => {
+                if hw < *k || hw / 2 == 0 {
+                    continue;
+                }
+                x = b
+                    .layer(
+                        &name,
+                        Op::Pool {
+                            kind: PoolKind::Max,
+                            kernel: *k,
+                            stride: 2,
+                            pad: 0,
+                        },
+                        x,
+                    )
+                    .unwrap();
+                hw = (hw - k).div_ceil(2) + 1;
+            }
+            RandLayer::Lrn => {
+                x = b
+                    .layer(
+                        &name,
+                        Op::Lrn {
+                            local_size: 3,
+                            alpha: 1e-4,
+                            beta: 0.75,
+                            k: 1.0,
+                        },
+                        x,
+                    )
+                    .unwrap();
+            }
+            RandLayer::Dropout => {
+                x = b.layer(&name, Op::Dropout { ratio: 0.5 }, x).unwrap();
+            }
+        }
+    }
+    let x = b
+        .layer(
+            "fc",
+            Op::Fc {
+                out_features: classes,
+            },
+            x,
+        )
+        .unwrap();
+    let out = b.layer("prob", Op::Softmax, x).unwrap();
+    b.build(out).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn execution_matches_shape_inference(
+        body in prop::collection::vec(layer_strategy(), 0..6),
+        classes in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let net = build(&body, classes);
+        let params = net.init_params(seed).unwrap();
+        let input = Tensor::from_fn(net.input_shape().dims(), |i| {
+            ((i as u64).wrapping_mul(seed | 1) % 100) as f32 / 100.0
+        }).unwrap();
+        let fwd = net.forward(&params, &input, ExecMode::Real).unwrap();
+        for (id, name, _) in net.iter() {
+            prop_assert_eq!(
+                fwd.output(id).unwrap().shape(),
+                net.output_shape(id).unwrap(),
+                "node {}", name
+            );
+        }
+        // Classifier output is a probability distribution.
+        let sum: f32 = fwd.final_output().data().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn every_cut_splits_losslessly(
+        body in prop::collection::vec(layer_strategy(), 0..6),
+        seed in any::<u64>(),
+    ) {
+        let net = build(&body, 3);
+        let params = net.init_params(seed).unwrap();
+        let input = Tensor::from_fn(net.input_shape().dims(), |i| {
+            ((i as u64).wrapping_mul(seed | 3) % 97) as f32 / 97.0
+        }).unwrap();
+        let full = net.forward(&params, &input, ExecMode::Real).unwrap();
+        for cut in net.cut_points() {
+            let front = net.forward_until(&params, &input, cut.id, ExecMode::Real).unwrap();
+            let feature = front.output(cut.id).unwrap().clone();
+            let rear = net.forward_from(&params, cut.id, feature, ExecMode::Real).unwrap();
+            prop_assert_eq!(rear.final_output(), full.final_output(), "cut {}", cut.label);
+        }
+    }
+
+    #[test]
+    fn description_roundtrips_random_networks(
+        body in prop::collection::vec(layer_strategy(), 0..8),
+        classes in 2usize..8,
+    ) {
+        let net = build(&body, classes);
+        let text = net.to_description();
+        let back = Network::from_description(&text).unwrap();
+        prop_assert_eq!(back.profile(), net.profile());
+        // And re-printing is a fixed point.
+        prop_assert_eq!(back.to_description(), text);
+    }
+
+    #[test]
+    fn profile_flops_are_monotone_in_depth(
+        body in prop::collection::vec(layer_strategy(), 1..6),
+    ) {
+        let net = build(&body, 4);
+        let profile = net.profile();
+        // Front FLOPs grow (weakly) as the cut moves deeper.
+        let cuts = net.cut_points();
+        let mut prev = 0;
+        for cut in &cuts {
+            let through = profile.flops_through(cut.id);
+            prop_assert!(through >= prev, "cut {}", cut.label);
+            prev = through;
+        }
+        prop_assert_eq!(profile.flops_after(cuts.last().unwrap().id), 0);
+    }
+
+    #[test]
+    fn synthetic_and_real_agree_on_all_sizes(
+        body in prop::collection::vec(layer_strategy(), 0..5),
+        seed in any::<u64>(),
+    ) {
+        let net = build(&body, 3);
+        let params = net.init_params(seed).unwrap();
+        let input = Tensor::filled(net.input_shape().dims(), 0.25).unwrap();
+        let real = net.forward(&params, &input, ExecMode::Real).unwrap();
+        let synth = net.forward(&params, &input, ExecMode::Synthetic { seed }).unwrap();
+        for (id, name, _) in net.iter() {
+            prop_assert_eq!(
+                real.output(id).unwrap().len(),
+                synth.output(id).unwrap().len(),
+                "node {}", name
+            );
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Virtual time.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// A shared virtual clock. Cloning yields a handle to the *same* clock, so
+/// every component of a simulation observes one timeline.
+///
+/// Time never flows by itself: it advances only via
+/// [`SimClock::advance_to`] / [`SimClock::advance_by`], which keeps every
+/// run bit-for-bit reproducible regardless of host load — the property
+/// that lets the benchmark harness regenerate the paper's figures
+/// deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: Rc<Cell<Duration>>,
+}
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.now.get()
+    }
+
+    /// Moves time forward to `t`. Moving backwards is ignored (clocks are
+    /// monotonic) — callers merging parallel timelines take the max.
+    pub fn advance_to(&self, t: Duration) {
+        if t > self.now.get() {
+            self.now.set(t);
+        }
+    }
+
+    /// Moves time forward by `d`.
+    pub fn advance_by(&self, d: Duration) {
+        self.now.set(self.now.get() + d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance_by(Duration::from_millis(5));
+        assert_eq!(c.now(), Duration::from_millis(5));
+        c.advance_to(Duration::from_secs(1));
+        assert_eq!(c.now(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn never_goes_backwards() {
+        let c = SimClock::new();
+        c.advance_to(Duration::from_secs(10));
+        c.advance_to(Duration::from_secs(3));
+        assert_eq!(c.now(), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance_by(Duration::from_secs(2));
+        assert_eq!(b.now(), Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,145 @@
+//! Passive bandwidth estimation from observed transfers.
+//!
+//! The paper's partitioner consumes "the runtime network status"; a real
+//! client learns that status by watching its own transfers. This EWMA
+//! estimator is the usual lightweight approach: every completed transfer
+//! contributes a throughput sample, recent samples dominate.
+
+use crate::{LinkConfig, Transfer};
+use std::time::Duration;
+
+/// Exponentially-weighted moving-average bandwidth estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthEstimator {
+    alpha: f64,
+    estimate_bps: Option<f64>,
+    samples: usize,
+}
+
+impl Default for BandwidthEstimator {
+    fn default() -> Self {
+        BandwidthEstimator::new(0.3)
+    }
+}
+
+impl BandwidthEstimator {
+    /// Creates an estimator with smoothing factor `alpha` in `(0, 1]`
+    /// (higher = more reactive). Values are clamped into range.
+    pub fn new(alpha: f64) -> BandwidthEstimator {
+        BandwidthEstimator {
+            alpha: alpha.clamp(0.01, 1.0),
+            estimate_bps: None,
+            samples: 0,
+        }
+    }
+
+    /// Feeds one completed transfer (payload bytes over elapsed time).
+    /// Zero-duration or zero-byte transfers are ignored — they carry no
+    /// throughput information.
+    pub fn observe(&mut self, bytes: u64, elapsed: Duration) {
+        if bytes == 0 || elapsed.is_zero() {
+            return;
+        }
+        let sample = bytes as f64 * 8.0 / elapsed.as_secs_f64();
+        self.estimate_bps = Some(match self.estimate_bps {
+            Some(prev) => prev + self.alpha * (sample - prev),
+            None => sample,
+        });
+        self.samples += 1;
+    }
+
+    /// Convenience: observes a [`Transfer`] record.
+    pub fn observe_transfer(&mut self, transfer: &Transfer) {
+        self.observe(transfer.bytes, transfer.elapsed());
+    }
+
+    /// Current estimate in bits/second, if any transfer has been seen.
+    pub fn estimate_bps(&self) -> Option<f64> {
+        self.estimate_bps
+    }
+
+    /// Number of samples absorbed.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Builds a [`LinkConfig`] from the estimate for feeding a planner
+    /// (e.g. the adaptive offloader). Returns `None` before any sample.
+    pub fn as_link_config(&self, latency: Duration) -> Option<LinkConfig> {
+        self.estimate_bps.map(|bps| LinkConfig {
+            bandwidth_bps: bps,
+            latency,
+            overhead_bytes: 0,
+            loss: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_sets_the_estimate() {
+        let mut e = BandwidthEstimator::default();
+        assert_eq!(e.estimate_bps(), None);
+        e.observe(1_000_000, Duration::from_secs(1));
+        assert_eq!(e.estimate_bps(), Some(8.0e6));
+    }
+
+    #[test]
+    fn converges_toward_a_stable_rate() {
+        let mut e = BandwidthEstimator::new(0.3);
+        for _ in 0..50 {
+            e.observe(3_750_000, Duration::from_secs(1)); // 30 Mbps
+        }
+        let est = e.estimate_bps().unwrap();
+        assert!((est - 30.0e6).abs() / 30.0e6 < 0.01, "est {est}");
+    }
+
+    #[test]
+    fn reacts_to_degradation() {
+        let mut e = BandwidthEstimator::new(0.5);
+        for _ in 0..10 {
+            e.observe(3_750_000, Duration::from_secs(1)); // 30 Mbps
+        }
+        for _ in 0..10 {
+            e.observe(125_000, Duration::from_secs(1)); // 1 Mbps
+        }
+        let est = e.estimate_bps().unwrap();
+        assert!(est < 2.0e6, "should track the collapse, est {est}");
+    }
+
+    #[test]
+    fn ignores_information_free_samples() {
+        let mut e = BandwidthEstimator::default();
+        e.observe(0, Duration::from_secs(1));
+        e.observe(100, Duration::ZERO);
+        assert_eq!(e.samples(), 0);
+        assert_eq!(e.estimate_bps(), None);
+    }
+
+    #[test]
+    fn link_config_roundtrip() {
+        let mut e = BandwidthEstimator::default();
+        assert!(e.as_link_config(Duration::from_millis(5)).is_none());
+        e.observe(3_750_000, Duration::from_secs(1));
+        let cfg = e.as_link_config(Duration::from_millis(5)).unwrap();
+        assert!((cfg.bandwidth_bps - 30.0e6).abs() < 1.0);
+        // The config is usable for transfer-time prediction.
+        assert!(cfg.transfer_time(3_750_000).as_secs_f64() > 0.9);
+    }
+
+    #[test]
+    fn alpha_is_clamped() {
+        let e = BandwidthEstimator::new(42.0);
+        let f = BandwidthEstimator::new(-3.0);
+        // Both still function.
+        let mut e = e;
+        let mut f = f;
+        e.observe(1000, Duration::from_millis(10));
+        f.observe(1000, Duration::from_millis(10));
+        assert!(e.estimate_bps().is_some());
+        assert!(f.estimate_bps().is_some());
+    }
+}

@@ -1,0 +1,297 @@
+//! Shaped, FIFO-serializing links (the `netem` model).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Network-layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The link is administratively down (failure injection).
+    LinkDown,
+    /// A transfer of zero bandwidth can never complete.
+    ZeroBandwidth,
+    /// A compressed payload failed to decode.
+    Corrupt(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::LinkDown => write!(f, "link is down"),
+            NetError::ZeroBandwidth => write!(f, "link has zero bandwidth"),
+            NetError::Corrupt(msg) => write!(f, "corrupt payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Static link parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation latency, added to every transfer.
+    pub latency: Duration,
+    /// Fixed per-message overhead in bytes (framing/headers).
+    pub overhead_bytes: u64,
+    /// Packet loss rate in `[0, 1)`. Lost packets are retransmitted
+    /// (stop-and-repeat ARQ in expectation): effective serialized bits
+    /// scale by `1 / (1 - loss)` — the standard fluid model of loss on a
+    /// shaped link, deterministic so experiments stay reproducible.
+    pub loss: f64,
+}
+
+impl LinkConfig {
+    /// A link shaped like the paper's testbed: 30 Mbps (netem-limited
+    /// Ethernet emulating good Wi-Fi), a few ms of latency.
+    pub fn wifi_30mbps() -> LinkConfig {
+        LinkConfig {
+            bandwidth_bps: 30.0e6,
+            latency: Duration::from_millis(5),
+            overhead_bytes: 512,
+            loss: 0.0,
+        }
+    }
+
+    /// An arbitrary-rate link in megabits per second.
+    pub fn mbps(rate: f64) -> LinkConfig {
+        LinkConfig {
+            bandwidth_bps: rate * 1.0e6,
+            latency: Duration::from_millis(5),
+            overhead_bytes: 512,
+            loss: 0.0,
+        }
+    }
+
+    /// Sets the one-way latency, builder style.
+    pub fn with_latency(mut self, latency: Duration) -> LinkConfig {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the packet loss rate, builder style. Values are clamped to
+    /// `[0, 0.99]`.
+    pub fn with_loss(mut self, loss: f64) -> LinkConfig {
+        self.loss = loss.clamp(0.0, 0.99);
+        self
+    }
+
+    /// Bandwidth effectively delivered to payloads once retransmissions
+    /// are accounted for.
+    pub fn effective_bandwidth_bps(&self) -> f64 {
+        self.bandwidth_bps * (1.0 - self.loss)
+    }
+
+    /// Pure serialization + propagation time of `bytes` on an idle link.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        let bits = (bytes + self.overhead_bytes) as f64 * 8.0;
+        self.latency + Duration::from_secs_f64(bits / self.effective_bandwidth_bps())
+    }
+}
+
+/// A completed scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// When the transfer began occupying the link.
+    pub start: Duration,
+    /// When the last byte (plus propagation) arrives.
+    pub finish: Duration,
+    /// Payload size in bytes (without overhead).
+    pub bytes: u64,
+}
+
+impl Transfer {
+    /// `finish - start`.
+    pub fn elapsed(&self) -> Duration {
+        self.finish - self.start
+    }
+}
+
+/// One direction of a network path. Transfers are serialized FIFO: a
+/// transfer requested while the link is busy queues behind the in-flight
+/// one — this is exactly why "offloading before ACK" is slow in the paper
+/// (the snapshot queues behind the still-uploading model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    config: LinkConfig,
+    busy_until: Duration,
+    down: bool,
+    total_bytes: u64,
+    transfers: usize,
+}
+
+impl Link {
+    /// A fresh, idle link.
+    pub fn new(config: LinkConfig) -> Link {
+        Link {
+            config,
+            busy_until: Duration::ZERO,
+            down: false,
+            total_bytes: 0,
+            transfers: 0,
+        }
+    }
+
+    /// The link's static configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Schedules a transfer requested at `now`, returning its timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::LinkDown`] when the link is failed, or
+    /// [`NetError::ZeroBandwidth`] for a non-positive rate.
+    pub fn schedule(&mut self, now: Duration, bytes: u64) -> Result<Transfer, NetError> {
+        if self.down {
+            return Err(NetError::LinkDown);
+        }
+        if self.config.bandwidth_bps <= 0.0 {
+            return Err(NetError::ZeroBandwidth);
+        }
+        let start = now.max(self.busy_until);
+        let finish = start + self.config.transfer_time(bytes);
+        self.busy_until = finish;
+        self.total_bytes += bytes;
+        self.transfers += 1;
+        Ok(Transfer {
+            start,
+            finish,
+            bytes,
+        })
+    }
+
+    /// When the link becomes idle.
+    pub fn busy_until(&self) -> Duration {
+        self.busy_until
+    }
+
+    /// Fails (`true`) or restores (`false`) the link — failure injection
+    /// for the fallback-to-local-execution tests.
+    pub fn set_down(&mut self, down: bool) {
+        self.down = down;
+    }
+
+    /// `true` when the link is failed.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Total payload bytes ever scheduled.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Number of transfers ever scheduled.
+    pub fn transfer_count(&self) -> usize {
+        self.transfers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_matches_hand_math() {
+        // 30 Mbps: 27 MiB ~ 7.55 s serialization.
+        let cfg = LinkConfig::wifi_30mbps();
+        let t = cfg.transfer_time(27 * 1024 * 1024);
+        let secs = t.as_secs_f64();
+        assert!((7.4..7.8).contains(&secs), "got {secs}");
+    }
+
+    #[test]
+    fn the_papers_model_transfer_estimate_holds() {
+        // Section III-B: "44 MB ... about 12 seconds ... at 30 Mbps".
+        let cfg = LinkConfig::wifi_30mbps();
+        let secs = cfg.transfer_time(44 * 1024 * 1024).as_secs_f64();
+        assert!((11.5..13.0).contains(&secs), "got {secs}");
+    }
+
+    #[test]
+    fn fifo_serialization_queues_transfers() {
+        let mut link = Link::new(LinkConfig::mbps(8.0)); // 1 MB/s
+        let a = link.schedule(Duration::ZERO, 1_000_000).unwrap();
+        let b = link.schedule(Duration::ZERO, 1_000_000).unwrap();
+        assert_eq!(b.start, a.finish);
+        assert!(b.finish > a.finish);
+    }
+
+    #[test]
+    fn idle_gaps_are_not_accumulated() {
+        let mut link = Link::new(LinkConfig::mbps(8.0));
+        let a = link.schedule(Duration::ZERO, 1_000_000).unwrap();
+        let later = a.finish + Duration::from_secs(5);
+        let b = link.schedule(later, 1_000_000).unwrap();
+        assert_eq!(b.start, later);
+    }
+
+    #[test]
+    fn loss_stretches_transfers() {
+        let clean = LinkConfig::wifi_30mbps();
+        let lossy = LinkConfig::wifi_30mbps().with_loss(0.5);
+        let t_clean = clean.transfer_time(1_000_000).as_secs_f64();
+        let t_lossy = lossy.transfer_time(1_000_000).as_secs_f64();
+        // 50% loss halves the effective bandwidth -> ~2x serialization.
+        assert!(
+            (1.8..2.2).contains(&(t_lossy / t_clean)),
+            "{t_lossy}/{t_clean}"
+        );
+    }
+
+    #[test]
+    fn loss_is_clamped_below_one() {
+        let cfg = LinkConfig::wifi_30mbps().with_loss(5.0);
+        assert!(cfg.loss <= 0.99);
+        assert!(cfg.effective_bandwidth_bps() > 0.0);
+        let cfg = LinkConfig::wifi_30mbps().with_loss(-1.0);
+        assert_eq!(cfg.loss, 0.0);
+    }
+
+    #[test]
+    fn bigger_payloads_take_longer() {
+        let cfg = LinkConfig::wifi_30mbps();
+        assert!(cfg.transfer_time(2_000_000) > cfg.transfer_time(1_000_000));
+    }
+
+    #[test]
+    fn latency_applies_even_to_tiny_messages() {
+        let cfg = LinkConfig::mbps(1000.0).with_latency(Duration::from_millis(20));
+        assert!(cfg.transfer_time(1) >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn down_link_rejects_transfers() {
+        let mut link = Link::new(LinkConfig::wifi_30mbps());
+        link.set_down(true);
+        assert_eq!(link.schedule(Duration::ZERO, 10), Err(NetError::LinkDown));
+        link.set_down(false);
+        assert!(link.schedule(Duration::ZERO, 10).is_ok());
+    }
+
+    #[test]
+    fn accounting_tracks_bytes_and_count() {
+        let mut link = Link::new(LinkConfig::wifi_30mbps());
+        link.schedule(Duration::ZERO, 100).unwrap();
+        link.schedule(Duration::ZERO, 200).unwrap();
+        assert_eq!(link.total_bytes(), 300);
+        assert_eq!(link.transfer_count(), 2);
+    }
+
+    #[test]
+    fn zero_bandwidth_is_an_error() {
+        let mut link = Link::new(LinkConfig {
+            bandwidth_bps: 0.0,
+            latency: Duration::ZERO,
+            overhead_bytes: 0,
+            loss: 0.0,
+        });
+        assert_eq!(
+            link.schedule(Duration::ZERO, 10),
+            Err(NetError::ZeroBandwidth)
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # snapedge-tensor
+//!
+//! Dense `f32` tensors and the neural-network kernels needed by the
+//! snapedge reproduction of *"Computation Offloading for Machine Learning
+//! Web Apps in the Edge Server Environment"* (ICDCS 2018).
+//!
+//! The crate provides:
+//!
+//! * [`Shape`] — dimension bookkeeping with row-major strides,
+//! * [`Tensor`] — an owned, row-major `f32` tensor,
+//! * [`ops`] — the CNN kernels used by the paper's three models
+//!   (convolution, max/average pooling, ReLU, LRN, fully-connected,
+//!   channel concatenation, softmax),
+//! * [`serialize`] — the two encodings the offloading system cares about:
+//!   compact little-endian binary (model files on disk / pre-sending) and
+//!   JavaScript decimal text (what a web-app snapshot embeds), with exact
+//!   byte accounting. The text encoding is what makes the paper's feature
+//!   data sizes (14.7 MB at `1st_conv`, 2.9 MB at `1st_pool` for GoogLeNet)
+//!   reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use snapedge_tensor::{Tensor, ops};
+//!
+//! # fn main() -> Result<(), snapedge_tensor::TensorError> {
+//! // A 3-channel 8x8 input, convolved with four 3x3 filters.
+//! let input = Tensor::filled(&[3, 8, 8], 1.0)?;
+//! let weights = Tensor::filled(&[4, 3, 3, 3], 0.5)?;
+//! let bias = Tensor::zeros(&[4])?;
+//! let out = ops::conv2d(&input, &weights, &bias, 1, 1)?;
+//! assert_eq!(out.shape().dims(), &[4, 8, 8]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod ops;
+pub mod serialize;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;

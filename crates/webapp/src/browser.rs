@@ -1,0 +1,327 @@
+//! The browser: heap + DOM + event loop + registered host objects.
+//!
+//! This is the WebKit stand-in. Both the client device and the edge server
+//! run one `Browser`; offloading moves a [`Snapshot`](crate::Snapshot)
+//! between them.
+
+use crate::ast::FunctionDef;
+use crate::dom::{Document, DomNodeId};
+use crate::host::HostObject;
+use crate::value::{Heap, JsValue};
+use crate::WebError;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+/// A registered event listener.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Listener {
+    /// Target element.
+    pub target: DomNodeId,
+    /// Event name (`"click"`, `"front_complete"`, ...).
+    pub event: String,
+    /// Name of the handling top-level function.
+    pub handler: String,
+}
+
+/// An event waiting in the queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingEvent {
+    /// Target element.
+    pub target: DomNodeId,
+    /// Event name.
+    pub event: String,
+}
+
+/// Everything a snapshot serializes (plus interpreter bookkeeping).
+/// Host objects receive `&mut Core` so they can allocate results on the
+/// heap and touch the DOM.
+#[derive(Default, Clone)]
+pub struct Core {
+    /// The JS object heap.
+    pub heap: Heap,
+    /// The document.
+    pub doc: Document,
+    /// Global variables.
+    pub globals: BTreeMap<String, JsValue>,
+    /// Top-level functions.
+    pub functions: BTreeMap<String, Rc<FunctionDef>>,
+    /// Event listeners in registration order.
+    pub listeners: Vec<Listener>,
+    /// Pending events, FIFO.
+    pub queue: VecDeque<PendingEvent>,
+    /// Lines printed with `console.log`.
+    pub console: Vec<String>,
+    pub(crate) steps: u64,
+}
+
+impl Core {
+    fn new() -> Core {
+        Core {
+            doc: Document::new(),
+            ..Core::default()
+        }
+    }
+}
+
+/// Outcome of pumping the event loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// Queue drained; `events` handlers ran.
+    Idle {
+        /// Number of events whose handlers executed.
+        events: usize,
+    },
+    /// Execution stopped *just before* dispatching the offload-trigger
+    /// event — the moment the paper captures its snapshot. The event is
+    /// still at the front of the queue (so the snapshot re-dispatches it).
+    OffloadPoint {
+        /// `id` attribute of the event's target element.
+        target_id: String,
+        /// The event name that triggered offloading.
+        event: String,
+    },
+}
+
+/// The web runtime: owns the app state ([`Core`]) and the environment
+/// (host objects, step limits).
+///
+/// # Example
+///
+/// ```
+/// use snapedge_webapp::Browser;
+///
+/// # fn main() -> Result<(), snapedge_webapp::WebError> {
+/// let mut b = Browser::new();
+/// b.load_html(r#"<html><body><div id="out"></div></body>
+///   <script>
+///     var el = document.getElementById("out");
+///     el.textContent = "hello";
+///   </script></html>"#)?;
+/// assert_eq!(b.element_text("out")?, "hello");
+/// # Ok(())
+/// # }
+/// ```
+pub struct Browser {
+    pub(crate) core: Core,
+    pub(crate) hosts: BTreeMap<String, Box<dyn HostObject>>,
+    offload_trigger: Option<String>,
+    max_steps: u64,
+}
+
+impl Default for Browser {
+    fn default() -> Self {
+        Browser::new()
+    }
+}
+
+impl std::fmt::Debug for Browser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Browser")
+            .field("heap_cells", &self.core.heap.len())
+            .field("dom_nodes", &self.core.doc.node_count())
+            .field("globals", &self.core.globals.len())
+            .field("functions", &self.core.functions.len())
+            .field("listeners", &self.core.listeners.len())
+            .field("queued_events", &self.core.queue.len())
+            .field("hosts", &self.hosts.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Browser {
+    /// A fresh browser with an empty document.
+    pub fn new() -> Browser {
+        Browser {
+            core: Core::new(),
+            hosts: BTreeMap::new(),
+            offload_trigger: None,
+            max_steps: 50_000_000,
+        }
+    }
+
+    /// Registers a host object reachable from MiniJS as a global (e.g.
+    /// name `"model"` makes `model.inference(x)` dispatch to `host`).
+    pub fn register_host(&mut self, name: &str, host: Box<dyn HostObject>) {
+        self.hosts.insert(name.to_string(), host);
+    }
+
+    /// `true` when a host object with this name is registered.
+    pub fn has_host(&self, name: &str) -> bool {
+        self.hosts.contains_key(name)
+    }
+
+    /// Arms offloading: the event loop will stop just before dispatching
+    /// an event with this name (Section III-A: the snapshot is taken just
+    /// before the expensive handler runs). `None` disarms.
+    pub fn set_offload_trigger(&mut self, event: Option<&str>) {
+        self.offload_trigger = event.map(str::to_string);
+    }
+
+    /// The armed offload trigger, if any.
+    pub fn offload_trigger(&self) -> Option<&str> {
+        self.offload_trigger.as_deref()
+    }
+
+    /// Caps interpreter steps per [`Browser::run_until_idle`] /
+    /// script execution (guards against runaway `while` loops in tests).
+    pub fn set_max_steps(&mut self, max: u64) {
+        self.max_steps = max;
+    }
+
+    pub(crate) fn max_steps(&self) -> u64 {
+        self.max_steps
+    }
+
+    /// Read access to the app state.
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Mutable access to the app state (embedders use this to preload
+    /// canvas data before "the user clicks").
+    pub fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    /// Parses an HTML document, replaces the current DOM with it, and runs
+    /// its `<script>` blocks. Loading an app and restoring a snapshot are
+    /// the *same operation* — a snapshot is just another web app.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WebError::Html`] / parse / runtime errors from the
+    /// document or its scripts.
+    pub fn load_html(&mut self, html: &str) -> Result<(), WebError> {
+        let parsed = crate::html::parse_document(html)?;
+        self.core.doc = parsed.document;
+        self.core.steps = 0;
+        for script in &parsed.scripts {
+            self.exec_script(script)?;
+        }
+        Ok(())
+    }
+
+    /// Runs a MiniJS script in the current document (top-level scope).
+    ///
+    /// # Errors
+    ///
+    /// Returns lex/parse/runtime errors.
+    pub fn exec_script(&mut self, src: &str) -> Result<(), WebError> {
+        let program = crate::parser::parse_program(src)?;
+        self.exec_top_level(&program)
+    }
+
+    /// Pushes an event onto the queue (does not run handlers; call
+    /// [`Browser::run_until_idle`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WebError::Dom`] when no element has id `target_id`.
+    pub fn dispatch(&mut self, target_id: &str, event: &str) -> Result<(), WebError> {
+        let target = self
+            .core
+            .doc
+            .get_element_by_id(target_id)
+            .ok_or_else(|| WebError::Dom(format!("no element with id {target_id:?}")))?;
+        self.core.queue.push_back(PendingEvent {
+            target,
+            event: event.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Simulates a user click on the element with id `target_id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WebError::Dom`] when the element does not exist.
+    pub fn click(&mut self, target_id: &str) -> Result<(), WebError> {
+        self.dispatch(target_id, "click")
+    }
+
+    /// Drains the event queue, running listeners in registration order,
+    /// until the queue is empty or the offload trigger is reached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from handlers.
+    pub fn run_until_idle(&mut self) -> Result<RunOutcome, WebError> {
+        let mut events = 0usize;
+        self.core.steps = 0;
+        loop {
+            let Some(front) = self.core.queue.front().cloned() else {
+                return Ok(RunOutcome::Idle { events });
+            };
+            if let Some(trigger) = &self.offload_trigger {
+                if front.event == *trigger {
+                    let target_id = self
+                        .core
+                        .doc
+                        .attr(front.target, "id")?
+                        .unwrap_or("")
+                        .to_string();
+                    return Ok(RunOutcome::OffloadPoint {
+                        target_id,
+                        event: front.event,
+                    });
+                }
+            }
+            self.core.queue.pop_front();
+            let handlers: Vec<String> = self
+                .core
+                .listeners
+                .iter()
+                .filter(|l| l.target == front.target && l.event == front.event)
+                .map(|l| l.handler.clone())
+                .collect();
+            for handler in handlers {
+                self.call_function_by_name(&handler, &[])?;
+            }
+            events += 1;
+        }
+    }
+
+    /// Text content of the element with the given id — how tests and
+    /// examples read "the screen".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WebError::Dom`] when the element does not exist.
+    pub fn element_text(&self, id: &str) -> Result<&str, WebError> {
+        let node = self
+            .core
+            .doc
+            .get_element_by_id(id)
+            .ok_or_else(|| WebError::Dom(format!("no element with id {id:?}")))?;
+        self.core.doc.text(node)
+    }
+
+    /// Reads a global variable (`undefined` when absent).
+    pub fn global(&self, name: &str) -> JsValue {
+        self.core
+            .globals
+            .get(name)
+            .cloned()
+            .unwrap_or(JsValue::Undefined)
+    }
+
+    /// Attaches image pixel data to a canvas element — the embedder-side
+    /// equivalent of the user loading an image into the app.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WebError::Dom`] when the element does not exist.
+    pub fn set_canvas_image(&mut self, id: &str, data: Vec<f32>) -> Result<(), WebError> {
+        let node = self
+            .core
+            .doc
+            .get_element_by_id(id)
+            .ok_or_else(|| WebError::Dom(format!("no element with id {id:?}")))?;
+        self.core.doc.set_image_data(node, Some(data))
+    }
+
+    /// Lines printed via `console.log` so far.
+    pub fn console(&self) -> &[String] {
+        &self.core.console
+    }
+}

@@ -1,0 +1,44 @@
+use std::fmt;
+
+/// Error type for the web-app runtime: HTML/MiniJS parsing, interpretation,
+/// DOM manipulation and snapshot handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WebError {
+    /// MiniJS lexer rejected the input.
+    Lex {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// MiniJS parser rejected the token stream.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Runtime evaluation failed (type errors, unknown identifiers, ...).
+    Runtime(String),
+    /// A DOM operation failed (unknown element id, invalid target, ...).
+    Dom(String),
+    /// HTML document parsing failed.
+    Html(String),
+    /// Snapshot capture or restore failed.
+    Snapshot(String),
+}
+
+impl fmt::Display for WebError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WebError::Lex { line, message } => write!(f, "lex error (line {line}): {message}"),
+            WebError::Parse { line, message } => write!(f, "parse error (line {line}): {message}"),
+            WebError::Runtime(msg) => write!(f, "runtime error: {msg}"),
+            WebError::Dom(msg) => write!(f, "dom error: {msg}"),
+            WebError::Html(msg) => write!(f, "html error: {msg}"),
+            WebError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WebError {}

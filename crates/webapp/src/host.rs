@@ -1,0 +1,56 @@
+//! Host (native) objects: the bridge between MiniJS apps and the embedding
+//! system. The ML framework of the paper (Caffe.js) is exposed to apps as
+//! the host object `model` — `snapedge-core` registers an implementation
+//! that runs the DNN engine and charges simulated device time.
+
+use crate::browser::Core;
+use crate::value::JsValue;
+use crate::WebError;
+
+/// A native object callable from MiniJS (e.g. `model.inference(x)`).
+///
+/// Host objects are part of the *environment*, not the app state: snapshots
+/// never serialize them, which mirrors the paper — the browser and the ML
+/// framework exist on both sides; only app state migrates.
+pub trait HostObject {
+    /// Invokes `object.method(args...)`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`WebError::Runtime`] for unknown methods or
+    /// bad arguments.
+    fn call(
+        &mut self,
+        method: &str,
+        args: &[JsValue],
+        core: &mut Core,
+    ) -> Result<JsValue, WebError>;
+
+    /// Reads `object.property`. Defaults to an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WebError::Runtime`] unless overridden.
+    fn get(&mut self, property: &str, _core: &mut Core) -> Result<JsValue, WebError> {
+        Err(WebError::Runtime(format!(
+            "host object has no property {property:?}"
+        )))
+    }
+}
+
+/// A trivial host object backed by a closure — convenient in tests.
+pub struct FnHost<F>(pub F);
+
+impl<F> HostObject for FnHost<F>
+where
+    F: FnMut(&str, &[JsValue], &mut Core) -> Result<JsValue, WebError>,
+{
+    fn call(
+        &mut self,
+        method: &str,
+        args: &[JsValue],
+        core: &mut Core,
+    ) -> Result<JsValue, WebError> {
+        (self.0)(method, args, core)
+    }
+}

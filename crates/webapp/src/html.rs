@@ -1,0 +1,385 @@
+//! A miniature HTML parser: elements, attributes, text and `<script>`
+//! blocks — the subset the paper's apps (and generated snapshots) use.
+
+use crate::dom::{Document, DomNodeId};
+use crate::WebError;
+
+/// Result of parsing an HTML document.
+#[derive(Debug)]
+pub struct ParsedDocument {
+    /// The DOM (body subtree).
+    pub document: Document,
+    /// The contents of each `<script>` block, in document order.
+    pub scripts: Vec<String>,
+}
+
+/// Escapes text for embedding in HTML.
+pub fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape_html(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&amp;", "&")
+}
+
+/// Parsed opening tag: name, attributes, and whether it was self-closing.
+type OpeningTag = (String, Vec<(String, String)>, bool);
+
+struct HtmlParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+/// Parses an HTML document into a DOM plus its scripts.
+///
+/// Accepted shape: optional `<html>` wrapper, optional `<body>` (created if
+/// absent), nested elements with double-quoted attributes, text content,
+/// and `<script>` blocks (captured raw, run by the caller). `<script>`
+/// elements may appear anywhere at top level or inside `<html>`.
+///
+/// # Errors
+///
+/// Returns [`WebError::Html`] for mismatched or malformed tags.
+pub fn parse_document(html: &str) -> Result<ParsedDocument, WebError> {
+    let mut parser = HtmlParser {
+        src: html.as_bytes(),
+        pos: 0,
+    };
+    let mut doc = Document::new();
+    let mut scripts = Vec::new();
+    let body = doc.body();
+    parser.parse_children(&mut doc, body, &mut scripts, None)?;
+    Ok(ParsedDocument {
+        document: doc,
+        scripts,
+    })
+}
+
+impl<'a> HtmlParser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn error(&self, message: &str) -> WebError {
+        WebError::Html(format!("{message} (at byte {})", self.pos))
+    }
+
+    /// Parses children until `</closing>` (or EOF when `closing` is None).
+    fn parse_children(
+        &mut self,
+        doc: &mut Document,
+        parent: DomNodeId,
+        scripts: &mut Vec<String>,
+        closing: Option<&str>,
+    ) -> Result<(), WebError> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    if let Some(tag) = closing {
+                        return Err(self.error(&format!("missing </{tag}>")));
+                    }
+                    break;
+                }
+                Some(b'<') => {
+                    if self.starts_with("</") {
+                        let end = self.read_closing_tag()?;
+                        match closing {
+                            Some(tag) if tag.eq_ignore_ascii_case(&end) => break,
+                            Some(tag) => {
+                                return Err(
+                                    self.error(&format!("expected </{tag}>, found </{end}>"))
+                                )
+                            }
+                            None => return Err(self.error(&format!("unexpected </{end}>"))),
+                        }
+                    }
+                    let (tag, attrs, self_closed) = self.read_opening_tag()?;
+                    let tag_lower = tag.to_ascii_lowercase();
+                    if tag_lower == "script" {
+                        let body = self.read_raw_until("</script>")?;
+                        scripts.push(body);
+                        continue;
+                    }
+                    if tag_lower == "html" || tag_lower == "body" {
+                        // Transparent wrappers: their children attach to the
+                        // current parent (our Document always has a body).
+                        if !self_closed {
+                            self.parse_children(doc, parent, scripts, Some(&tag_lower))?;
+                        }
+                        continue;
+                    }
+                    let node = doc.create_element(&tag_lower);
+                    for (k, v) in attrs {
+                        doc.set_attr(node, &k, &v)?;
+                    }
+                    doc.append_child(parent, node)?;
+                    if !self_closed {
+                        self.parse_children(doc, node, scripts, Some(&tag_lower))?;
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().map(|c| c != b'<').unwrap_or(false) {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.src[start..self.pos])
+                        .map_err(|_| self.error("invalid utf-8 in text"))?;
+                    text.push_str(&unescape_html(chunk));
+                }
+            }
+        }
+        let trimmed = text.trim();
+        if !trimmed.is_empty() {
+            doc.set_text(parent, trimmed)?;
+        }
+        Ok(())
+    }
+
+    fn read_opening_tag(&mut self) -> Result<OpeningTag, WebError> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        self.pos += 1;
+        let tag = self.read_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok((tag, attrs, false));
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        return Ok((tag, attrs, true));
+                    }
+                    return Err(self.error("expected '>' after '/'"));
+                }
+                Some(_) => {
+                    let name = self.read_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        attrs.push((name, String::new()));
+                        continue;
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    if self.peek() != Some(b'"') {
+                        return Err(self.error("attribute values must be double-quoted"));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().map(|c| c != b'"').unwrap_or(false) {
+                        self.pos += 1;
+                    }
+                    if self.peek().is_none() {
+                        return Err(self.error("unterminated attribute value"));
+                    }
+                    let raw = std::str::from_utf8(&self.src[start..self.pos])
+                        .map_err(|_| self.error("invalid utf-8 in attribute"))?;
+                    attrs.push((name, unescape_html(raw)));
+                    self.pos += 1; // closing quote
+                }
+                None => return Err(self.error("unterminated tag")),
+            }
+        }
+    }
+
+    fn read_closing_tag(&mut self) -> Result<String, WebError> {
+        self.pos += 2; // "</"
+        let name = self.read_name()?;
+        self.skip_ws();
+        if self.peek() != Some(b'>') {
+            return Err(self.error("malformed closing tag"));
+        }
+        self.pos += 1;
+        Ok(name)
+    }
+
+    fn read_name(&mut self) -> Result<String, WebError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .map(|c| c.is_ascii_alphanumeric() || c == b'-' || c == b'_')
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.error("invalid utf-8 in name"))?
+            .to_string())
+    }
+
+    fn read_raw_until(&mut self, marker: &str) -> Result<String, WebError> {
+        let hay = &self.src[self.pos..];
+        let needle = marker.as_bytes();
+        let found = hay
+            .windows(needle.len())
+            .position(|w| w.eq_ignore_ascii_case(needle))
+            .ok_or_else(|| self.error(&format!("missing {marker}")))?;
+        let body = std::str::from_utf8(&hay[..found])
+            .map_err(|_| self.error("invalid utf-8 in script"))?
+            .to_string();
+        self.pos += found + needle.len();
+        Ok(body)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .peek()
+            .map(|c| c.is_ascii_whitespace())
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+    }
+}
+
+/// Serializes the reachable DOM back to HTML body markup (no scripts).
+pub fn serialize_body(doc: &Document) -> String {
+    fn write_node(doc: &Document, id: DomNodeId, out: &mut String) {
+        let tag = doc.tag(id).unwrap_or("div");
+        out.push('<');
+        out.push_str(tag);
+        // Deterministic attribute order (Document stores a BTreeMap).
+        if let Ok(node) = doc.children(id) {
+            let _ = node; // children handled below; attrs via accessor:
+        }
+        for (k, v) in doc_attrs(doc, id) {
+            out.push(' ');
+            out.push_str(&k);
+            out.push_str("=\"");
+            out.push_str(&escape_html(&v));
+            out.push('"');
+        }
+        out.push('>');
+        if let Ok(text) = doc.text(id) {
+            out.push_str(&escape_html(text));
+        }
+        if let Ok(children) = doc.children(id) {
+            for &c in children {
+                write_node(doc, c, out);
+            }
+        }
+        out.push_str("</");
+        out.push_str(tag);
+        out.push('>');
+    }
+    let mut out = String::new();
+    if let Ok(text) = doc.text(doc.body()) {
+        if !text.is_empty() {
+            out.push_str(&escape_html(text));
+        }
+    }
+    if let Ok(children) = doc.children(doc.body()) {
+        for &c in children {
+            write_node(doc, c, &mut out);
+        }
+    }
+    out
+}
+
+fn doc_attrs(doc: &Document, id: DomNodeId) -> Vec<(String, String)> {
+    doc.attr_names(id)
+        .into_iter()
+        .filter_map(|name| {
+            doc.attr(id, &name)
+                .ok()
+                .flatten()
+                .map(|v| (name.clone(), v.to_string()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let parsed = parse_document(
+            r#"<html><body>
+                <button id="btn">Run</button>
+                <div id="out" class="result">waiting</div>
+            </body></html>"#,
+        )
+        .unwrap();
+        let doc = &parsed.document;
+        let btn = doc.get_element_by_id("btn").unwrap();
+        assert_eq!(doc.tag(btn).unwrap(), "button");
+        assert_eq!(doc.text(btn).unwrap(), "Run");
+        let out = doc.get_element_by_id("out").unwrap();
+        assert_eq!(doc.attr(out, "class").unwrap(), Some("result"));
+        assert_eq!(doc.text(out).unwrap(), "waiting");
+    }
+
+    #[test]
+    fn captures_scripts_in_order() {
+        let parsed = parse_document(
+            "<html><script>var a = 1;</script><body></body><script>var b = 2;</script></html>",
+        )
+        .unwrap();
+        assert_eq!(parsed.scripts, vec!["var a = 1;", "var b = 2;"]);
+    }
+
+    #[test]
+    fn script_content_is_raw() {
+        // `<` inside scripts must not be parsed as a tag.
+        let parsed = parse_document("<script>if (a < b) { x = \"<div>\"; }</script>").unwrap();
+        assert_eq!(parsed.scripts[0], "if (a < b) { x = \"<div>\"; }");
+    }
+
+    #[test]
+    fn self_closing_and_nested() {
+        let parsed =
+            parse_document(r#"<div id="a"><img src="x.png"/><span id="b"></span></div>"#).unwrap();
+        let doc = &parsed.document;
+        let a = doc.get_element_by_id("a").unwrap();
+        assert_eq!(doc.children(a).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        assert!(parse_document("<div><span></div></span>").is_err());
+        assert!(parse_document("<div>").is_err());
+    }
+
+    #[test]
+    fn entity_roundtrip() {
+        let parsed = parse_document("<div id=\"d\">a &lt;b&gt; &amp;&quot;c&quot;</div>").unwrap();
+        let doc = &parsed.document;
+        let d = doc.get_element_by_id("d").unwrap();
+        assert_eq!(doc.text(d).unwrap(), "a <b> &\"c\"");
+    }
+
+    #[test]
+    fn serialize_body_roundtrips() {
+        let html =
+            r#"<div id="a" title="x &amp; y">hello &lt;world&gt;<span id="b">inner</span></div>"#;
+        let parsed = parse_document(html).unwrap();
+        let serialized = serialize_body(&parsed.document);
+        let reparsed = parse_document(&serialized).unwrap();
+        assert!(parsed.document.tree_eq(&reparsed.document));
+    }
+}

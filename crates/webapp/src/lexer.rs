@@ -1,0 +1,334 @@
+//! Tokenizer for MiniJS — the JavaScript subset the browser runtime
+//! executes and the snapshot generator emits.
+
+use crate::WebError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (always f64, like JS).
+    Number(f64),
+    /// String literal (already unescaped).
+    Str(String),
+    /// Punctuation or operator, e.g. `"=="`, `"{"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+const PUNCTS2: &[&str] = &["==", "!=", "<=", ">=", "&&", "||", "+=", "-="];
+const PUNCTS1: &[&str] = &[
+    "(", ")", "{", "}", "[", "]", ",", ";", ":", ".", "=", "<", ">", "+", "-", "*", "/", "%", "!",
+];
+
+/// Tokenizes MiniJS source.
+///
+/// # Errors
+///
+/// Returns [`WebError::Lex`] for unterminated strings/comments or
+/// unrecognized characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, WebError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == '/' {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(WebError::Lex {
+                            line: start_line,
+                            message: "unterminated block comment".to_string(),
+                        });
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Strings.
+        if c == '"' || c == '\'' {
+            let quote = c;
+            let start_line = line;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(WebError::Lex {
+                        line: start_line,
+                        message: "unterminated string".to_string(),
+                    });
+                }
+                let ch = bytes[i];
+                if ch == quote {
+                    i += 1;
+                    break;
+                }
+                if ch == '\n' {
+                    return Err(WebError::Lex {
+                        line: start_line,
+                        message: "newline in string literal".to_string(),
+                    });
+                }
+                if ch == '\\' {
+                    i += 1;
+                    if i >= bytes.len() {
+                        return Err(WebError::Lex {
+                            line: start_line,
+                            message: "unterminated escape".to_string(),
+                        });
+                    }
+                    let esc = bytes[i];
+                    s.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        '0' => '\0',
+                        '\\' => '\\',
+                        '"' => '"',
+                        '\'' => '\'',
+                        other => {
+                            return Err(WebError::Lex {
+                                line,
+                                message: format!("unknown escape \\{other}"),
+                            })
+                        }
+                    });
+                    i += 1;
+                    continue;
+                }
+                s.push(ch);
+                i += 1;
+            }
+            out.push(Spanned {
+                token: Token::Str(s),
+                line: start_line,
+            });
+            continue;
+        }
+        // Numbers (decimal, optional fraction/exponent; leading digit
+        // required — `-x` lexes as unary minus).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len()
+                && bytes[i] == '.'
+                && i + 1 < bytes.len()
+                && bytes[i + 1].is_ascii_digit()
+            {
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == 'e' || bytes[i] == 'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == '+' || bytes[j] == '-') {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j].is_ascii_digit() {
+                    i = j;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let value = text.parse::<f64>().map_err(|e| WebError::Lex {
+                line,
+                message: format!("bad number {text:?}: {e}"),
+            })?;
+            out.push(Spanned {
+                token: Token::Number(value),
+                line,
+            });
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '$')
+            {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            out.push(Spanned {
+                token: Token::Ident(text),
+                line,
+            });
+            continue;
+        }
+        // Two-char punctuation first.
+        if i + 1 < bytes.len() {
+            let two: String = [bytes[i], bytes[i + 1]].iter().collect();
+            if let Some(p) = PUNCTS2.iter().find(|&&p| p == two) {
+                out.push(Spanned {
+                    token: Token::Punct(p),
+                    line,
+                });
+                i += 2;
+                continue;
+            }
+        }
+        let one = c.to_string();
+        if let Some(p) = PUNCTS1.iter().find(|&&p| p == one) {
+            out.push(Spanned {
+                token: Token::Punct(p),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        return Err(WebError::Lex {
+            line,
+            message: format!("unexpected character {c:?}"),
+        });
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_var_declaration() {
+        assert_eq!(
+            tokens("var x = 1.5;"),
+            vec![
+                Token::Ident("var".into()),
+                Token::Ident("x".into()),
+                Token::Punct("="),
+                Token::Number(1.5),
+                Token::Punct(";"),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            tokens(r#"'a\'b' "c\n\"d""#),
+            vec![
+                Token::Str("a'b".into()),
+                Token::Str("c\n\"d".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_with_exponents() {
+        assert_eq!(
+            tokens("3 3.25 1e3 2.5e-2"),
+            vec![
+                Token::Number(3.0),
+                Token::Number(3.25),
+                Token::Number(1000.0),
+                Token::Number(0.025),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn member_access_vs_fraction() {
+        // `a.b` must not lex `.b` as a number.
+        assert_eq!(
+            tokens("a.b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Punct("."),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            tokens("1 // line\n/* block\n2 */ 3"),
+            vec![Token::Number(1.0), Token::Number(3.0), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_ops_win() {
+        assert_eq!(
+            tokens("a==b<=c&&d"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Punct("=="),
+                Token::Ident("b".into()),
+                Token::Punct("<="),
+                Token::Ident("c".into()),
+                Token::Punct("&&"),
+                Token::Ident("d".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = lex("ok\n  @").unwrap_err();
+        assert!(matches!(err, WebError::Lex { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("'abc").is_err());
+        assert!(lex("/* never closed").is_err());
+    }
+}

@@ -1,0 +1,600 @@
+//! Recursive-descent parser for MiniJS.
+
+use crate::ast::{Expr, FunctionDef, Stmt};
+use crate::lexer::{lex, Spanned, Token};
+use crate::WebError;
+
+/// Parses a MiniJS program.
+///
+/// # Errors
+///
+/// Returns [`WebError::Lex`] or [`WebError::Parse`] with line information.
+pub fn parse_program(src: &str) -> Result<Vec<Stmt>, WebError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_eof() {
+        stmts.push(p.statement()?);
+    }
+    Ok(stmts)
+}
+
+/// Parses a single MiniJS expression (used by tests and the REPL-ish
+/// helpers).
+///
+/// # Errors
+///
+/// Returns [`WebError::Lex`] or [`WebError::Parse`].
+pub fn parse_expr(src: &str) -> Result<Expr, WebError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expression()?;
+    if !p.at_eof() {
+        return Err(p.error("trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Token::Eof)
+    }
+
+    fn error(&self, message: &str) -> WebError {
+        WebError::Parse {
+            line: self.line(),
+            message: format!("{message} (at {:?})", self.peek()),
+        }
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Token::Punct(q) if *q == p) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), WebError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {p:?}")))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Token::Ident(name) if name == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, WebError> {
+        match self.advance() {
+            Token::Ident(name) => Ok(name),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected identifier"))
+            }
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, WebError> {
+        if self.eat_keyword("var") {
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct("=") {
+                Some(self.expression()?)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Var(name, init));
+        }
+        if self.eat_keyword("function") {
+            let name = self.expect_ident()?;
+            self.expect_punct("(")?;
+            let mut params = Vec::new();
+            if !self.eat_punct(")") {
+                loop {
+                    params.push(self.expect_ident()?);
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+            let body = self.block()?;
+            return Ok(Stmt::Function(FunctionDef { name, params, body }));
+        }
+        if self.eat_keyword("return") {
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expression()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.eat_keyword("if") {
+            return self.if_statement();
+        }
+        if self.eat_keyword("while") {
+            self.expect_punct("(")?;
+            let cond = self.expression()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.eat_keyword("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else {
+                let s = self.simple_statement()?;
+                self.expect_punct(";")?;
+                Some(Box::new(s))
+            };
+            let cond = if self.eat_punct(";") {
+                None
+            } else {
+                let e = self.expression()?;
+                self.expect_punct(";")?;
+                Some(e)
+            };
+            let update = if self.eat_punct(")") {
+                None
+            } else {
+                let s = self.simple_statement()?;
+                self.expect_punct(")")?;
+                Some(Box::new(s))
+            };
+            let body = self.block()?;
+            return Ok(Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            });
+        }
+        let stmt = self.simple_statement()?;
+        self.expect_punct(";")?;
+        Ok(stmt)
+    }
+
+    /// A `var` declaration, assignment, or expression — without its
+    /// terminator (used for plain statements and `for` headers).
+    fn simple_statement(&mut self) -> Result<Stmt, WebError> {
+        if self.eat_keyword("var") {
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct("=") {
+                Some(self.expression()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Var(name, init));
+        }
+        let target = self.expression()?;
+        if self.eat_punct("=") {
+            self.check_assign_target(&target)?;
+            let value = self.expression()?;
+            return Ok(Stmt::Assign(target, value));
+        }
+        for (op, bin) in [("+=", "+"), ("-=", "-")] {
+            if self.eat_punct(op) {
+                self.check_assign_target(&target)?;
+                let value = self.expression()?;
+                // Desugar: `a += b` => `a = (a + b)`.
+                return Ok(Stmt::Assign(
+                    target.clone(),
+                    Expr::Binary(bin, Box::new(target), Box::new(value)),
+                ));
+            }
+        }
+        Ok(Stmt::Expr(target))
+    }
+
+    fn check_assign_target(&self, target: &Expr) -> Result<(), WebError> {
+        match target {
+            Expr::Ident(_) | Expr::Member(..) | Expr::Index(..) => Ok(()),
+            _ => Err(self.error("invalid assignment target")),
+        }
+    }
+
+    fn if_statement(&mut self) -> Result<Stmt, WebError> {
+        self.expect_punct("(")?;
+        let cond = self.expression()?;
+        self.expect_punct(")")?;
+        let then_body = self.block()?;
+        let else_body = if self.eat_keyword("else") {
+            if self.eat_keyword("if") {
+                vec![self.if_statement()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If(cond, then_body, else_body))
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, WebError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_eof() {
+                return Err(self.error("unterminated block"));
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    fn expression(&mut self) -> Result<Expr, WebError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, WebError> {
+        let mut left = self.and_expr()?;
+        while self.eat_punct("||") {
+            let right = self.and_expr()?;
+            left = Expr::Binary("||", Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, WebError> {
+        let mut left = self.equality()?;
+        while self.eat_punct("&&") {
+            let right = self.equality()?;
+            left = Expr::Binary("&&", Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn equality(&mut self) -> Result<Expr, WebError> {
+        let mut left = self.relational()?;
+        loop {
+            let op = if self.eat_punct("==") {
+                "=="
+            } else if self.eat_punct("!=") {
+                "!="
+            } else {
+                break;
+            };
+            let right = self.relational()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn relational(&mut self) -> Result<Expr, WebError> {
+        let mut left = self.additive()?;
+        loop {
+            let op = if self.eat_punct("<=") {
+                "<="
+            } else if self.eat_punct(">=") {
+                ">="
+            } else if self.eat_punct("<") {
+                "<"
+            } else if self.eat_punct(">") {
+                ">"
+            } else {
+                break;
+            };
+            let right = self.additive()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr, WebError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                "+"
+            } else if self.eat_punct("-") {
+                "-"
+            } else {
+                break;
+            };
+            let right = self.multiplicative()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, WebError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                "*"
+            } else if self.eat_punct("/") {
+                "/"
+            } else if self.eat_punct("%") {
+                "%"
+            } else {
+                break;
+            };
+            let right = self.unary()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, WebError> {
+        if self.eat_punct("!") {
+            return Ok(Expr::Unary("!", Box::new(self.unary()?)));
+        }
+        if self.eat_punct("-") {
+            let operand = self.unary()?;
+            // Fold negative literals so `(-2.5)` parses to the same AST
+            // the printer started from.
+            if let Expr::Number(n) = operand {
+                return Ok(Expr::Number(-n));
+            }
+            return Ok(Expr::Unary("-", Box::new(operand)));
+        }
+        if self.eat_keyword("typeof") {
+            return Ok(Expr::Unary("typeof", Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, WebError> {
+        let mut expr = self.primary()?;
+        loop {
+            if self.eat_punct(".") {
+                let name = self.expect_ident()?;
+                expr = Expr::Member(Box::new(expr), name);
+            } else if self.eat_punct("[") {
+                let index = self.expression()?;
+                self.expect_punct("]")?;
+                expr = Expr::Index(Box::new(expr), Box::new(index));
+            } else if self.eat_punct("(") {
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.expression()?);
+                        if self.eat_punct(")") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                expr = Expr::Call(Box::new(expr), args);
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn primary(&mut self) -> Result<Expr, WebError> {
+        match self.peek().clone() {
+            Token::Number(n) => {
+                self.advance();
+                Ok(Expr::Number(n))
+            }
+            Token::Str(s) => {
+                self.advance();
+                Ok(Expr::Str(s))
+            }
+            Token::Ident(name) => match name.as_str() {
+                "true" => {
+                    self.advance();
+                    Ok(Expr::Bool(true))
+                }
+                "false" => {
+                    self.advance();
+                    Ok(Expr::Bool(false))
+                }
+                "null" => {
+                    self.advance();
+                    Ok(Expr::Null)
+                }
+                "undefined" => {
+                    self.advance();
+                    Ok(Expr::Undefined)
+                }
+                "new" => {
+                    self.advance();
+                    let ctor = self.expect_ident()?;
+                    if ctor != "Float32Array" {
+                        return Err(self.error(&format!(
+                            "only `new Float32Array(...)` is supported, got new {ctor}"
+                        )));
+                    }
+                    self.expect_punct("(")?;
+                    let arg = self.expression()?;
+                    self.expect_punct(")")?;
+                    Ok(Expr::NewFloat32Array(Box::new(arg)))
+                }
+                _ => {
+                    self.advance();
+                    Ok(Expr::Ident(name))
+                }
+            },
+            Token::Punct("(") => {
+                self.advance();
+                let e = self.expression()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Token::Punct("[") => {
+                self.advance();
+                let mut elems = Vec::new();
+                if !self.eat_punct("]") {
+                    loop {
+                        elems.push(self.expression()?);
+                        if self.eat_punct("]") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                Ok(Expr::Array(elems))
+            }
+            Token::Punct("{") => {
+                self.advance();
+                let mut props = Vec::new();
+                if !self.eat_punct("}") {
+                    loop {
+                        let key = match self.advance() {
+                            Token::Ident(name) => name,
+                            Token::Str(s) => s,
+                            _ => {
+                                self.pos = self.pos.saturating_sub(1);
+                                return Err(self.error("expected property name"));
+                            }
+                        };
+                        self.expect_punct(":")?;
+                        let value = self.expression()?;
+                        props.push((key, value));
+                        if self.eat_punct("}") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                Ok(Expr::Object(props))
+            }
+            _ => Err(self.error("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::print_program;
+
+    #[test]
+    fn parses_var_and_assign() {
+        let prog = parse_program("var x = 1; x = x + 2;").unwrap();
+        assert_eq!(prog.len(), 2);
+        assert!(matches!(&prog[0], Stmt::Var(name, Some(_)) if name == "x"));
+        assert!(matches!(&prog[1], Stmt::Assign(Expr::Ident(_), _)));
+    }
+
+    #[test]
+    fn parses_the_papers_fig5_shape() {
+        // The structure of the paper's Fig. 5 partial-inference app.
+        let src = r#"
+            var feature;
+            var btn = document.getElementById("btn");
+            function front() {
+              var image = canvas.getImageData();
+              feature = model.inference_front(image);
+              btn.dispatchEvent("front_complete");
+            }
+            function rear() {
+              var result = model.inference_rear(feature);
+              out.textContent = result;
+            }
+            btn.addEventListener("click", front);
+            btn.addEventListener("front_complete", rear);
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.len(), 6);
+        assert!(matches!(&prog[2], Stmt::Function(f) if f.name == "front"));
+    }
+
+    #[test]
+    fn precedence_is_sane() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "(1 + (2 * 3))");
+        let e = parse_expr("a < b && c < d || e").unwrap();
+        assert_eq!(e.to_string(), "(((a < b) && (c < d)) || e)");
+    }
+
+    #[test]
+    fn postfix_chains() {
+        let e = parse_expr("a.b[0].c(1, 2)").unwrap();
+        assert_eq!(e.to_string(), "a.b[0].c(1, 2)");
+    }
+
+    #[test]
+    fn object_and_array_literals() {
+        let e = parse_expr("{x: 1, \"y\": [2, {z: 3}]}").unwrap();
+        assert!(matches!(e, Expr::Object(ref props) if props.len() == 2));
+    }
+
+    #[test]
+    fn new_float32array() {
+        let e = parse_expr("new Float32Array([1, 2.5])").unwrap();
+        assert!(matches!(e, Expr::NewFloat32Array(_)));
+        assert!(parse_expr("new Date()").is_err());
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let prog = parse_program("x += 2;").unwrap();
+        match &prog[0] {
+            Stmt::Assign(Expr::Ident(name), Expr::Binary("+", ..)) => assert_eq!(name, "x"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_chains() {
+        let prog =
+            parse_program("if (a) { b = 1; } else if (c) { b = 2; } else { b = 3; }").unwrap();
+        let Stmt::If(_, _, else_body) = &prog[0] else {
+            panic!()
+        };
+        assert!(matches!(&else_body[0], Stmt::If(..)));
+    }
+
+    #[test]
+    fn rejects_bad_assignment_targets() {
+        assert!(parse_program("1 = 2;").is_err());
+        assert!(parse_program("f() = 2;").is_err());
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let src = r#"
+            var obj = {x: 1, y: [1, 2, 3], s: "hi\n"};
+            function f(a, b) {
+              if (a > b) { return a; } else { return b; }
+            }
+            var n = 0;
+            while (n < 10) { n = n + 1; }
+            f(obj.x, obj.y[2]);
+        "#;
+        let prog = parse_program(src).unwrap();
+        let printed = print_program(&prog);
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(prog, reparsed, "print->parse must be a fixed point");
+    }
+
+    #[test]
+    fn reports_parse_line() {
+        let err = parse_program("var x = 1;\nvar = 2;").unwrap_err();
+        assert!(matches!(err, WebError::Parse { line: 2, .. }), "{err:?}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Event-loop semantics: ordering, nesting, re-entrancy and trigger
+//! interaction — the machinery offloading hangs off of.
+
+use snapedge_webapp::{Browser, JsValue, RunOutcome};
+
+fn app(script: &str) -> Browser {
+    let mut b = Browser::new();
+    b.load_html(&format!(
+        r#"<html><body>
+            <button id="a"></button><button id="b"></button>
+            <div id="out"></div>
+        </body><script>{script}</script></html>"#
+    ))
+    .unwrap();
+    b
+}
+
+#[test]
+fn listeners_run_in_registration_order() {
+    let mut b = app(r#"
+        var log = [];
+        function first() { log.push("first"); }
+        function second() { log.push("second"); }
+        var btn = document.getElementById("a");
+        btn.addEventListener("click", first);
+        btn.addEventListener("click", second);
+    "#);
+    b.click("a").unwrap();
+    b.run_until_idle().unwrap();
+    assert_eq!(
+        b.eval_expr("log.join(\",\")").unwrap(),
+        JsValue::Str("first,second".into())
+    );
+}
+
+#[test]
+fn events_are_fifo_across_targets() {
+    let mut b = app(r#"
+        var log = [];
+        function onA() { log.push("a"); }
+        function onB() { log.push("b"); }
+        document.getElementById("a").addEventListener("go", onA);
+        document.getElementById("b").addEventListener("go", onB);
+    "#);
+    b.dispatch("a", "go").unwrap();
+    b.dispatch("b", "go").unwrap();
+    b.dispatch("a", "go").unwrap();
+    b.run_until_idle().unwrap();
+    assert_eq!(
+        b.eval_expr("log.join(\"\")").unwrap(),
+        JsValue::Str("aba".into())
+    );
+}
+
+#[test]
+fn handlers_can_enqueue_more_events() {
+    let mut b = app(r#"
+        var chain = 0;
+        function step() {
+          chain += 1;
+          if (chain < 3) { document.getElementById("a").dispatchEvent("step"); }
+        }
+        document.getElementById("a").addEventListener("step", step);
+    "#);
+    b.dispatch("a", "step").unwrap();
+    let outcome = b.run_until_idle().unwrap();
+    assert_eq!(outcome, RunOutcome::Idle { events: 3 });
+    assert_eq!(b.global("chain"), JsValue::Number(3.0));
+}
+
+#[test]
+fn trigger_only_stops_the_matching_event_name() {
+    let mut b = app(r#"
+        var ran = [];
+        function plain() { ran.push("plain"); }
+        function heavy() { ran.push("heavy"); }
+        document.getElementById("a").addEventListener("plain", plain);
+        document.getElementById("a").addEventListener("heavy", heavy);
+    "#);
+    b.set_offload_trigger(Some("heavy"));
+    b.dispatch("a", "plain").unwrap();
+    b.dispatch("a", "heavy").unwrap();
+    b.dispatch("a", "plain").unwrap();
+    let outcome = b.run_until_idle().unwrap();
+    // The first plain event ran; the heavy one stopped the loop with the
+    // trailing plain event still queued behind it.
+    assert!(matches!(outcome, RunOutcome::OffloadPoint { ref event, .. } if event == "heavy"));
+    assert_eq!(b.core().queue.len(), 2);
+    assert_eq!(
+        b.eval_expr("ran.join(\",\")").unwrap(),
+        JsValue::Str("plain".into())
+    );
+    // Disarming lets the rest drain.
+    b.set_offload_trigger(None);
+    b.run_until_idle().unwrap();
+    assert_eq!(
+        b.eval_expr("ran.join(\",\")").unwrap(),
+        JsValue::Str("plain,heavy,plain".into())
+    );
+}
+
+#[test]
+fn remove_event_listener_stops_future_dispatches() {
+    let mut b = app(r#"
+        var count = 0;
+        function bump() { count += 1; }
+        var btn = document.getElementById("a");
+        btn.addEventListener("click", bump);
+    "#);
+    b.click("a").unwrap();
+    b.run_until_idle().unwrap();
+    b.exec_script(r#"document.getElementById("a").removeEventListener("click", bump);"#)
+        .unwrap();
+    b.click("a").unwrap();
+    b.run_until_idle().unwrap();
+    assert_eq!(b.global("count"), JsValue::Number(1.0));
+}
+
+#[test]
+fn events_to_elements_without_listeners_are_dropped() {
+    let mut b = app("var nothing = 1;");
+    b.dispatch("b", "mystery").unwrap();
+    let outcome = b.run_until_idle().unwrap();
+    assert_eq!(outcome, RunOutcome::Idle { events: 1 });
+}
+
+#[test]
+fn dispatch_to_unknown_element_errors() {
+    let mut b = app("var nothing = 1;");
+    assert!(b.dispatch("ghost", "click").is_err());
+    assert!(b.click("ghost").is_err());
+}
+
+#[test]
+fn handler_errors_propagate_out_of_the_loop() {
+    let mut b = app(r#"
+        function boom() { missing_identifier; }
+        document.getElementById("a").addEventListener("click", boom);
+    "#);
+    b.click("a").unwrap();
+    assert!(b.run_until_idle().is_err());
+}
+
+#[test]
+fn corrupt_snapshot_restores_fail_cleanly() {
+    let mut b = Browser::new();
+    b.exec_script("var x = 1;").unwrap();
+    let snapshot = b
+        .capture_snapshot(&snapedge_webapp::SnapshotOptions::default())
+        .unwrap();
+    // Truncate the document mid-script: restore must error, not wedge.
+    let cut = snapshot.html().len() / 2;
+    let mut broken = Browser::new();
+    assert!(broken.load_html(&snapshot.html()[..cut]).is_err());
+}

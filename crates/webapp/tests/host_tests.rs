@@ -1,0 +1,137 @@
+//! Host-object semantics: the boundary between app state (migrates) and
+//! environment (does not) — the distinction the whole offloading design
+//! rests on.
+
+use snapedge_webapp::{Browser, Core, FnHost, HostObject, JsValue, SnapshotOptions, WebError};
+
+fn counter_host() -> (Browser, std::rc::Rc<std::cell::Cell<u32>>) {
+    let calls = std::rc::Rc::new(std::cell::Cell::new(0u32));
+    let calls2 = calls.clone();
+    let mut b = Browser::new();
+    b.register_host(
+        "svc",
+        Box::new(FnHost(
+            move |method: &str, args: &[JsValue], core: &mut Core| {
+                calls2.set(calls2.get() + 1);
+                match method {
+                    "echo" => Ok(args.first().cloned().unwrap_or(JsValue::Undefined)),
+                    "make_list" => {
+                        let n = args
+                            .first()
+                            .map(|v| v.as_number())
+                            .transpose()?
+                            .unwrap_or(0.0);
+                        let items = (0..n as usize).map(|i| JsValue::Number(i as f64)).collect();
+                        Ok(core.heap.alloc_array(items))
+                    }
+                    other => Err(WebError::Runtime(format!("no method {other}"))),
+                }
+            },
+        )),
+    );
+    (b, calls)
+}
+
+#[test]
+fn host_methods_are_callable_and_counted() {
+    let (mut b, calls) = counter_host();
+    b.exec_script(r#"var a = svc.echo(42); var l = svc.make_list(3); var n = l.length;"#)
+        .unwrap();
+    assert_eq!(b.global("a"), JsValue::Number(42.0));
+    assert_eq!(b.global("n"), JsValue::Number(3.0));
+    assert_eq!(calls.get(), 2);
+}
+
+#[test]
+fn unknown_host_method_is_a_runtime_error() {
+    let (mut b, _calls) = counter_host();
+    assert!(b.exec_script("svc.teleport();").is_err());
+}
+
+#[test]
+fn unregistered_host_name_is_unknown_identifier() {
+    let mut b = Browser::new();
+    assert!(b.exec_script("var x = svc.echo(1);").is_err());
+}
+
+#[test]
+fn host_references_serialize_as_bare_names() {
+    // A global alias to a host serializes as the host's name; restore
+    // resolves it only if the destination browser registers the host too —
+    // hosts are environment, not state.
+    let (mut b, _calls) = counter_host();
+    b.exec_script("var alias = svc;").unwrap();
+    let snapshot = b.capture_snapshot(&SnapshotOptions::default()).unwrap();
+    assert!(snapshot.html().contains("alias = svc;"));
+
+    // Destination WITHOUT the host: restore fails (unknown identifier).
+    let mut bare = Browser::new();
+    assert!(bare.load_html(snapshot.html()).is_err());
+
+    // Destination WITH the host: restore succeeds and the alias works.
+    let (mut equipped, calls) = counter_host();
+    equipped.load_html(snapshot.html()).unwrap();
+    equipped.exec_script("var r = alias.echo(7);").unwrap();
+    assert_eq!(equipped.global("r"), JsValue::Number(7.0));
+    assert_eq!(calls.get(), 1);
+}
+
+#[test]
+fn hosts_survive_restore_on_the_same_browser() {
+    let (mut b, calls) = counter_host();
+    b.exec_script("var before = svc.echo(1);").unwrap();
+    let snapshot = b.capture_snapshot(&SnapshotOptions::default()).unwrap();
+    b.restore_snapshot(&snapshot).unwrap();
+    // restore_snapshot resets app state but keeps registered hosts.
+    b.exec_script("var after = svc.echo(2);").unwrap();
+    assert_eq!(b.global("after"), JsValue::Number(2.0));
+    assert_eq!(calls.get(), 2);
+}
+
+#[test]
+fn host_property_getter_default_errors() {
+    struct NoProps;
+    impl HostObject for NoProps {
+        fn call(
+            &mut self,
+            _method: &str,
+            _args: &[JsValue],
+            _core: &mut Core,
+        ) -> Result<JsValue, WebError> {
+            Ok(JsValue::Undefined)
+        }
+    }
+    let mut b = Browser::new();
+    b.register_host("thing", Box::new(NoProps));
+    assert!(b.exec_script("var x = thing.someProp;").is_err());
+    assert!(b.exec_script("thing.anything();").is_ok());
+}
+
+#[test]
+fn host_can_mutate_the_dom() {
+    let mut b = Browser::new();
+    b.load_html(r#"<html><body><div id="out"></div></body></html>"#)
+        .unwrap();
+    b.register_host(
+        "ui",
+        Box::new(FnHost(
+            |method: &str, args: &[JsValue], core: &mut Core| match method {
+                "set" => {
+                    let node = core.doc.get_element_by_id("out").expect("exists");
+                    core.doc.set_text(node, args[0].as_str()?)?;
+                    Ok(JsValue::Undefined)
+                }
+                other => Err(WebError::Runtime(format!("no method {other}"))),
+            },
+        )),
+    );
+    b.exec_script(r#"ui.set("written natively");"#).unwrap();
+    assert_eq!(b.element_text("out").unwrap(), "written natively");
+}
+
+#[test]
+fn has_host_reflects_registration() {
+    let (b, _calls) = counter_host();
+    assert!(b.has_host("svc"));
+    assert!(!b.has_host("model"));
+}

@@ -1,0 +1,173 @@
+//! Property tests for the MiniJS front-end: printing any AST and parsing
+//! it back must be the identity — the invariant the snapshot mechanism
+//! rests on (app functions are re-emitted from their ASTs).
+
+use proptest::prelude::*;
+use snapedge_webapp::ast::{print_program, Expr, FunctionDef, Stmt};
+use snapedge_webapp::parser::parse_program;
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    // Avoid keywords and reserved prefixes.
+    "[a-h][a-z0-9]{0,6}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "var"
+                | "function"
+                | "return"
+                | "if"
+                | "else"
+                | "while"
+                | "for"
+                | "new"
+                | "true"
+                | "false"
+                | "null"
+                | "undefined"
+                | "typeof"
+        )
+    })
+}
+
+fn literal_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::Undefined),
+        Just(Expr::Null),
+        any::<bool>().prop_map(Expr::Bool),
+        // Finite numbers; the printer handles negatives/specials via
+        // wrapping, covered by unit tests.
+        (-1.0e9f64..1.0e9).prop_map(Expr::Number),
+        "[ -~]{0,12}".prop_map(Expr::Str),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal_strategy(), ident_strategy().prop_map(Expr::Ident)];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Expr::Array),
+            prop::collection::vec((ident_strategy(), inner.clone()), 0..3).prop_map(Expr::Object),
+            (inner.clone(), ident_strategy()).prop_map(|(e, name)| Expr::Member(Box::new(e), name)),
+            (inner.clone(), inner.clone()).prop_map(|(e, i)| Expr::Index(Box::new(e), Box::new(i))),
+            (inner.clone(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(f, args)| Expr::Call(Box::new(f), args)),
+            (
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("/"),
+                    Just("%"),
+                    Just("=="),
+                    Just("!="),
+                    Just("<"),
+                    Just("<="),
+                    Just(">"),
+                    Just(">="),
+                    Just("&&"),
+                    Just("||")
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::Binary(op, Box::new(l), Box::new(r))),
+            (
+                prop_oneof![Just("!"), Just("-"), Just("typeof")],
+                inner.clone()
+            )
+                .prop_map(|(op, e)| match (op, e) {
+                    // The parser folds unary minus over literals.
+                    ("-", Expr::Number(n)) => Expr::Number(-n),
+                    (op, e) => Expr::Unary(op, Box::new(e)),
+                }),
+            inner
+                .clone()
+                .prop_map(|e| Expr::NewFloat32Array(Box::new(e))),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        (ident_strategy(), prop::option::of(expr_strategy()))
+            .prop_map(|(name, init)| Stmt::Var(name, init)),
+        (ident_strategy(), expr_strategy())
+            .prop_map(|(name, value)| Stmt::Assign(Expr::Ident(name), value)),
+        expr_strategy().prop_map(Stmt::Expr),
+    ];
+    simple.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            inner.clone(),
+            (
+                expr_strategy(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..2)
+            )
+                .prop_map(|(cond, t, e)| Stmt::If(cond, t, e)),
+            (expr_strategy(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(cond, body)| Stmt::While(cond, body)),
+            (
+                ident_strategy(),
+                prop::collection::vec(ident_strategy(), 0..3),
+                prop::collection::vec(inner, 0..3)
+            )
+                .prop_map(|(name, params, body)| Stmt::Function(FunctionDef {
+                    name,
+                    params,
+                    body
+                })),
+        ]
+    })
+}
+
+/// Normalizes `Stmt::Function` bodies containing `Return` at top level —
+/// generated programs may place `return` outside functions, which parses
+/// fine but is a runtime error; for the roundtrip property that's okay.
+fn program_strategy() -> impl Strategy<Value = Vec<Stmt>> {
+    prop::collection::vec(stmt_strategy(), 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_then_parse_is_identity(program in program_strategy()) {
+        let printed = print_program(&program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("printed program failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(reparsed, program, "printed:\n{}", printed);
+    }
+
+    #[test]
+    fn printing_is_a_fixed_point(program in program_strategy()) {
+        let once = print_program(&program);
+        let reparsed = parse_program(&once).unwrap();
+        let twice = print_program(&reparsed);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn numbers_roundtrip_exactly(n in any::<f64>().prop_filter("finite", |v| v.is_finite())) {
+        let program = vec![Stmt::Var("x".to_string(), Some(Expr::Number(n)))];
+        let printed = print_program(&program);
+        let reparsed = parse_program(&printed).unwrap();
+        let Stmt::Var(_, Some(Expr::Number(m))) = &reparsed[0] else {
+            // Negative numbers print as (-N): unary minus around a literal.
+            let Stmt::Var(_, Some(Expr::Unary("-", inner))) = &reparsed[0] else {
+                panic!("unexpected shape: {reparsed:?}");
+            };
+            let Expr::Number(m) = **inner else { panic!() };
+            prop_assert_eq!(-m, n);
+            return Ok(());
+        };
+        prop_assert_eq!(*m, n);
+    }
+
+    #[test]
+    fn strings_roundtrip_exactly(s in "[ -~\\n\\t]{0,40}") {
+        let program = vec![Stmt::Var("x".to_string(), Some(Expr::Str(s.clone())))];
+        let printed = print_program(&program);
+        let reparsed = parse_program(&printed).unwrap();
+        let Stmt::Var(_, Some(Expr::Str(t))) = &reparsed[0] else { panic!() };
+        prop_assert_eq!(t, &s);
+    }
+}

@@ -1,0 +1,383 @@
+//! Snapshot capture/restore behaviour: the paper's core mechanism.
+
+use snapedge_webapp::{state_eq, Browser, FnHost, JsValue, RunOutcome, SnapshotOptions, WebError};
+
+fn roundtrip(b: &mut Browser) -> Browser {
+    let snapshot = b.capture_snapshot(&SnapshotOptions::default()).unwrap();
+    let mut restored = Browser::new();
+    restored.load_html(snapshot.html()).unwrap();
+    restored
+}
+
+#[test]
+fn primitives_and_strings_roundtrip() {
+    let mut b = Browser::new();
+    b.exec_script(
+        r#"
+        var n = 42.5;
+        var neg = -3;
+        var s = "hi \"there\"\n";
+        var t = true;
+        var u = undefined;
+        var z = null;
+    "#,
+    )
+    .unwrap();
+    let r = roundtrip(&mut b);
+    assert!(state_eq(&b, &r));
+    assert_eq!(r.global("n"), JsValue::Number(42.5));
+    assert_eq!(r.global("neg"), JsValue::Number(-3.0));
+    assert_eq!(r.global("s"), JsValue::Str("hi \"there\"\n".into()));
+}
+
+#[test]
+fn the_papers_example_object_appears_in_snapshot() {
+    // Section III-A: "if there is a global object obj with two properties
+    // x and y whose current values are 1 and 2, the snapshot will include
+    // var obj = {x:1, y:2};"
+    let mut b = Browser::new();
+    b.exec_script("var obj = {x: 1, y: 2};").unwrap();
+    let snap = b.capture_snapshot(&SnapshotOptions::default()).unwrap();
+    assert!(
+        snap.html().contains(r#"obj = {"x":1,"y":2}"#),
+        "snapshot was: {}",
+        snap.html()
+    );
+}
+
+#[test]
+fn nested_structures_roundtrip() {
+    let mut b = Browser::new();
+    b.exec_script(
+        r#"
+        var cfg = {name: "app", sizes: [1, 2, [3, 4]], meta: {deep: {x: 9}}};
+    "#,
+    )
+    .unwrap();
+    let r = roundtrip(&mut b);
+    assert!(state_eq(&b, &r));
+}
+
+#[test]
+fn shared_references_stay_shared() {
+    let mut b = Browser::new();
+    b.exec_script(
+        r#"
+        var shared = {v: 1};
+        var a = {ref: shared};
+        var c = {ref: shared};
+    "#,
+    )
+    .unwrap();
+    let mut r = roundtrip(&mut b);
+    // Mutating through one alias must be visible through the other.
+    r.exec_script("a.ref.v = 99; var seen = c.ref.v;").unwrap();
+    assert_eq!(r.global("seen"), JsValue::Number(99.0));
+}
+
+#[test]
+fn cyclic_structures_roundtrip() {
+    let mut b = Browser::new();
+    b.exec_script(
+        r#"
+        var node1 = {name: "a"};
+        var node2 = {name: "b"};
+        node1.next = node2;
+        node2.next = node1;
+        var ring = node1;
+    "#,
+    )
+    .unwrap();
+    let mut r = roundtrip(&mut b);
+    assert!(state_eq(&b, &r));
+    r.exec_script("var back = ring.next.next.name;").unwrap();
+    assert_eq!(r.global("back"), JsValue::Str("a".into()));
+}
+
+#[test]
+fn self_referential_object_roundtrips() {
+    let mut b = Browser::new();
+    b.exec_script("var me = {}; me.self = me;").unwrap();
+    let mut r = roundtrip(&mut b);
+    r.exec_script("var ok = me.self.self == me;").unwrap();
+    assert_eq!(r.global("ok"), JsValue::Bool(true));
+}
+
+#[test]
+fn float32arrays_roundtrip_bit_exact() {
+    let mut b = Browser::new();
+    b.exec_script("var f = new Float32Array([0.1, 2.5e-8, 123456.78]);")
+        .unwrap();
+    let r = roundtrip(&mut b);
+    assert!(state_eq(&b, &r), "f32 payload must restore bit-exactly");
+}
+
+#[test]
+fn functions_survive_and_run_after_restore() {
+    let mut b = Browser::new();
+    b.exec_script(
+        r#"
+        var total = 10;
+        function bump(by) {
+          if (by > 0) { total = total + by; } else { total = total - 1; }
+          return total;
+        }
+    "#,
+    )
+    .unwrap();
+    let mut r = roundtrip(&mut b);
+    let result = r
+        .call_function_by_name("bump", &[JsValue::Number(5.0)])
+        .unwrap();
+    assert_eq!(result, JsValue::Number(15.0));
+}
+
+#[test]
+fn dom_and_listeners_roundtrip() {
+    let mut b = Browser::new();
+    b.load_html(
+        r#"<html><body>
+            <button id="btn">Go</button>
+            <div id="out">idle</div>
+        </body>
+        <script>
+            function handle() { document.getElementById("out").textContent = "clicked"; }
+            document.getElementById("btn").addEventListener("click", handle);
+        </script></html>"#,
+    )
+    .unwrap();
+    let mut r = roundtrip(&mut b);
+    assert!(state_eq(&b, &r));
+    r.click("btn").unwrap();
+    r.run_until_idle().unwrap();
+    assert_eq!(r.element_text("out").unwrap(), "clicked");
+}
+
+#[test]
+fn pending_events_replay_on_restore() {
+    // The snapshot must re-dispatch queued events so the server resumes
+    // exactly where the client stopped (paper Fig. 3).
+    let mut b = Browser::new();
+    b.load_html(
+        r#"<html><body><button id="btn"></button><div id="out"></div></body>
+        <script>
+            function work() { document.getElementById("out").textContent = "done"; }
+            document.getElementById("btn").addEventListener("go", work);
+        </script></html>"#,
+    )
+    .unwrap();
+    b.dispatch("btn", "go").unwrap();
+    // Capture *before* running handlers: the event sits in the queue.
+    let mut r = roundtrip(&mut b);
+    assert_eq!(r.element_text("out").unwrap(), "");
+    r.run_until_idle().unwrap();
+    assert_eq!(r.element_text("out").unwrap(), "done");
+}
+
+#[test]
+fn canvas_image_data_rides_along() {
+    let mut b = Browser::new();
+    b.load_html(r#"<html><body><canvas id="c"></canvas></body></html>"#)
+        .unwrap();
+    b.set_canvas_image("c", vec![0.25, 0.5, 0.75]).unwrap();
+    let mut r = roundtrip(&mut b);
+    assert!(state_eq(&b, &r));
+    r.exec_script("var img = document.getElementById(\"c\").getImageData(); var v = img[2];")
+        .unwrap();
+    assert_eq!(r.global("v"), JsValue::Number(0.75));
+}
+
+#[test]
+fn offload_trigger_stops_before_handler() {
+    let mut b = Browser::new();
+    b.load_html(
+        r#"<html><body><button id="btn"></button><div id="out">idle</div></body>
+        <script>
+            function heavy() { document.getElementById("out").textContent = "computed"; }
+            document.getElementById("btn").addEventListener("infer", heavy);
+        </script></html>"#,
+    )
+    .unwrap();
+    b.set_offload_trigger(Some("infer"));
+    b.dispatch("btn", "infer").unwrap();
+    let outcome = b.run_until_idle().unwrap();
+    assert_eq!(
+        outcome,
+        RunOutcome::OffloadPoint {
+            target_id: "btn".into(),
+            event: "infer".into()
+        }
+    );
+    // Handler did NOT run; the event is still queued for the snapshot.
+    assert_eq!(b.element_text("out").unwrap(), "idle");
+    assert_eq!(b.core().queue.len(), 1);
+
+    // The server (no trigger armed) restores and finishes the work.
+    let snap = b.capture_snapshot(&SnapshotOptions::default()).unwrap();
+    let mut server = Browser::new();
+    server.load_html(snap.html()).unwrap();
+    server.run_until_idle().unwrap();
+    assert_eq!(server.element_text("out").unwrap(), "computed");
+}
+
+#[test]
+fn full_offload_migration_cycle_like_fig3() {
+    // Client takes snapshot -> server computes -> server snapshot -> client
+    // resumes with the result on screen.
+    let app = r#"<html><body>
+        <button id="btn"></button><div id="result">none</div></body>
+    <script>
+        var input = new Float32Array([1, 2, 3, 4]);
+        var output;
+        function inference() {
+          var sum = 0; var i = 0;
+          while (i < input.length) { sum += input[i]; i = i + 1; }
+          output = sum;
+          document.getElementById("result").textContent = "sum=" + output;
+        }
+        document.getElementById("btn").addEventListener("infer", inference);
+    </script></html>"#;
+
+    let mut client = Browser::new();
+    client.load_html(app).unwrap();
+    client.set_offload_trigger(Some("infer"));
+    client.dispatch("btn", "infer").unwrap();
+    assert!(matches!(
+        client.run_until_idle().unwrap(),
+        RunOutcome::OffloadPoint { .. }
+    ));
+    let up = client
+        .capture_snapshot(&SnapshotOptions::default())
+        .unwrap();
+
+    let mut server = Browser::new();
+    server.load_html(up.html()).unwrap();
+    server.run_until_idle().unwrap();
+    assert_eq!(server.element_text("result").unwrap(), "sum=10");
+    let down = server
+        .capture_snapshot(&SnapshotOptions::default())
+        .unwrap();
+
+    client.restore_snapshot(&down).unwrap();
+    client.run_until_idle().unwrap();
+    assert_eq!(client.element_text("result").unwrap(), "sum=10");
+    assert_eq!(client.global("output"), JsValue::Number(10.0));
+}
+
+#[test]
+fn host_results_are_offloadable_state() {
+    // A host object (the Caffe.js stand-in) writes into the heap; its
+    // results must migrate even though the host itself never does.
+    let mut b = Browser::new();
+    b.register_host(
+        "model",
+        Box::new(FnHost(
+            |method: &str, _args: &[JsValue], core: &mut snapedge_webapp::Core| match method {
+                "inference" => Ok(core.heap.alloc_f32(vec![0.9, 0.1])),
+                other => Err(WebError::Runtime(format!("no method {other}"))),
+            },
+        )),
+    );
+    b.exec_script("var scores = model.inference();").unwrap();
+    let r = roundtrip(&mut b);
+    assert!(state_eq(&b, &r), "host-produced data must roundtrip");
+}
+
+#[test]
+fn snapshot_excludes_garbage() {
+    let mut b = Browser::new();
+    b.exec_script(
+        r#"
+        var keep = {a: 1};
+        var drop = {big: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]};
+        drop = null;
+    "#,
+    )
+    .unwrap();
+    let snap = b.capture_snapshot(&SnapshotOptions::default()).unwrap();
+    // Only `keep`'s cell is reachable.
+    assert_eq!(snap.stats().heap_cells, 1);
+}
+
+#[test]
+fn optimization_shrinks_snapshots() {
+    // Ablation of the [10] optimization: inlining single-use cells removes
+    // temporaries and patch statements.
+    let mut b = Browser::new();
+    b.exec_script(
+        r#"
+        var tree = {left: {v: [1, 2, 3]}, right: {v: [4, 5, 6]}};
+    "#,
+    )
+    .unwrap();
+    let optimized = b
+        .capture_snapshot(&SnapshotOptions {
+            inline_single_use: true,
+        })
+        .unwrap();
+    let baseline = b
+        .capture_snapshot(&SnapshotOptions {
+            inline_single_use: false,
+        })
+        .unwrap();
+    assert!(optimized.size_bytes() < baseline.size_bytes());
+    assert!(optimized.stats().inlined_cells > 0);
+    assert_eq!(baseline.stats().inlined_cells, 0);
+
+    // Both must restore to the same state.
+    let mut r1 = Browser::new();
+    r1.load_html(optimized.html()).unwrap();
+    let mut r2 = Browser::new();
+    r2.load_html(baseline.html()).unwrap();
+    assert!(state_eq(&r1, &r2));
+}
+
+#[test]
+fn snapshot_of_snapshot_is_stable() {
+    // Capturing a restored snapshot must preserve state again (idempotent
+    // migration: client -> server -> client).
+    let mut b = Browser::new();
+    b.exec_script(
+        r#"
+        var data = {xs: new Float32Array([0.5, 1.5]), n: 7, tag: "x"};
+        var alias = data;
+    "#,
+    )
+    .unwrap();
+    let mut once = roundtrip(&mut b);
+    let twice = roundtrip(&mut once);
+    assert!(state_eq(&b, &twice));
+}
+
+#[test]
+fn globals_named_like_temporaries_do_not_collide() {
+    let mut b = Browser::new();
+    b.exec_script("var __h0 = {x: 1}; var other = {y: __h0};")
+        .unwrap();
+    let mut r = roundtrip(&mut b);
+    assert!(state_eq(&b, &r));
+    r.exec_script("var check = other.y.x;").unwrap();
+    assert_eq!(r.global("check"), JsValue::Number(1.0));
+}
+
+#[test]
+fn dom_references_in_globals_reattach() {
+    let mut b = Browser::new();
+    b.load_html(
+        r#"<html><body><button id="btn">B</button></body>
+        <script>var cached = document.getElementById("btn");</script></html>"#,
+    )
+    .unwrap();
+    let mut r = roundtrip(&mut b);
+    r.exec_script("cached.textContent = \"touched\";").unwrap();
+    assert_eq!(r.element_text("btn").unwrap(), "touched");
+}
+
+#[test]
+fn elements_without_ids_get_synthetic_ids() {
+    let mut b = Browser::new();
+    b.load_html(r#"<html><body><div><span></span></div></body></html>"#)
+        .unwrap();
+    let r = roundtrip(&mut b);
+    assert!(state_eq(&b, &r));
+}

@@ -1,0 +1,78 @@
+//! Offloading *arbitrary* computation — not just DNNs.
+//!
+//! The paper: "the snapshot allows more flexible offloading since it can
+//! include any kind of computations as well as the ML algorithms; e.g., if
+//! the pre/post processing ... is as heavy as the ML algorithms, they can
+//! also be offloaded". This example offloads a pure-JavaScript prime sieve
+//! with **no ML host at all**: the edge server needs nothing but a browser
+//! and the offloading system, because the snapshot carries the code.
+//!
+//! ```sh
+//! cargo run --example generic_compute
+//! ```
+
+use snapedge_webapp::{Browser, RunOutcome, SnapshotOptions, WebError};
+
+const APP: &str = r#"<html><body>
+<button id="go">Count primes</button>
+<div id="out">idle</div>
+</body>
+<script>
+var limit = 2000;
+var primes = null;
+function onClick() {
+  document.getElementById("go").dispatchEvent("crunch");
+}
+function countPrimes() {
+  var sieve = new Float32Array(limit);
+  var count = 0;
+  for (var i = 2; i < limit; i += 1) {
+    if (sieve[i] == 0) {
+      count += 1;
+      for (var j = i + i; j < limit; j += i) { sieve[j] = 1; }
+    }
+  }
+  primes = count;
+  document.getElementById("out").textContent = "primes below " + limit + ": " + count;
+}
+document.getElementById("go").addEventListener("click", onClick);
+document.getElementById("go").addEventListener("crunch", countPrimes);
+</script></html>"#;
+
+fn main() -> Result<(), WebError> {
+    // --- The client runs the app and stops just before the heavy handler.
+    let mut client = Browser::new();
+    client.load_html(APP)?;
+    client.set_offload_trigger(Some("crunch"));
+    client.click("go")?;
+    let outcome = client.run_until_idle()?;
+    assert!(matches!(outcome, RunOutcome::OffloadPoint { .. }));
+    println!(
+        "client stopped at the offload point; screen still says: {:?}",
+        client.element_text("out")?
+    );
+
+    // --- Snapshot to a completely generic edge server (no hosts).
+    let snapshot = client.capture_snapshot(&SnapshotOptions::default())?;
+    println!(
+        "snapshot: {} bytes of self-contained HTML+JS",
+        snapshot.size_bytes()
+    );
+
+    let mut server = Browser::new();
+    server.load_html(snapshot.html())?;
+    server.run_until_idle()?; // the sieve runs HERE, on the server
+    println!("server computed: {:?}", server.element_text("out")?);
+
+    // --- Result snapshot back; the client resumes with the answer.
+    let result = server.capture_snapshot(&SnapshotOptions::default())?;
+    client.restore_snapshot(&result)?;
+    client.run_until_idle()?;
+    println!(
+        "client screen after migration: {:?}",
+        client.element_text("out")?
+    );
+    assert_eq!(client.element_text("out")?, "primes below 2000: 303");
+    println!("\nNo app code was ever installed on the server — the snapshot *is* the app.");
+    Ok(())
+}

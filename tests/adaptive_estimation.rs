@@ -1,0 +1,95 @@
+//! Closing the control loop: the client *measures* its link with the
+//! EWMA estimator and feeds the estimate to the adaptive offloader —
+//! "the runtime network status" of Section III-B.2, end to end.
+
+use snapedge_core::{edge_server_x86, odroid_xu4, AdaptiveOffloader, AdaptivePolicy, Decision};
+use snapedge_dnn::{zoo, ModelBundle};
+use snapedge_net::{BandwidthEstimator, Link, LinkConfig};
+use std::time::Duration;
+
+fn controller(model: &str) -> AdaptiveOffloader {
+    let net = zoo::by_name(model).unwrap();
+    let bytes = ModelBundle::from_network(&net).total_bytes();
+    AdaptiveOffloader::new(
+        net,
+        odroid_xu4(),
+        edge_server_x86(),
+        bytes,
+        AdaptivePolicy {
+            require_privacy: true,
+        },
+    )
+}
+
+/// Run some probe transfers through a real (simulated) link and return the
+/// estimator's view of it.
+fn measured_config(true_link: &LinkConfig, probes: usize) -> LinkConfig {
+    let mut link = Link::new(true_link.clone());
+    let mut estimator = BandwidthEstimator::new(0.4);
+    let mut now = Duration::ZERO;
+    for i in 0..probes {
+        let transfer = link.schedule(now, 500_000 + 10_000 * i as u64).unwrap();
+        estimator.observe_transfer(&transfer);
+        now = transfer.finish + Duration::from_millis(200);
+    }
+    estimator.as_link_config(true_link.latency).unwrap()
+}
+
+#[test]
+fn estimator_driven_decision_matches_oracle_on_a_good_link() {
+    let ctl = controller("googlenet");
+    let truth = LinkConfig::wifi_30mbps();
+    let measured = measured_config(&truth, 8);
+    let oracle_plan = ctl.decide(&truth, true).unwrap();
+    let measured_plan = ctl.decide(&measured, true).unwrap();
+    assert_eq!(oracle_plan.decision, measured_plan.decision);
+    assert_eq!(
+        measured_plan.decision,
+        Decision::Partial {
+            cut: "1st_pool".into()
+        }
+    );
+}
+
+#[test]
+fn estimator_tracks_degradation_and_flips_the_decision() {
+    let ctl = controller("agenet");
+
+    // Phase 1: healthy link -> offload.
+    let good = measured_config(&LinkConfig::wifi_30mbps(), 6);
+    assert_ne!(ctl.decide(&good, true).unwrap().decision, Decision::Local);
+
+    // Phase 2: the client walks away; throughput collapses. Feed the SAME
+    // estimator the bad samples and watch the plan flip.
+    let mut estimator = BandwidthEstimator::new(0.5);
+    let mut now = Duration::ZERO;
+    let mut good_link = Link::new(LinkConfig::wifi_30mbps());
+    for _ in 0..4 {
+        let t = good_link.schedule(now, 500_000).unwrap();
+        estimator.observe_transfer(&t);
+        now = t.finish;
+    }
+    let mut bad_link = Link::new(LinkConfig::mbps(0.05));
+    for _ in 0..8 {
+        let t = bad_link.schedule(now, 500_000).unwrap();
+        estimator.observe_transfer(&t);
+        now = t.finish;
+    }
+    let degraded = estimator.as_link_config(Duration::from_millis(5)).unwrap();
+    assert_eq!(
+        ctl.decide(&degraded, true).unwrap().decision,
+        Decision::Local,
+        "estimate was {:.2} Mbps",
+        degraded.bandwidth_bps / 1e6
+    );
+}
+
+#[test]
+fn estimate_is_close_to_configured_bandwidth() {
+    // FIFO links with small probes: the estimator should land within ~15%
+    // of the shaped rate (framing overhead + latency bias it down).
+    let truth = LinkConfig::mbps(10.0);
+    let measured = measured_config(&truth, 10);
+    let rel = (measured.bandwidth_bps - truth.bandwidth_bps).abs() / truth.bandwidth_bps;
+    assert!(rel < 0.15, "relative error {rel}");
+}

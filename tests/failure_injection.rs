@@ -1,0 +1,87 @@
+//! Failure injection: link failures, protocol violations, and the
+//! fall-back-to-local-execution path the paper recommends while the edge
+//! is unreachable.
+
+use snapedge_core::{
+    run_scenario, run_scenario_with_links, run_with_fallback, OffloadError, ScenarioConfig,
+    Strategy,
+};
+use snapedge_net::{Link, LinkConfig};
+
+#[test]
+fn uplink_failure_surfaces_as_a_net_error() {
+    let cfg = ScenarioConfig::tiny(Strategy::OffloadAfterAck);
+    let mut uplink = Link::new(LinkConfig::wifi_30mbps());
+    uplink.set_down(true);
+    let mut downlink = Link::new(LinkConfig::wifi_30mbps());
+    let err = run_scenario_with_links(&cfg, &mut uplink, &mut downlink).unwrap_err();
+    assert!(matches!(err, OffloadError::Net(_)), "{err:?}");
+}
+
+#[test]
+fn downlink_failure_surfaces_as_a_net_error() {
+    let cfg = ScenarioConfig::tiny(Strategy::OffloadAfterAck);
+    let mut uplink = Link::new(LinkConfig::wifi_30mbps());
+    let mut downlink = Link::new(LinkConfig::wifi_30mbps());
+    downlink.set_down(true);
+    let err = run_scenario_with_links(&cfg, &mut uplink, &mut downlink).unwrap_err();
+    assert!(matches!(err, OffloadError::Net(_)), "{err:?}");
+}
+
+#[test]
+fn fallback_runs_locally_when_the_edge_is_unreachable() {
+    let cfg = ScenarioConfig::tiny(Strategy::OffloadAfterAck);
+    let mut uplink = Link::new(LinkConfig::wifi_30mbps());
+    uplink.set_down(true);
+    let mut downlink = Link::new(LinkConfig::wifi_30mbps());
+    let (report, fell_back) = run_with_fallback(&cfg, &mut uplink, &mut downlink).unwrap();
+    assert!(fell_back);
+    // Local execution still produces the correct label.
+    let local = run_scenario(&ScenarioConfig::tiny(Strategy::ClientOnly)).unwrap();
+    assert_eq!(report.result, local.result);
+    // And costs client-only time.
+    assert_eq!(report.breakdown.exec_server, std::time::Duration::ZERO);
+}
+
+#[test]
+fn fallback_is_not_taken_on_a_healthy_network() {
+    let cfg = ScenarioConfig::tiny(Strategy::OffloadAfterAck);
+    let mut uplink = Link::new(LinkConfig::wifi_30mbps());
+    let mut downlink = Link::new(LinkConfig::wifi_30mbps());
+    let (report, fell_back) = run_with_fallback(&cfg, &mut uplink, &mut downlink).unwrap();
+    assert!(!fell_back);
+    assert!(report.breakdown.exec_server > std::time::Duration::ZERO);
+}
+
+#[test]
+fn config_errors_are_not_masked_by_fallback() {
+    let cfg = ScenarioConfig::tiny(Strategy::Partial {
+        cut: "not_a_layer".into(),
+    });
+    let mut uplink = Link::new(LinkConfig::wifi_30mbps());
+    let mut downlink = Link::new(LinkConfig::wifi_30mbps());
+    let err = run_with_fallback(&cfg, &mut uplink, &mut downlink).unwrap_err();
+    assert!(matches!(err, OffloadError::Dnn(_)), "{err:?}");
+}
+
+#[test]
+fn very_slow_links_still_complete_correctly() {
+    // Degraded network: 0.5 Mbps. Everything still works, just slowly.
+    let mut cfg = ScenarioConfig::tiny(Strategy::OffloadAfterAck);
+    cfg.link = LinkConfig::mbps(0.5);
+    let report = run_scenario(&cfg).unwrap();
+    let fast = run_scenario(&ScenarioConfig::tiny(Strategy::OffloadAfterAck)).unwrap();
+    assert_eq!(report.result, fast.result);
+    assert!(report.total > fast.total);
+}
+
+#[test]
+fn zero_bandwidth_link_fails_cleanly() {
+    let mut cfg = ScenarioConfig::tiny(Strategy::OffloadAfterAck);
+    cfg.link = LinkConfig {
+        bandwidth_bps: 0.0,
+        ..LinkConfig::wifi_30mbps()
+    };
+    let err = run_scenario(&cfg).unwrap_err();
+    assert!(matches!(err, OffloadError::Net(_)), "{err:?}");
+}

@@ -1,0 +1,172 @@
+//! Property-based tests of the snapshot mechanism: arbitrary app states
+//! must survive capture → restore bit-for-bit, with and without the size
+//! optimizations.
+
+use proptest::prelude::*;
+use snapedge_webapp::{state_eq, Browser, SnapshotOptions};
+
+/// A tiny generator of random-but-valid MiniJS programs that build heap
+/// state: each step either creates a global, nests an object, pushes to an
+/// array, or aliases an existing global.
+#[derive(Debug, Clone)]
+enum BuildStep {
+    NumberGlobal(u8, i32),
+    StringGlobal(u8, String),
+    ObjectGlobal(u8),
+    ArrayGlobal(u8, Vec<i32>),
+    Float32Global(u8, Vec<f32>),
+    NestUnder(u8, u8),
+    Alias(u8, u8),
+    CyclicPair(u8, u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = BuildStep> {
+    prop_oneof![
+        (any::<u8>(), any::<i32>()).prop_map(|(s, n)| BuildStep::NumberGlobal(s, n)),
+        (any::<u8>(), "[a-z ]{0,12}").prop_map(|(s, t)| BuildStep::StringGlobal(s, t)),
+        any::<u8>().prop_map(BuildStep::ObjectGlobal),
+        (any::<u8>(), prop::collection::vec(-1000i32..1000, 0..6))
+            .prop_map(|(s, v)| BuildStep::ArrayGlobal(s, v)),
+        (any::<u8>(), prop::collection::vec(-1.0e3f32..1.0e3, 0..8))
+            .prop_map(|(s, v)| BuildStep::Float32Global(s, v)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| BuildStep::NestUnder(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| BuildStep::Alias(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| BuildStep::CyclicPair(a, b)),
+    ]
+}
+
+fn var(slot: u8) -> String {
+    format!("g{}", slot % 16)
+}
+
+fn script_for(steps: &[BuildStep]) -> String {
+    // Pre-declare all slots so aliasing/nesting never hits an unknown
+    // identifier. Track which slots currently hold objects so property
+    // writes are only generated against objects (MiniJS, unlike sloppy JS,
+    // errors on property access through primitives).
+    let mut script = String::new();
+    let mut is_object = [false; 16];
+    for i in 0..16 {
+        script.push_str(&format!("var g{i} = null;\n"));
+    }
+    for step in steps {
+        match step {
+            BuildStep::NumberGlobal(s, n) => {
+                script.push_str(&format!("{} = ({});\n", var(*s), n));
+                is_object[(*s % 16) as usize] = false;
+            }
+            BuildStep::StringGlobal(s, t) => {
+                script.push_str(&format!("{} = \"{}\";\n", var(*s), t));
+                is_object[(*s % 16) as usize] = false;
+            }
+            BuildStep::ObjectGlobal(s) => {
+                script.push_str(&format!("{} = {{kind: \"obj\"}};\n", var(*s)));
+                is_object[(*s % 16) as usize] = true;
+            }
+            BuildStep::ArrayGlobal(s, v) => {
+                let elems: Vec<String> = v.iter().map(|x| format!("({x})")).collect();
+                script.push_str(&format!("{} = [{}];\n", var(*s), elems.join(",")));
+                is_object[(*s % 16) as usize] = false;
+            }
+            BuildStep::Float32Global(s, v) => {
+                let elems: Vec<String> = v.iter().map(|x| format!("({x})")).collect();
+                script.push_str(&format!(
+                    "{} = new Float32Array([{}]);\n",
+                    var(*s),
+                    elems.join(",")
+                ));
+                is_object[(*s % 16) as usize] = false;
+            }
+            BuildStep::NestUnder(a, b) => {
+                if is_object[(*a % 16) as usize] {
+                    script.push_str(&format!("{}.child = {};\n", var(*a), var(*b)));
+                }
+            }
+            BuildStep::Alias(a, b) => {
+                script.push_str(&format!("{} = {};\n", var(*a), var(*b)));
+                is_object[(*a % 16) as usize] = is_object[(*b % 16) as usize];
+            }
+            BuildStep::CyclicPair(a, b) => {
+                if *a % 16 == *b % 16 {
+                    script.push_str(&format!(
+                        "{a} = {{kind: \"obj\"}}; {a}.peer = {a};\n",
+                        a = var(*a)
+                    ));
+                } else {
+                    script.push_str(&format!(
+                        "{a} = {{kind: \"obj\"}}; {b} = {{kind: \"obj\", peer: {a}}}; {a}.peer = {b};\n",
+                        a = var(*a),
+                        b = var(*b)
+                    ));
+                }
+                is_object[(*a % 16) as usize] = true;
+                is_object[(*b % 16) as usize] = true;
+            }
+        }
+    }
+    script
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_states_roundtrip_optimized(steps in prop::collection::vec(step_strategy(), 1..24)) {
+        let mut b = Browser::new();
+        b.exec_script(&script_for(&steps)).unwrap();
+        let snapshot = b.capture_snapshot(&SnapshotOptions { inline_single_use: true }).unwrap();
+        let mut restored = Browser::new();
+        restored.load_html(snapshot.html()).unwrap();
+        prop_assert!(state_eq(&b, &restored), "snapshot:\n{}", snapshot.html());
+    }
+
+    #[test]
+    fn random_states_roundtrip_baseline(steps in prop::collection::vec(step_strategy(), 1..24)) {
+        let mut b = Browser::new();
+        b.exec_script(&script_for(&steps)).unwrap();
+        let snapshot = b.capture_snapshot(&SnapshotOptions { inline_single_use: false }).unwrap();
+        let mut restored = Browser::new();
+        restored.load_html(snapshot.html()).unwrap();
+        prop_assert!(state_eq(&b, &restored), "snapshot:\n{}", snapshot.html());
+    }
+
+    #[test]
+    fn optimization_never_changes_semantics(steps in prop::collection::vec(step_strategy(), 1..24)) {
+        let mut b = Browser::new();
+        b.exec_script(&script_for(&steps)).unwrap();
+        let optimized = b.capture_snapshot(&SnapshotOptions { inline_single_use: true }).unwrap();
+        let baseline = b.capture_snapshot(&SnapshotOptions { inline_single_use: false }).unwrap();
+        prop_assert!(optimized.size_bytes() <= baseline.size_bytes());
+        let mut r1 = Browser::new();
+        r1.load_html(optimized.html()).unwrap();
+        let mut r2 = Browser::new();
+        r2.load_html(baseline.html()).unwrap();
+        prop_assert!(state_eq(&r1, &r2));
+    }
+
+    #[test]
+    fn double_migration_is_stable(steps in prop::collection::vec(step_strategy(), 1..16)) {
+        // client -> server -> client: state must be preserved across two
+        // hops, exactly the paper's Fig. 3 round trip.
+        let mut client = Browser::new();
+        client.exec_script(&script_for(&steps)).unwrap();
+        let up = client.capture_snapshot(&SnapshotOptions::default()).unwrap();
+        let mut server = Browser::new();
+        server.load_html(up.html()).unwrap();
+        let down = server.capture_snapshot(&SnapshotOptions::default()).unwrap();
+        let mut back = Browser::new();
+        back.load_html(down.html()).unwrap();
+        prop_assert!(state_eq(&client, &back));
+    }
+
+    #[test]
+    fn f32_payloads_roundtrip_bit_exact(values in prop::collection::vec(any::<f32>().prop_filter("finite", |v| v.is_finite()), 1..64)) {
+        let mut b = Browser::new();
+        let elems: Vec<String> = values.iter().map(|v| format!("({v})")).collect();
+        b.exec_script(&format!("var f = new Float32Array([{}]);", elems.join(","))).unwrap();
+        let snapshot = b.capture_snapshot(&SnapshotOptions::default()).unwrap();
+        let mut restored = Browser::new();
+        restored.load_html(snapshot.html()).unwrap();
+        prop_assert!(state_eq(&b, &restored));
+    }
+}
