@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full offline verification: format, lint, build, test.
+# Tier-1 (ROADMAP.md) is the build + test pair; fmt/clippy run first so
+# style and lint failures surface before the slow steps.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --offline --release --workspace
+
+echo "== cargo test"
+cargo test --offline -q --workspace
+
+echo "ci.sh: all green"

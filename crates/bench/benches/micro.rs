@@ -1,15 +1,20 @@
-//! Criterion micro-benchmarks for the snapedge substrates: snapshot
-//! capture/restore scaling, CNN kernels, tensor text serialization, and a
-//! whole tiny offload round-trip.
+//! Micro-benchmarks for the snapedge substrates: snapshot capture/restore
+//! scaling, CNN kernels, tensor text serialization, and a whole tiny
+//! offload round-trip.
+//!
+//! A plain timing harness (`harness = false`, no criterion) so the
+//! workspace builds with no external dependencies. Each benchmark warms
+//! up, then runs enough iterations to pass a wall-clock floor and reports
+//! mean ns/iter.
 //!
 //! ```sh
 //! cargo bench -p snapedge-bench
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snapedge_core::{run_scenario, ScenarioConfig, Strategy};
 use snapedge_tensor::{ops, serialize, Tensor};
 use snapedge_webapp::{Browser, SnapshotOptions};
+use std::time::{Duration, Instant};
 
 fn browser_with_heap(objects: usize, floats: usize) -> Browser {
     let mut b = Browser::new();
@@ -35,126 +40,122 @@ fn browser_with_heap(objects: usize, floats: usize) -> Browser {
     b
 }
 
-fn bench_snapshot_capture(c: &mut Criterion) {
-    let mut group = c.benchmark_group("snapshot_capture");
+/// Times `f` and prints mean ns/iter. Uses a short warm-up, then iterates
+/// until at least ~200 ms of wall time has accumulated. `f` returns a
+/// value to keep the optimizer honest; the results are folded into a
+/// black-box sink.
+fn bench(name: &str, mut f: impl FnMut() -> usize) {
+    let mut sink = 0usize;
+    // Warm-up.
+    let warm = Instant::now();
+    while warm.elapsed() < Duration::from_millis(20) {
+        sink = sink.wrapping_add(f());
+    }
+    let floor = Duration::from_millis(200);
+    let mut iters = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < floor {
+        sink = sink.wrapping_add(f());
+        iters += 1;
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() / u128::from(iters.max(1));
+    println!("{name:<40} {per_iter:>12} ns/iter   ({iters} iters)");
+    std::hint::black_box(sink);
+}
+
+fn bench_snapshot_capture() {
     for objects in [10usize, 100, 1000] {
         let mut browser = browser_with_heap(objects, 0);
-        group.bench_with_input(BenchmarkId::new("objects", objects), &objects, |b, _| {
-            b.iter(|| {
-                browser
-                    .capture_snapshot(&SnapshotOptions::default())
-                    .unwrap()
-                    .size_bytes()
-            })
+        bench(&format!("snapshot_capture/objects/{objects}"), || {
+            browser
+                .capture_snapshot(&SnapshotOptions::default())
+                .unwrap()
+                .size_bytes() as usize
         });
     }
     for floats in [1_000usize, 10_000] {
         let mut browser = browser_with_heap(10, floats);
-        group.bench_with_input(
-            BenchmarkId::new("feature_floats", floats),
-            &floats,
-            |b, _| {
-                b.iter(|| {
-                    browser
-                        .capture_snapshot(&SnapshotOptions::default())
-                        .unwrap()
-                        .size_bytes()
-                })
-            },
-        );
+        bench(&format!("snapshot_capture/feature_floats/{floats}"), || {
+            browser
+                .capture_snapshot(&SnapshotOptions::default())
+                .unwrap()
+                .size_bytes() as usize
+        });
     }
-    group.finish();
 }
 
-fn bench_snapshot_restore(c: &mut Criterion) {
-    let mut group = c.benchmark_group("snapshot_restore");
+fn bench_snapshot_restore() {
     for objects in [100usize, 1000] {
         let mut browser = browser_with_heap(objects, 1000);
         let snapshot = browser
             .capture_snapshot(&SnapshotOptions::default())
             .unwrap();
-        group.bench_with_input(BenchmarkId::new("objects", objects), &objects, |b, _| {
-            b.iter(|| {
-                let mut fresh = Browser::new();
-                fresh.load_html(snapshot.html()).unwrap();
-                fresh.core().heap.len()
-            })
+        bench(&format!("snapshot_restore/objects/{objects}"), || {
+            let mut fresh = Browser::new();
+            fresh.load_html(snapshot.html()).unwrap();
+            fresh.core().heap.len()
         });
     }
-    group.finish();
 }
 
-fn bench_cnn_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cnn_kernels");
+fn bench_cnn_kernels() {
     let input = Tensor::from_fn(&[16, 32, 32], |i| ((i % 97) as f32) / 97.0).unwrap();
     let weights = Tensor::from_fn(&[16, 16, 3, 3], |i| ((i % 13) as f32 - 6.0) / 13.0).unwrap();
     let bias = Tensor::zeros(&[16]).unwrap();
-    group.bench_function("conv2d_naive_16x32x32_3x3", |b| {
-        b.iter(|| ops::conv2d(&input, &weights, &bias, 1, 1).unwrap().len())
+    bench("cnn_kernels/conv2d_naive_16x32x32_3x3", || {
+        ops::conv2d(&input, &weights, &bias, 1, 1).unwrap().len()
     });
-    group.bench_function("conv2d_im2col_16x32x32_3x3", |b| {
-        b.iter(|| {
-            ops::conv2d_im2col(&input, &weights, &bias, 1, 1, 1)
-                .unwrap()
-                .len()
-        })
+    bench("cnn_kernels/conv2d_im2col_16x32x32_3x3", || {
+        ops::conv2d_im2col(&input, &weights, &bias, 1, 1, 1)
+            .unwrap()
+            .len()
     });
-    group.bench_function("maxpool_3x3_s2", |b| {
-        b.iter(|| {
-            ops::pool2d(&input, ops::PoolKind::Max, 3, 2, 0)
-                .unwrap()
-                .len()
-        })
+    bench("cnn_kernels/maxpool_3x3_s2", || {
+        ops::pool2d(&input, ops::PoolKind::Max, 3, 2, 0)
+            .unwrap()
+            .len()
     });
     let fc_in = Tensor::from_fn(&[4096], |i| (i as f32).cos()).unwrap();
     let fc_w = Tensor::from_fn(&[256, 4096], |i| ((i % 31) as f32 - 15.0) / 31.0).unwrap();
     let fc_b = Tensor::zeros(&[256]).unwrap();
-    group.bench_function("fc_4096_to_256", |b| {
-        b.iter(|| ops::fully_connected(&fc_in, &fc_w, &fc_b).unwrap().len())
+    bench("cnn_kernels/fc_4096_to_256", || {
+        ops::fully_connected(&fc_in, &fc_w, &fc_b).unwrap().len()
     });
-    group.finish();
 }
 
-fn bench_serialization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tensor_serialization");
+fn bench_serialization() {
     let t = Tensor::from_fn(&[50_000], |i| ((i as f32) * 0.137).sin() * 3.3).unwrap();
-    group.bench_function("js_text_50k_floats", |b| {
-        b.iter(|| serialize::to_js_text(&t).len())
+    bench("tensor_serialization/js_text_50k_floats", || {
+        serialize::to_js_text(&t).len()
     });
-    group.bench_function("binary_50k_floats", |b| {
-        b.iter(|| serialize::to_binary(&t).len())
+    bench("tensor_serialization/binary_50k_floats", || {
+        serialize::to_binary(&t).len()
     });
-    group.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(20);
-    group.bench_function("tiny_offload_after_ack", |b| {
-        b.iter(|| {
-            run_scenario(&ScenarioConfig::tiny(Strategy::OffloadAfterAck))
-                .unwrap()
-                .total
-        })
-    });
-    group.bench_function("tiny_partial_1st_pool", |b| {
-        b.iter(|| {
-            run_scenario(&ScenarioConfig::tiny(Strategy::Partial {
-                cut: "1st_pool".to_string(),
-            }))
+fn bench_end_to_end() {
+    bench("end_to_end/tiny_offload_after_ack", || {
+        run_scenario(&ScenarioConfig::tiny(Strategy::OffloadAfterAck))
             .unwrap()
             .total
-        })
+            .as_nanos() as usize
     });
-    group.finish();
+    bench("end_to_end/tiny_partial_1st_pool", || {
+        run_scenario(&ScenarioConfig::tiny(Strategy::Partial {
+            cut: "1st_pool".to_string(),
+        }))
+        .unwrap()
+        .total
+        .as_nanos() as usize
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_snapshot_capture,
-    bench_snapshot_restore,
-    bench_cnn_kernels,
-    bench_serialization,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    println!("snapedge micro-benchmarks (plain harness, mean over >=200ms)\n");
+    bench_snapshot_capture();
+    bench_snapshot_restore();
+    bench_cnn_kernels();
+    bench_serialization();
+    bench_end_to_end();
+}

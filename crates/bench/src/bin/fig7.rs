@@ -4,15 +4,22 @@
 //!
 //! ```sh
 //! cargo run --release -p snapedge-bench --bin fig7
+//! # dump the raw event trace of the last configuration as JSON lines:
+//! cargo run --release -p snapedge-bench --bin fig7 -- --trace fig7.jsonl
 //! ```
 
 use snapedge_bench::{print_table, run_paper, secs, PAPER_MODELS};
 use snapedge_core::Strategy;
 
 fn main() -> Result<(), snapedge_core::OffloadError> {
+    let trace_path = std::env::args()
+        .skip(1)
+        .skip_while(|a| a != "--trace")
+        .nth(1);
     println!("Figure 7: Breakdown of the inference time (seconds)\n");
 
     let mut rows = Vec::new();
+    let mut last_report = None;
     for model in PAPER_MODELS {
         for (tag, strategy) in [
             ("before ACK", Strategy::OffloadBeforeAck),
@@ -31,6 +38,7 @@ fn main() -> Result<(), snapedge_core::OffloadError> {
                 secs(b.restore_client),
                 secs(r.total),
             ]);
+            last_report = Some(r);
         }
     }
     print_table(
@@ -53,5 +61,15 @@ fn main() -> Result<(), snapedge_core::OffloadError> {
     println!("Expected shape (paper): snapshot capture/restore are negligible");
     println!("next to server DNN execution; before-ACK runs are dominated by the");
     println!("uplink transmission (snapshot queued behind the model upload).");
+
+    if let (Some(path), Some(report)) = (trace_path, last_report) {
+        std::fs::write(&path, report.trace.to_jsonl())
+            .map_err(|e| snapedge_core::OffloadError::Protocol(format!("writing {path}: {e}")))?;
+        println!(
+            "\nwrote {} trace events ({} after ACK) to {path}",
+            report.trace.events().len(),
+            PAPER_MODELS.last().unwrap()
+        );
+    }
     Ok(())
 }

@@ -65,7 +65,7 @@ impl Args {
 
 const USAGE: &str = "usage:
   snapedge run     --model <name> --strategy <client|server|before-ack|after-ack|partial>
-                   [--cut <label>] [--mbps <rate>]
+                   [--cut <label>] [--mbps <rate>] [--timeline true] [--trace <file.jsonl>]
   snapedge sweep   --model <name> [--mbps <rate>]
   snapedge session --model <name> [--rounds <n>] [--no-deltas true]
   snapedge install --model <name> [--mbps <rate>]
@@ -143,6 +143,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         println!("\ntimeline (C=client, N=network, S=server):");
         let spans = snapedge_core::timeline::spans(&report);
         print!("{}", snapedge_core::timeline::render_ascii(&spans, 50));
+    }
+    if let Some(path) = args.flag("trace") {
+        std::fs::write(path, report.trace.to_jsonl())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "trace:      {} events -> {path}",
+            report.trace.events().len()
+        );
     }
     Ok(())
 }

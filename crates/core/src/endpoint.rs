@@ -8,6 +8,7 @@ use crate::mlhost::{CaffeJsHost, ExecTracker};
 use crate::OffloadError;
 use snapedge_dnn::{ExecMode, Network, NodeId, ParamStore};
 use snapedge_net::SimClock;
+use snapedge_trace::{EventKind, Lane, Tracer};
 use snapedge_webapp::{Browser, RunOutcome, Snapshot, SnapshotOptions};
 use std::time::Duration;
 
@@ -19,6 +20,8 @@ pub struct Endpoint {
     /// The device latency model.
     pub device: DeviceProfile,
     clock: SimClock,
+    tracer: Tracer,
+    lane: Lane,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -39,12 +42,43 @@ impl Endpoint {
             browser: Browser::new(),
             device,
             clock,
+            tracer: Tracer::disabled(),
+            lane: Lane::Client,
         }
+    }
+
+    /// Attaches an event tracer, builder-style. Capture/restore then record
+    /// `capture_{lane}` / `restore_{lane}` events on `lane`, and any model
+    /// host installed afterwards records per-layer execution events.
+    pub fn with_tracer(mut self, tracer: Tracer, lane: Lane) -> Endpoint {
+        self.tracer = tracer;
+        self.lane = lane;
+        self
     }
 
     /// Endpoint name (for reports).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The lane this endpoint's trace events are recorded on.
+    pub fn lane(&self) -> Lane {
+        self.lane
+    }
+
+    /// The attached tracer (disabled unless [`Endpoint::with_tracer`] was
+    /// used).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    fn phase_name(&self, verb: &str) -> String {
+        let suffix = match self.lane {
+            Lane::Client => "client",
+            Lane::Server => "server",
+            Lane::Network => "network",
+        };
+        format!("{verb}_{suffix}")
     }
 
     /// The shared clock.
@@ -64,7 +98,8 @@ impl Endpoint {
     ) -> ExecTracker {
         let host = CaffeJsHost::new(net, params, self.device.clone(), mode, self.clock.clone())
             .with_cut(cut)
-            .with_seed(seed);
+            .with_seed(seed)
+            .with_tracer(self.tracer.clone(), self.lane);
         let tracker = host.tracker();
         self.browser.register_host("model", Box::new(host));
         tracker
@@ -80,9 +115,18 @@ impl Endpoint {
         &mut self,
         options: &SnapshotOptions,
     ) -> Result<(Snapshot, Duration), OffloadError> {
+        let start = self.clock.now();
         let snapshot = self.browser.capture_snapshot(options)?;
         let cost = self.device.capture_time(snapshot.size_bytes());
         self.clock.advance_by(cost);
+        self.tracer.record_bytes(
+            &self.phase_name("capture"),
+            self.lane,
+            EventKind::Capture,
+            start,
+            self.clock.now(),
+            Some(snapshot.size_bytes()),
+        );
         Ok((snapshot, cost))
     }
 
@@ -93,9 +137,18 @@ impl Endpoint {
     ///
     /// Propagates snapshot parse/execution failures.
     pub fn restore(&mut self, snapshot: &Snapshot) -> Result<Duration, OffloadError> {
+        let start = self.clock.now();
         self.browser.restore_snapshot(snapshot)?;
         let cost = self.device.restore_time(snapshot.size_bytes());
         self.clock.advance_by(cost);
+        self.tracer.record_bytes(
+            &self.phase_name("restore"),
+            self.lane,
+            EventKind::Restore,
+            start,
+            self.clock.now(),
+            Some(snapshot.size_bytes()),
+        );
         Ok(cost)
     }
 

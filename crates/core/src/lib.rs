@@ -56,6 +56,7 @@ pub mod install;
 mod mlhost;
 pub mod partition;
 pub mod predictor;
+pub mod prelude;
 pub mod privacy;
 mod scenario;
 mod session;
@@ -73,7 +74,7 @@ pub use partition::{PartitionOptimizer, PartitionPrediction, PredictedTimes};
 pub use predictor::{LatencyPredictor, LayerSample, LinearModel};
 pub use privacy::{evaluate_privacy, reconstruct_input, AttackConfig, PrivacyReport};
 pub use scenario::{
-    run_scenario, run_scenario_with_links, run_with_fallback, Breakdown, ScenarioConfig,
-    ScenarioReport, Strategy,
+    run_scenario, run_scenario_with_links, run_with_fallback, Breakdown, ScenarioBuilder,
+    ScenarioConfig, ScenarioReport, Strategy,
 };
-pub use session::{OffloadSession, RoundReport, SessionConfig};
+pub use session::{OffloadSession, RoundReport, SessionBuilder, SessionConfig};

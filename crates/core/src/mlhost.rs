@@ -9,6 +9,7 @@ use crate::OffloadError;
 use snapedge_dnn::{ExecMode, Network, NetworkProfile, NodeId, ParamStore};
 use snapedge_net::SimClock;
 use snapedge_tensor::Tensor;
+use snapedge_trace::{EventKind, Lane, Tracer};
 use snapedge_webapp::{Core, HeapCell, HostObject, JsValue, WebError};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -48,6 +49,8 @@ pub struct CaffeJsHost {
     cut: Option<NodeId>,
     seed: u64,
     tracker: ExecTracker,
+    tracer: Tracer,
+    lane: Lane,
 }
 
 impl CaffeJsHost {
@@ -70,6 +73,8 @@ impl CaffeJsHost {
             cut: None,
             seed: 0x5eed,
             tracker: Rc::new(RefCell::new(Vec::new())),
+            tracer: Tracer::disabled(),
+            lane: Lane::Client,
         }
     }
 
@@ -85,13 +90,43 @@ impl CaffeJsHost {
         self
     }
 
+    /// Attaches an event tracer; each DNN execution then records one
+    /// [`EventKind::Layer`] event per layer on `lane`, with the per-layer
+    /// durations summing exactly to the charged execution time.
+    pub fn with_tracer(mut self, tracer: Tracer, lane: Lane) -> CaffeJsHost {
+        self.tracer = tracer;
+        self.lane = lane;
+        self
+    }
+
     /// A shared handle to this host's execution log (keep a clone before
     /// registering the host with a browser).
     pub fn tracker(&self) -> ExecTracker {
         Rc::clone(&self.tracker)
     }
 
-    fn charge(&self, kind: ExecKind, duration: Duration) {
+    /// Charges the execution time of the layer range `(after, through]`
+    /// layer by layer, so per-layer trace events sum exactly to the total
+    /// charged duration (the same sum [`DeviceProfile::exec_time`]
+    /// computes).
+    fn charge(&self, kind: ExecKind, after: Option<NodeId>, through: Option<NodeId>) {
+        let lo = after.map(|id| id.index()).unwrap_or(0);
+        let hi = through.map(|id| id.index()).unwrap_or(usize::MAX);
+        let mut t = self.clock.now();
+        let mut duration = Duration::ZERO;
+        for layer in self.profile.layers() {
+            let i = layer.id.index();
+            if i == 0 || (after.is_some() && i <= lo) || i > hi {
+                continue;
+            }
+            let dt = self.device.layer_time(layer.op_tag, layer.flops);
+            if self.tracer.is_enabled() {
+                self.tracer
+                    .record(&layer.name, self.lane, EventKind::Layer, t, t + dt);
+            }
+            t += dt;
+            duration += dt;
+        }
         self.clock.advance_by(duration);
         self.tracker
             .borrow_mut()
@@ -181,7 +216,7 @@ impl HostObject for CaffeJsHost {
                     .net
                     .forward(&self.params, &input, self.mode)
                     .map_err(|e| to_web(OffloadError::Dnn(e)))?;
-                self.charge(ExecKind::Full, self.device.full_exec_time(&self.profile));
+                self.charge(ExecKind::Full, None, None);
                 Ok(JsValue::Str(self.label(fwd.final_output())))
             }
             "inference_front" => {
@@ -196,10 +231,7 @@ impl HostObject for CaffeJsHost {
                     .net
                     .forward_until(&self.params, &input, cut, self.mode)
                     .map_err(|e| to_web(OffloadError::Dnn(e)))?;
-                self.charge(
-                    ExecKind::Front,
-                    self.device.exec_time(&self.profile, None, Some(cut)),
-                );
+                self.charge(ExecKind::Front, None, Some(cut));
                 let feature = fwd.output(cut).map_err(|e| to_web(OffloadError::Dnn(e)))?;
                 Ok(core.heap.alloc_f32(feature.data().to_vec()))
             }
@@ -233,10 +265,7 @@ impl HostObject for CaffeJsHost {
                     .net
                     .forward_from(&self.params, cut, feature, self.mode)
                     .map_err(|e| to_web(OffloadError::Dnn(e)))?;
-                self.charge(
-                    ExecKind::Rear,
-                    self.device.exec_time(&self.profile, Some(cut), None),
-                );
+                self.charge(ExecKind::Rear, Some(cut), None);
                 Ok(JsValue::Str(self.label(fwd.final_output())))
             }
             other => Err(WebError::Runtime(format!("model has no method {other:?}"))),

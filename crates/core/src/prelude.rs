@@ -1,0 +1,30 @@
+//! One-import surface for the common offloading workflow.
+//!
+//! ```
+//! use snapedge_core::prelude::*;
+//!
+//! # fn main() -> Result<(), OffloadError> {
+//! let report = run_scenario(&ScenarioConfig::tiny(Strategy::OffloadAfterAck))?;
+//! assert_eq!(report.breakdown, Breakdown::from_trace(&report.trace));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Pulls in the scenario/session entry points, their configs and builders,
+//! the device profiles, and the cross-crate types they are parameterized
+//! by ([`LinkConfig`], [`ExecMode`], [`SnapshotOptions`], the trace
+//! types), so examples and tests need a single `use`.
+
+pub use crate::device::{edge_server_x86, odroid_xu4, DeviceProfile};
+pub use crate::error::OffloadError;
+pub use crate::install::{vm_install, InstallReport};
+pub use crate::scenario::{
+    run_scenario, run_scenario_with_links, run_with_fallback, Breakdown, ScenarioBuilder,
+    ScenarioConfig, ScenarioReport, Strategy,
+};
+pub use crate::session::{OffloadSession, RoundReport, SessionBuilder, SessionConfig};
+pub use crate::timeline;
+pub use snapedge_dnn::{zoo, ExecMode};
+pub use snapedge_net::{Link, LinkConfig};
+pub use snapedge_trace::{Event, EventKind, Lane, Summary, Trace, Tracer};
+pub use snapedge_webapp::SnapshotOptions;

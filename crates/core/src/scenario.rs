@@ -14,6 +14,7 @@ use crate::endpoint::Endpoint;
 use crate::OffloadError;
 use snapedge_dnn::{zoo, ExecMode, ModelBundle, ParamStore};
 use snapedge_net::{Link, LinkConfig, SimClock};
+use snapedge_trace::{EventKind, Lane, Trace, Tracer};
 use snapedge_webapp::{RunOutcome, SnapshotOptions};
 use std::time::Duration;
 
@@ -67,39 +68,144 @@ pub struct ScenarioConfig {
 }
 
 impl ScenarioConfig {
-    /// The paper's configuration: 30 Mbps link, Odroid-XU4 client, x86
-    /// edge server, synthetic execution (shape-faithful), a ~35 KB
-    /// encoded image.
-    pub fn paper(model: &str, strategy: Strategy) -> ScenarioConfig {
-        ScenarioConfig {
-            model: model.to_string(),
-            strategy,
-            link: LinkConfig::wifi_30mbps(),
-            client_device: crate::device::odroid_xu4(),
-            server_device: crate::device::edge_server_x86(),
-            exec_mode: ExecMode::Synthetic { seed: 0xCAFE },
-            seed: 42,
-            image_bytes: 35_000,
-            snapshot: SnapshotOptions::default(),
-            compress: false,
+    /// Builder seeded with the paper's configuration: 30 Mbps link,
+    /// Odroid-XU4 client, x86 edge server, synthetic execution
+    /// (shape-faithful), a ~35 KB encoded image, strategy
+    /// [`Strategy::OffloadAfterAck`].
+    ///
+    /// ```
+    /// use snapedge_core::{ScenarioConfig, Strategy};
+    /// use snapedge_net::LinkConfig;
+    ///
+    /// let cfg = ScenarioConfig::paper_builder("googlenet")
+    ///     .cut("4th_pool")
+    ///     .link(LinkConfig::mbps(10.0))
+    ///     .build();
+    /// assert!(matches!(cfg.strategy, Strategy::Partial { .. }));
+    /// ```
+    pub fn paper_builder(model: &str) -> ScenarioBuilder {
+        ScenarioBuilder {
+            cfg: ScenarioConfig {
+                model: model.to_string(),
+                strategy: Strategy::OffloadAfterAck,
+                link: LinkConfig::wifi_30mbps(),
+                client_device: crate::device::odroid_xu4(),
+                server_device: crate::device::edge_server_x86(),
+                exec_mode: ExecMode::Synthetic { seed: 0xCAFE },
+                seed: 42,
+                image_bytes: 35_000,
+                snapshot: SnapshotOptions::default(),
+                compress: false,
+            },
         }
     }
 
-    /// A fast configuration running the real tiny CNN end-to-end — used by
-    /// tests and the quickstart example.
-    pub fn tiny(strategy: Strategy) -> ScenarioConfig {
-        ScenarioConfig {
-            model: "tiny_cnn".to_string(),
-            strategy,
-            link: LinkConfig::wifi_30mbps(),
-            client_device: crate::device::odroid_xu4(),
-            server_device: crate::device::edge_server_x86(),
-            exec_mode: ExecMode::Real,
-            seed: 7,
-            image_bytes: 2_000,
-            snapshot: SnapshotOptions::default(),
-            compress: false,
+    /// Builder seeded with the fast real-arithmetic tiny-CNN
+    /// configuration used by tests and the quickstart example.
+    pub fn tiny_builder() -> ScenarioBuilder {
+        ScenarioBuilder {
+            cfg: ScenarioConfig {
+                model: "tiny_cnn".to_string(),
+                strategy: Strategy::OffloadAfterAck,
+                link: LinkConfig::wifi_30mbps(),
+                client_device: crate::device::odroid_xu4(),
+                server_device: crate::device::edge_server_x86(),
+                exec_mode: ExecMode::Real,
+                seed: 7,
+                image_bytes: 2_000,
+                snapshot: SnapshotOptions::default(),
+                compress: false,
+            },
         }
+    }
+
+    /// The paper's configuration with an explicit strategy (shorthand for
+    /// [`ScenarioConfig::paper_builder`]`.strategy(..).build()`).
+    pub fn paper(model: &str, strategy: Strategy) -> ScenarioConfig {
+        Self::paper_builder(model).strategy(strategy).build()
+    }
+
+    /// A fast configuration running the real tiny CNN end-to-end
+    /// (shorthand for [`ScenarioConfig::tiny_builder`]).
+    pub fn tiny(strategy: Strategy) -> ScenarioConfig {
+        Self::tiny_builder().strategy(strategy).build()
+    }
+}
+
+/// Builder for [`ScenarioConfig`] — start from
+/// [`ScenarioConfig::paper_builder`] or [`ScenarioConfig::tiny_builder`]
+/// and override the fields that differ.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    cfg: ScenarioConfig,
+}
+
+impl ScenarioBuilder {
+    /// Sets the execution strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> ScenarioBuilder {
+        self.cfg.strategy = strategy;
+        self
+    }
+
+    /// Partial inference at the named cut point (shorthand for
+    /// `strategy(Strategy::Partial { cut })`).
+    pub fn cut(self, cut: &str) -> ScenarioBuilder {
+        self.strategy(Strategy::Partial {
+            cut: cut.to_string(),
+        })
+    }
+
+    /// Sets the link model used in both directions.
+    pub fn link(mut self, link: LinkConfig) -> ScenarioBuilder {
+        self.cfg.link = link;
+        self
+    }
+
+    /// Sets the client device model.
+    pub fn client_device(mut self, device: DeviceProfile) -> ScenarioBuilder {
+        self.cfg.client_device = device;
+        self
+    }
+
+    /// Sets the server device model.
+    pub fn server_device(mut self, device: DeviceProfile) -> ScenarioBuilder {
+        self.cfg.server_device = device;
+        self
+    }
+
+    /// Real or synthetic layer execution.
+    pub fn exec_mode(mut self, mode: ExecMode) -> ScenarioBuilder {
+        self.cfg.exec_mode = mode;
+        self
+    }
+
+    /// Seed for parameters and synthetic inputs.
+    pub fn seed(mut self, seed: u64) -> ScenarioBuilder {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Encoded input image size in bytes.
+    pub fn image_bytes(mut self, bytes: usize) -> ScenarioBuilder {
+        self.cfg.image_bytes = bytes;
+        self
+    }
+
+    /// Snapshot generation options.
+    pub fn snapshot(mut self, options: SnapshotOptions) -> ScenarioBuilder {
+        self.cfg.snapshot = options;
+        self
+    }
+
+    /// Compress snapshots before transmission.
+    pub fn compress(mut self, on: bool) -> ScenarioBuilder {
+        self.cfg.compress = on;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> ScenarioConfig {
+        self.cfg
     }
 }
 
@@ -127,6 +233,29 @@ pub struct Breakdown {
 }
 
 impl Breakdown {
+    /// Derives the phase breakdown from an event trace, summing the
+    /// canonical phase events the scenario driver records. Codec time is
+    /// folded into the neighbouring capture/restore phases, matching how
+    /// the phases were accounted before traces existed: `compress_up`
+    /// into `capture_client`, `decompress_up` into `restore_server`,
+    /// `compress_down` into `capture_server`, and `decompress_down` into
+    /// `restore_client`.
+    pub fn from_trace(trace: &Trace) -> Breakdown {
+        Breakdown {
+            exec_client: trace.duration_of("exec_client"),
+            capture_client: trace.duration_of("capture_client") + trace.duration_of("compress_up"),
+            transfer_up: trace.duration_of("transfer_up"),
+            restore_server: trace.duration_of("restore_server")
+                + trace.duration_of("decompress_up"),
+            exec_server: trace.duration_of("exec_server"),
+            capture_server: trace.duration_of("capture_server")
+                + trace.duration_of("compress_down"),
+            transfer_down: trace.duration_of("transfer_down"),
+            restore_client: trace.duration_of("restore_client")
+                + trace.duration_of("decompress_down"),
+        }
+    }
+
     /// Sum of all phases.
     pub fn total(&self) -> Duration {
         self.exec_client
@@ -163,6 +292,10 @@ pub struct ScenarioReport {
     pub snapshot_down_bytes: u64,
     /// The label shown on the client's screen at the end.
     pub result: String,
+    /// Full event trace of the run: canonical phase events at depth 0,
+    /// per-layer DNN execution and link-level transfer/queue events
+    /// nested below. [`ScenarioReport::breakdown`] is derived from it.
+    pub trace: Trace,
 }
 
 /// Runs a scenario to completion.
@@ -226,58 +359,73 @@ pub fn run_with_fallback(
     }
 }
 
-/// Outcome of moving one snapshot across a link, compressed or not.
-struct Shipped {
-    /// Bytes that actually crossed the wire.
-    wire_bytes: u64,
-    /// Sender-side codec time (zero when uncompressed).
-    extra_send: Duration,
-    /// Link occupancy including queueing.
-    transfer: Duration,
-    /// Receiver-side codec time (zero when uncompressed).
-    extra_recv: Duration,
-}
-
 /// Transfers a snapshot over `link`, optionally through the LZ+Huffman
 /// codec (the real codec runs; the clock is charged from the device
-/// models). Advances the shared clock past the arrival.
+/// models). Advances the shared clock past the arrival. Records
+/// `compress_{dir}` / `transfer_{dir}` / `decompress_{dir}` events to
+/// `tracer`; link-level occupancy/queue events nest under the transfer.
+#[allow(clippy::too_many_arguments)]
 fn ship(
     cfg: &ScenarioConfig,
     snapshot: &snapedge_webapp::Snapshot,
     sender: &crate::device::DeviceProfile,
     receiver: &crate::device::DeviceProfile,
+    lanes: (Lane, Lane),
+    dir: &str,
+    tracer: &Tracer,
     link: &mut Link,
     clock: &SimClock,
-) -> Result<Shipped, OffloadError> {
+) -> Result<u64, OffloadError> {
+    let (sender_lane, receiver_lane) = lanes;
     if !cfg.compress {
+        let span = tracer.begin_bytes(
+            &format!("transfer_{dir}"),
+            Lane::Network,
+            EventKind::Transfer,
+            clock.now(),
+            Some(snapshot.size_bytes()),
+        );
         let xfer = link.schedule(clock.now(), snapshot.size_bytes())?;
-        let transfer = xfer.finish - clock.now();
         clock.advance_to(xfer.finish);
-        return Ok(Shipped {
-            wire_bytes: snapshot.size_bytes(),
-            extra_send: Duration::ZERO,
-            transfer,
-            extra_recv: Duration::ZERO,
-        });
+        tracer.end(span, xfer.finish);
+        return Ok(snapshot.size_bytes());
     }
     let packed = snapedge_net::compress::compress(snapshot.html().as_bytes());
+    let compress_start = clock.now();
     let extra_send = sender.compress_time(snapshot.size_bytes());
     clock.advance_by(extra_send);
+    tracer.record(
+        &format!("compress_{dir}"),
+        sender_lane,
+        EventKind::Codec,
+        compress_start,
+        clock.now(),
+    );
+    let span = tracer.begin_bytes(
+        &format!("transfer_{dir}"),
+        Lane::Network,
+        EventKind::Transfer,
+        clock.now(),
+        Some(packed.len() as u64),
+    );
     let xfer = link.schedule(clock.now(), packed.len() as u64)?;
-    let transfer = xfer.finish - clock.now();
     clock.advance_to(xfer.finish);
+    tracer.end(span, xfer.finish);
     let unpacked = snapedge_net::compress::decompress(&packed)?;
     if unpacked != snapshot.html().as_bytes() {
         return Err(OffloadError::Protocol("codec roundtrip mismatch".into()));
     }
+    let decompress_start = clock.now();
     let extra_recv = receiver.decompress_time(snapshot.size_bytes());
     clock.advance_by(extra_recv);
-    Ok(Shipped {
-        wire_bytes: packed.len() as u64,
-        extra_send,
-        transfer,
-        extra_recv,
-    })
+    tracer.record(
+        &format!("decompress_{dir}"),
+        receiver_lane,
+        EventKind::Codec,
+        decompress_start,
+        clock.now(),
+    );
+    Ok(packed.len() as u64)
 }
 
 fn app_html(cfg: &ScenarioConfig) -> String {
@@ -302,16 +450,18 @@ fn run_local(cfg: &ScenarioConfig, on_server: bool) -> Result<ScenarioReport, Of
     let net = zoo::by_name(&cfg.model)?;
     let params = params_for(cfg, &net)?;
     let clock = SimClock::new();
-    let device = if on_server {
-        cfg.server_device.clone()
+    let tracer = Tracer::new();
+    let (device, lane, exec_name) = if on_server {
+        (cfg.server_device.clone(), Lane::Server, "exec_server")
     } else {
-        cfg.client_device.clone()
+        (cfg.client_device.clone(), Lane::Client, "exec_client")
     };
     let mut ep = Endpoint::new(
         if on_server { "server" } else { "client" },
         device,
         clock.clone(),
-    );
+    )
+    .with_tracer(tracer.clone(), lane);
     let cut = match &cfg.strategy {
         Strategy::Partial { cut } => Some(net.cut_point(cut)?.id),
         _ => None,
@@ -323,23 +473,20 @@ fn run_local(cfg: &ScenarioConfig, on_server: bool) -> Result<ScenarioReport, Of
 
     let clicked_at = clock.now();
     ep.browser.click("infer")?;
+    let exec_span = tracer.begin(exec_name, lane, EventKind::Exec, clicked_at);
     let outcome = ep.run()?;
+    tracer.end(exec_span, clock.now());
     if !matches!(outcome, RunOutcome::Idle { .. }) {
         return Err(OffloadError::Protocol(
             "local run unexpectedly hit an offload point".into(),
         ));
     }
     let exec = clock.now() - clicked_at;
-    let mut breakdown = Breakdown::default();
-    if on_server {
-        breakdown.exec_server = exec;
-    } else {
-        breakdown.exec_client = exec;
-    }
+    let trace = tracer.finish();
     Ok(ScenarioReport {
         model: cfg.model.clone(),
         strategy: cfg.strategy.clone(),
-        breakdown,
+        breakdown: Breakdown::from_trace(&trace),
         total: exec,
         ack_at: None,
         clicked_at,
@@ -347,6 +494,7 @@ fn run_local(cfg: &ScenarioConfig, on_server: bool) -> Result<ScenarioReport, Of
         snapshot_up_bytes: 0,
         snapshot_down_bytes: 0,
         result: ep.browser.element_text("result")?.to_string(),
+        trace,
     })
 }
 
@@ -357,8 +505,13 @@ fn run_offload(
 ) -> Result<ScenarioReport, OffloadError> {
     let net = zoo::by_name(&cfg.model)?;
     let clock = SimClock::new();
-    let mut client = Endpoint::new("client", cfg.client_device.clone(), clock.clone());
-    let mut server = Endpoint::new("edge-server", cfg.server_device.clone(), clock.clone());
+    let tracer = Tracer::new();
+    let mut client = Endpoint::new("client", cfg.client_device.clone(), clock.clone())
+        .with_tracer(tracer.clone(), Lane::Client);
+    let mut server = Endpoint::new("edge-server", cfg.server_device.clone(), clock.clone())
+        .with_tracer(tracer.clone(), Lane::Server);
+    uplink.set_tracer(tracer.clone(), "uplink");
+    downlink.set_tracer(tracer.clone(), "downlink");
 
     let (cut, offload_event) = match &cfg.strategy {
         Strategy::Partial { cut } => (Some(net.cut_point(cut)?.id), apps::PARTIAL_OFFLOAD_EVENT),
@@ -379,8 +532,24 @@ fn run_offload(
         None => full_bundle.clone(),
     };
     let model_upload_bytes = sent_bundle.total_bytes();
+    let upload_span = tracer.begin_bytes(
+        "model_upload",
+        Lane::Network,
+        EventKind::ModelUpload,
+        Duration::ZERO,
+        Some(model_upload_bytes),
+    );
     let model_xfer = uplink.schedule(Duration::ZERO, model_upload_bytes)?;
+    tracer.end(upload_span, model_xfer.finish);
+    let ack_span = tracer.begin_bytes(
+        "model_ack",
+        Lane::Network,
+        EventKind::Other,
+        model_xfer.finish,
+        Some(64),
+    );
     let ack_xfer = downlink.schedule(model_xfer.finish, 64)?;
+    tracer.end(ack_span, ack_xfer.finish);
     let ack_at = ack_xfer.finish;
 
     // Server-side parameters come from the received bundle (rear-only for
@@ -405,69 +574,64 @@ fn run_offload(
     clock.advance_to(clicked_at);
 
     client.browser.click("infer")?;
-    let before_exec = clock.now();
+    let exec_span = tracer.begin("exec_client", Lane::Client, EventKind::Exec, clock.now());
     let outcome = client.run()?;
+    tracer.end(exec_span, clock.now());
     if !matches!(outcome, RunOutcome::OffloadPoint { .. }) {
         return Err(OffloadError::Protocol(format!(
             "expected to reach offload point {offload_event:?}, got {outcome:?}"
         )));
     }
-    let exec_client = clock.now() - before_exec;
 
-    // --- Client-to-server migration.
-    let (snap_up, mut capture_client) = client.capture(&cfg.snapshot)?;
-    let shipped_up = ship(
+    // --- Client-to-server migration. Capture/restore events come from the
+    // endpoints; transfer/codec events from `ship`.
+    let (snap_up, _capture_client) = client.capture(&cfg.snapshot)?;
+    let snapshot_up_bytes = ship(
         cfg,
         &snap_up,
         &client.device,
         &server.device,
+        (Lane::Client, Lane::Server),
+        "up",
+        &tracer,
         uplink,
         &clock,
     )?;
-    capture_client += shipped_up.extra_send;
-    let transfer_up = shipped_up.transfer;
-    let restore_server = server.restore(&snap_up)? + shipped_up.extra_recv;
-    let before_server = clock.now();
+    server.restore(&snap_up)?;
+    let exec_span = tracer.begin("exec_server", Lane::Server, EventKind::Exec, clock.now());
     server.run()?;
-    let exec_server = clock.now() - before_server;
+    tracer.end(exec_span, clock.now());
 
     // --- Server-to-client migration of the updated state.
-    let (snap_down, mut capture_server) = server.capture(&cfg.snapshot)?;
-    let shipped_down = ship(
+    let (snap_down, _capture_server) = server.capture(&cfg.snapshot)?;
+    let snapshot_down_bytes = ship(
         cfg,
         &snap_down,
         &server.device,
         &client.device,
+        (Lane::Server, Lane::Client),
+        "down",
+        &tracer,
         downlink,
         &clock,
     )?;
-    capture_server += shipped_down.extra_send;
-    let transfer_down = shipped_down.transfer;
-    let restore_client = client.restore(&snap_down)? + shipped_down.extra_recv;
+    client.restore(&snap_down)?;
     client.browser.set_offload_trigger(None);
     client.run()?;
 
-    let breakdown = Breakdown {
-        exec_client,
-        capture_client,
-        transfer_up,
-        restore_server,
-        exec_server,
-        capture_server,
-        transfer_down,
-        restore_client,
-    };
+    let trace = tracer.finish();
     Ok(ScenarioReport {
         model: cfg.model.clone(),
         strategy: cfg.strategy.clone(),
-        breakdown,
+        breakdown: Breakdown::from_trace(&trace),
         total: clock.now() - clicked_at,
         ack_at: Some(ack_at),
         clicked_at,
         model_upload_bytes,
-        snapshot_up_bytes: shipped_up.wire_bytes,
-        snapshot_down_bytes: shipped_down.wire_bytes,
+        snapshot_up_bytes,
+        snapshot_down_bytes,
         result: client.browser.element_text("result")?.to_string(),
+        trace,
     })
 }
 

@@ -17,6 +17,7 @@ use crate::endpoint::Endpoint;
 use crate::OffloadError;
 use snapedge_dnn::{zoo, ExecMode, ModelBundle, Network, NodeId, ParamStore};
 use snapedge_net::{Link, LinkConfig, SimClock};
+use snapedge_trace::{EventKind, Lane, Trace, Tracer};
 use snapedge_webapp::{DeltaCapture, RunOutcome, SnapshotOptions, StateBase};
 use std::time::Duration;
 
@@ -47,36 +48,130 @@ pub struct SessionConfig {
 }
 
 impl SessionConfig {
-    /// Paper-scale configuration (synthetic execution).
-    pub fn paper(model: &str) -> SessionConfig {
-        SessionConfig {
-            model: model.to_string(),
-            cut: None,
-            link: LinkConfig::wifi_30mbps(),
-            client_device: crate::device::odroid_xu4(),
-            server_device: crate::device::edge_server_x86(),
-            exec_mode: ExecMode::Synthetic { seed: 0xCAFE },
-            seed: 42,
-            image_bytes: 35_000,
-            snapshot: SnapshotOptions::default(),
-            use_deltas: true,
+    /// Builder seeded with the paper-scale configuration (synthetic
+    /// execution).
+    ///
+    /// ```
+    /// use snapedge_core::SessionConfig;
+    ///
+    /// let cfg = SessionConfig::paper_builder("agenet")
+    ///     .use_deltas(false)
+    ///     .build();
+    /// assert!(!cfg.use_deltas);
+    /// ```
+    pub fn paper_builder(model: &str) -> SessionBuilder {
+        SessionBuilder {
+            cfg: SessionConfig {
+                model: model.to_string(),
+                cut: None,
+                link: LinkConfig::wifi_30mbps(),
+                client_device: crate::device::odroid_xu4(),
+                server_device: crate::device::edge_server_x86(),
+                exec_mode: ExecMode::Synthetic { seed: 0xCAFE },
+                seed: 42,
+                image_bytes: 35_000,
+                snapshot: SnapshotOptions::default(),
+                use_deltas: true,
+            },
         }
     }
 
-    /// Tiny real-arithmetic configuration for tests.
-    pub fn tiny() -> SessionConfig {
-        SessionConfig {
-            model: "tiny_cnn".to_string(),
-            cut: None,
-            link: LinkConfig::wifi_30mbps(),
-            client_device: crate::device::odroid_xu4(),
-            server_device: crate::device::edge_server_x86(),
-            exec_mode: ExecMode::Real,
-            seed: 7,
-            image_bytes: 2_000,
-            snapshot: SnapshotOptions::default(),
-            use_deltas: true,
+    /// Builder seeded with the tiny real-arithmetic test configuration.
+    pub fn tiny_builder() -> SessionBuilder {
+        SessionBuilder {
+            cfg: SessionConfig {
+                model: "tiny_cnn".to_string(),
+                cut: None,
+                link: LinkConfig::wifi_30mbps(),
+                client_device: crate::device::odroid_xu4(),
+                server_device: crate::device::edge_server_x86(),
+                exec_mode: ExecMode::Real,
+                seed: 7,
+                image_bytes: 2_000,
+                snapshot: SnapshotOptions::default(),
+                use_deltas: true,
+            },
         }
+    }
+
+    /// Paper-scale configuration (shorthand for
+    /// [`SessionConfig::paper_builder`]).
+    pub fn paper(model: &str) -> SessionConfig {
+        Self::paper_builder(model).build()
+    }
+
+    /// Tiny real-arithmetic configuration for tests (shorthand for
+    /// [`SessionConfig::tiny_builder`]).
+    pub fn tiny() -> SessionConfig {
+        Self::tiny_builder().build()
+    }
+}
+
+/// Builder for [`SessionConfig`] — start from
+/// [`SessionConfig::paper_builder`] or [`SessionConfig::tiny_builder`].
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    cfg: SessionConfig,
+}
+
+impl SessionBuilder {
+    /// Partial-inference cut label (`None` means full offloading).
+    pub fn cut(mut self, cut: &str) -> SessionBuilder {
+        self.cfg.cut = Some(cut.to_string());
+        self
+    }
+
+    /// Sets the link model used in both directions.
+    pub fn link(mut self, link: LinkConfig) -> SessionBuilder {
+        self.cfg.link = link;
+        self
+    }
+
+    /// Sets the client device model.
+    pub fn client_device(mut self, device: DeviceProfile) -> SessionBuilder {
+        self.cfg.client_device = device;
+        self
+    }
+
+    /// Sets the server device model.
+    pub fn server_device(mut self, device: DeviceProfile) -> SessionBuilder {
+        self.cfg.server_device = device;
+        self
+    }
+
+    /// Real or synthetic layer execution.
+    pub fn exec_mode(mut self, mode: ExecMode) -> SessionBuilder {
+        self.cfg.exec_mode = mode;
+        self
+    }
+
+    /// Seed for parameters and image generation.
+    pub fn seed(mut self, seed: u64) -> SessionBuilder {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Encoded image size in bytes.
+    pub fn image_bytes(mut self, bytes: usize) -> SessionBuilder {
+        self.cfg.image_bytes = bytes;
+        self
+    }
+
+    /// Snapshot generation options.
+    pub fn snapshot(mut self, options: SnapshotOptions) -> SessionBuilder {
+        self.cfg.snapshot = options;
+        self
+    }
+
+    /// Whether to use delta snapshots after the first offload.
+    pub fn use_deltas(mut self, on: bool) -> SessionBuilder {
+        self.cfg.use_deltas = on;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> SessionConfig {
+        self.cfg
     }
 }
 
@@ -115,6 +210,7 @@ pub struct OffloadSession {
     round: usize,
     /// When the current server acknowledged the model pre-send.
     ack_at: Duration,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for OffloadSession {
@@ -141,11 +237,14 @@ impl OffloadSession {
             None => None,
         };
         let clock = SimClock::new();
-        let client = Endpoint::new("client", cfg.client_device.clone(), clock.clone());
+        let tracer = Tracer::new();
+        let client = Endpoint::new("client", cfg.client_device.clone(), clock.clone())
+            .with_tracer(tracer.clone(), Lane::Client);
         let mut session = OffloadSession {
-            server: Endpoint::new("edge-server-1", cfg.server_device.clone(), clock.clone()),
-            uplink: Link::new(cfg.link.clone()),
-            downlink: Link::new(cfg.link.clone()),
+            server: Endpoint::new("edge-server-1", cfg.server_device.clone(), clock.clone())
+                .with_tracer(tracer.clone(), Lane::Server),
+            uplink: Link::new(cfg.link.clone()).with_tracer(tracer.clone(), "uplink"),
+            downlink: Link::new(cfg.link.clone()).with_tracer(tracer.clone(), "downlink"),
             cfg,
             net,
             cut,
@@ -154,6 +253,7 @@ impl OffloadSession {
             agreed: None,
             round: 0,
             ack_at: Duration::ZERO,
+            tracer,
         };
         session.setup_client()?;
         session.setup_server()?;
@@ -202,8 +302,24 @@ impl OffloadSession {
             Some(cut) => bundle.split(&self.net, cut)?.1,
             None => bundle,
         };
+        let upload_span = self.tracer.begin_bytes(
+            "model_upload",
+            Lane::Network,
+            EventKind::ModelUpload,
+            self.clock.now(),
+            Some(sent.total_bytes()),
+        );
         let xfer = self.uplink.schedule(self.clock.now(), sent.total_bytes())?;
+        self.tracer.end(upload_span, xfer.finish);
+        let ack_span = self.tracer.begin_bytes(
+            "model_ack",
+            Lane::Network,
+            EventKind::Other,
+            xfer.finish,
+            Some(64),
+        );
         let ack = self.downlink.schedule(xfer.finish, 64)?;
+        self.tracer.end(ack_span, ack.finish);
         self.ack_at = ack.finish;
         let server_params = match self.cfg.exec_mode {
             ExecMode::Real => ParamStore::from_bundle(&sent)?,
@@ -230,6 +346,11 @@ impl OffloadSession {
         self.clock.now()
     }
 
+    /// A snapshot of the session's event trace so far (all rounds).
+    pub fn trace(&self) -> Trace {
+        self.tracer.finish()
+    }
+
     /// Moves the client to a *new, fresh* edge server (the roaming case).
     /// The delta agreement is dropped; the model is pre-sent to the new
     /// server. No state from the previous server is needed — snapshots are
@@ -240,9 +361,11 @@ impl OffloadSession {
     /// Propagates setup failures.
     pub fn handoff(&mut self) -> Result<(), OffloadError> {
         let name = format!("edge-server-{}", self.round + 1);
-        self.server = Endpoint::new(&name, self.cfg.server_device.clone(), self.clock.clone());
-        self.uplink = Link::new(self.cfg.link.clone());
-        self.downlink = Link::new(self.cfg.link.clone());
+        self.server = Endpoint::new(&name, self.cfg.server_device.clone(), self.clock.clone())
+            .with_tracer(self.tracer.clone(), Lane::Server);
+        self.uplink = Link::new(self.cfg.link.clone()).with_tracer(self.tracer.clone(), "uplink");
+        self.downlink =
+            Link::new(self.cfg.link.clone()).with_tracer(self.tracer.clone(), "downlink");
         self.agreed = None;
         self.setup_server()
     }
@@ -277,7 +400,11 @@ impl OffloadSession {
 
         let clicked_at = self.clock.now();
         self.client.browser.click("infer")?;
+        let exec_span = self
+            .tracer
+            .begin("exec_client", Lane::Client, EventKind::Exec, clicked_at);
         let outcome = self.client.run()?;
+        self.tracer.end(exec_span, self.clock.now());
         if !matches!(outcome, RunOutcome::OffloadPoint { .. }) {
             return Err(OffloadError::Protocol(format!(
                 "expected offload point, got {outcome:?}"
@@ -289,7 +416,14 @@ impl OffloadSession {
 
         // The server runs the pending event.
         let server_base = self.server.browser.state_base();
+        let exec_span = self.tracer.begin(
+            "exec_server",
+            Lane::Server,
+            EventKind::Exec,
+            self.clock.now(),
+        );
         self.server.run()?;
+        self.tracer.end(exec_span, self.clock.now());
 
         // --- Downlink migration.
         let (down_bytes, delta_down) = self.migrate_down(&server_base, delta_up)?;
@@ -326,19 +460,35 @@ impl OffloadSession {
                     .capture_delta(&base, &self.cfg.snapshot)?
                 {
                     let bytes = delta.size_bytes();
+                    let capture_start = self.clock.now();
                     self.charge_capture_client(bytes);
-                    let xfer = self.uplink.schedule(self.clock.now(), bytes)?;
-                    self.clock.advance_to(xfer.finish);
+                    self.tracer.record_bytes(
+                        "capture_client",
+                        Lane::Client,
+                        EventKind::Capture,
+                        capture_start,
+                        self.clock.now(),
+                        Some(bytes),
+                    );
+                    self.transfer("up", bytes)?;
+                    let restore_start = self.clock.now();
                     self.server.browser.apply_delta(&delta)?;
                     self.charge_restore_server(bytes);
+                    self.tracer.record_bytes(
+                        "restore_server",
+                        Lane::Server,
+                        EventKind::Restore,
+                        restore_start,
+                        self.clock.now(),
+                        Some(bytes),
+                    );
                     return Ok((bytes, true));
                 }
             }
         }
         let (snapshot, _) = self.client.capture(&self.cfg.snapshot)?;
         let bytes = snapshot.size_bytes();
-        let xfer = self.uplink.schedule(self.clock.now(), bytes)?;
-        self.clock.advance_to(xfer.finish);
+        self.transfer("up", bytes)?;
         self.server.restore(&snapshot)?;
         Ok((bytes, false))
     }
@@ -355,20 +505,56 @@ impl OffloadSession {
                 .capture_delta(server_base, &self.cfg.snapshot)?
             {
                 let bytes = delta.size_bytes();
+                let capture_start = self.clock.now();
                 self.charge_capture_server(bytes);
-                let xfer = self.downlink.schedule(self.clock.now(), bytes)?;
-                self.clock.advance_to(xfer.finish);
+                self.tracer.record_bytes(
+                    "capture_server",
+                    Lane::Server,
+                    EventKind::Capture,
+                    capture_start,
+                    self.clock.now(),
+                    Some(bytes),
+                );
+                self.transfer("down", bytes)?;
+                let restore_start = self.clock.now();
                 self.client.browser.apply_delta(&delta)?;
                 self.charge_restore_client(bytes);
+                self.tracer.record_bytes(
+                    "restore_client",
+                    Lane::Client,
+                    EventKind::Restore,
+                    restore_start,
+                    self.clock.now(),
+                    Some(bytes),
+                );
                 return Ok((bytes, true));
             }
         }
         let (snapshot, _) = self.server.capture(&self.cfg.snapshot)?;
         let bytes = snapshot.size_bytes();
-        let xfer = self.downlink.schedule(self.clock.now(), bytes)?;
-        self.clock.advance_to(xfer.finish);
+        self.transfer("down", bytes)?;
         self.client.restore(&snapshot)?;
         Ok((bytes, false))
+    }
+
+    /// Ships `bytes` over the uplink (`dir == "up"`) or downlink, advancing
+    /// the clock to delivery and recording a `transfer_{dir}` span.
+    fn transfer(&mut self, dir: &str, bytes: u64) -> Result<(), OffloadError> {
+        let link = match dir {
+            "up" => &mut self.uplink,
+            _ => &mut self.downlink,
+        };
+        let span = self.tracer.begin_bytes(
+            &format!("transfer_{dir}"),
+            Lane::Network,
+            EventKind::Transfer,
+            self.clock.now(),
+            Some(bytes),
+        );
+        let xfer = link.schedule(self.clock.now(), bytes)?;
+        self.clock.advance_to(xfer.finish);
+        self.tracer.end(span, xfer.finish);
+        Ok(())
     }
 
     fn charge_capture_client(&self, bytes: u64) {

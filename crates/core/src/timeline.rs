@@ -3,6 +3,7 @@
 //! time went (the at-a-glance version of the paper's Fig. 7).
 
 use crate::scenario::ScenarioReport;
+use snapedge_trace::Trace;
 use std::time::Duration;
 
 /// Which machine a phase ran on (or the wire between them).
@@ -36,34 +37,70 @@ impl Span {
     }
 }
 
-/// Reconstructs the sequential phase spans of an offloaded inference.
+/// Display name, lane and canonical trace-event names of each phase. The
+/// codec events are folded into the neighbouring capture/restore phases,
+/// matching [`crate::Breakdown`]'s accounting.
+const PHASES: [(&str, Lane, &[&str]); 8] = [
+    ("exec (client)", Lane::Client, &["exec_client"]),
+    (
+        "capture (client)",
+        Lane::Client,
+        &["capture_client", "compress_up"],
+    ),
+    ("transfer up", Lane::Network, &["transfer_up"]),
+    (
+        "restore (server)",
+        Lane::Server,
+        &["decompress_up", "restore_server"],
+    ),
+    ("exec (server)", Lane::Server, &["exec_server"]),
+    (
+        "capture (server)",
+        Lane::Server,
+        &["capture_server", "compress_down"],
+    ),
+    ("transfer down", Lane::Network, &["transfer_down"]),
+    (
+        "restore (client)",
+        Lane::Client,
+        &["decompress_down", "restore_client"],
+    ),
+];
+
+/// The phase spans of an offloaded inference, derived from the report's
+/// event trace and rebased so the inference click is time zero.
 /// Local/server-only runs produce a single execution span.
 pub fn spans(report: &ScenarioReport) -> Vec<Span> {
-    let b = &report.breakdown;
-    let phases: [(&'static str, Lane, Duration); 8] = [
-        ("exec (client)", Lane::Client, b.exec_client),
-        ("capture (client)", Lane::Client, b.capture_client),
-        ("transfer up", Lane::Network, b.transfer_up),
-        ("restore (server)", Lane::Server, b.restore_server),
-        ("exec (server)", Lane::Server, b.exec_server),
-        ("capture (server)", Lane::Server, b.capture_server),
-        ("transfer down", Lane::Network, b.transfer_down),
-        ("restore (client)", Lane::Client, b.restore_client),
-    ];
+    spans_of_trace(&report.trace, report.clicked_at)
+}
+
+/// Extracts the canonical phase spans from any scenario trace, shifting
+/// timestamps so `origin` (usually the click time) becomes zero. Events
+/// from before `origin` — model pre-sending, the ACK — are not phases and
+/// are skipped.
+pub fn spans_of_trace(trace: &Trace, origin: Duration) -> Vec<Span> {
     let mut out = Vec::new();
-    let mut t = Duration::ZERO;
-    for (name, lane, d) in phases {
-        if d.is_zero() {
-            continue;
+    for (name, lane, event_names) in PHASES {
+        let mut start: Option<Duration> = None;
+        let mut end = Duration::ZERO;
+        for event in trace.events() {
+            if event_names.contains(&event.name.as_str()) {
+                start = Some(start.map_or(event.start, |s| s.min(event.start)));
+                end = end.max(event.end);
+            }
         }
-        out.push(Span {
-            name,
-            lane,
-            start: t,
-            end: t + d,
-        });
-        t += d;
+        if let Some(s) = start {
+            if end > s {
+                out.push(Span {
+                    name,
+                    lane,
+                    start: s.saturating_sub(origin),
+                    end: end.saturating_sub(origin),
+                });
+            }
+        }
     }
+    out.sort_by_key(|s| (s.start, s.end));
     out
 }
 

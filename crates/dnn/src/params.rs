@@ -3,8 +3,7 @@
 //! which is what makes pre-sending and front/rear model splitting natural.
 
 use crate::{DnnError, Network, Op};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use snapedge_rng::Rng;
 use snapedge_tensor::{serialize, Tensor};
 use std::collections::BTreeMap;
 
@@ -68,7 +67,7 @@ impl ParamStore {
     /// Propagates tensor construction failures (cannot occur for validated
     /// networks).
     pub fn init(net: &Network, seed: u64) -> Result<ParamStore, DnnError> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut by_node = BTreeMap::new();
         for (id, name, op) in net.iter() {
             let dims: Vec<usize> = match op {
@@ -96,8 +95,8 @@ impl ParamStore {
             // text-serialized features have realistic digit counts.
             let fan_in: usize = dims[1..].iter().product();
             let scale = (2.0 / fan_in as f32).sqrt();
-            let weights = Tensor::from_fn(&dims, |_| (rng.gen::<f32>() - 0.5) * 2.0 * scale)?;
-            let bias = Tensor::from_fn(&[out], |_| (rng.gen::<f32>() - 0.5) * 0.02)?;
+            let weights = Tensor::from_fn(&dims, |_| (rng.next_f32() - 0.5) * 2.0 * scale)?;
+            let bias = Tensor::from_fn(&[out], |_| (rng.next_f32() - 0.5) * 0.02)?;
             by_node.insert(name.to_string(), LayerParams { weights, bias });
         }
         Ok(ParamStore {

@@ -1,10 +1,14 @@
-//! Property tests over randomly generated networks: shape inference must
-//! match execution, partial execution must equal full execution at every
-//! cut, and the description format must round-trip.
+//! Property-style tests over randomly generated networks, run as
+//! deterministic seeded loops (no external `proptest` dependency — the
+//! workspace builds offline). Shape inference must match execution,
+//! partial execution must equal full execution at every cut, and the
+//! description format must round-trip.
 
-use proptest::prelude::*;
 use snapedge_dnn::{ExecMode, Network, NetworkBuilder, Op, PoolKind};
+use snapedge_rng::Rng;
 use snapedge_tensor::Tensor;
+
+const CASES: u64 = 48;
 
 /// One randomly chosen layer of a linear CNN body.
 #[derive(Debug, Clone)]
@@ -16,14 +20,25 @@ enum RandLayer {
     Dropout,
 }
 
-fn layer_strategy() -> impl Strategy<Value = RandLayer> {
-    prop_oneof![
-        (1usize..5, 1usize..4, 0usize..2).prop_map(|(out, k, pad)| RandLayer::Conv { out, k, pad }),
-        Just(RandLayer::Relu),
-        (2usize..4).prop_map(|k| RandLayer::Pool { k }),
-        Just(RandLayer::Lrn),
-        Just(RandLayer::Dropout),
-    ]
+fn rand_layer(rng: &mut Rng) -> RandLayer {
+    match rng.gen_range_usize(0, 5) {
+        0 => RandLayer::Conv {
+            out: rng.gen_range_usize(1, 5),
+            k: rng.gen_range_usize(1, 4),
+            pad: rng.gen_range_usize(0, 2),
+        },
+        1 => RandLayer::Relu,
+        2 => RandLayer::Pool {
+            k: rng.gen_range_usize(2, 4),
+        },
+        3 => RandLayer::Lrn,
+        _ => RandLayer::Dropout,
+    }
+}
+
+fn rand_body(rng: &mut Rng, lo: usize, hi: usize) -> Vec<RandLayer> {
+    let n = rng.gen_range_usize(lo, hi);
+    (0..n).map(|_| rand_layer(rng)).collect()
 }
 
 /// Builds a network from the random body, skipping layers that would not
@@ -107,69 +122,84 @@ fn build(body: &[RandLayer], classes: usize) -> Network {
     b.build(out).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn execution_matches_shape_inference(
-        body in prop::collection::vec(layer_strategy(), 0..6),
-        classes in 2usize..6,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn execution_matches_shape_inference() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(100 + case);
+        let body = rand_body(&mut rng, 0, 6);
+        let classes = rng.gen_range_usize(2, 6);
+        let seed = rng.next_u64();
         let net = build(&body, classes);
         let params = net.init_params(seed).unwrap();
         let input = Tensor::from_fn(net.input_shape().dims(), |i| {
             ((i as u64).wrapping_mul(seed | 1) % 100) as f32 / 100.0
-        }).unwrap();
+        })
+        .unwrap();
         let fwd = net.forward(&params, &input, ExecMode::Real).unwrap();
         for (id, name, _) in net.iter() {
-            prop_assert_eq!(
+            assert_eq!(
                 fwd.output(id).unwrap().shape(),
                 net.output_shape(id).unwrap(),
-                "node {}", name
+                "case {case} node {name}"
             );
         }
         // Classifier output is a probability distribution.
         let sum: f32 = fwd.final_output().data().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-3);
+        assert!((sum - 1.0).abs() < 1e-3, "case {case}: sum {sum}");
     }
+}
 
-    #[test]
-    fn every_cut_splits_losslessly(
-        body in prop::collection::vec(layer_strategy(), 0..6),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn every_cut_splits_losslessly() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(200 + case);
+        let body = rand_body(&mut rng, 0, 6);
+        let seed = rng.next_u64();
         let net = build(&body, 3);
         let params = net.init_params(seed).unwrap();
         let input = Tensor::from_fn(net.input_shape().dims(), |i| {
             ((i as u64).wrapping_mul(seed | 3) % 97) as f32 / 97.0
-        }).unwrap();
+        })
+        .unwrap();
         let full = net.forward(&params, &input, ExecMode::Real).unwrap();
         for cut in net.cut_points() {
-            let front = net.forward_until(&params, &input, cut.id, ExecMode::Real).unwrap();
+            let front = net
+                .forward_until(&params, &input, cut.id, ExecMode::Real)
+                .unwrap();
             let feature = front.output(cut.id).unwrap().clone();
-            let rear = net.forward_from(&params, cut.id, feature, ExecMode::Real).unwrap();
-            prop_assert_eq!(rear.final_output(), full.final_output(), "cut {}", cut.label);
+            let rear = net
+                .forward_from(&params, cut.id, feature, ExecMode::Real)
+                .unwrap();
+            assert_eq!(
+                rear.final_output(),
+                full.final_output(),
+                "case {case} cut {}",
+                cut.label
+            );
         }
     }
+}
 
-    #[test]
-    fn description_roundtrips_random_networks(
-        body in prop::collection::vec(layer_strategy(), 0..8),
-        classes in 2usize..8,
-    ) {
+#[test]
+fn description_roundtrips_random_networks() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(300 + case);
+        let body = rand_body(&mut rng, 0, 8);
+        let classes = rng.gen_range_usize(2, 8);
         let net = build(&body, classes);
         let text = net.to_description();
         let back = Network::from_description(&text).unwrap();
-        prop_assert_eq!(back.profile(), net.profile());
+        assert_eq!(back.profile(), net.profile(), "case {case}");
         // And re-printing is a fixed point.
-        prop_assert_eq!(back.to_description(), text);
+        assert_eq!(back.to_description(), text, "case {case}");
     }
+}
 
-    #[test]
-    fn profile_flops_are_monotone_in_depth(
-        body in prop::collection::vec(layer_strategy(), 1..6),
-    ) {
+#[test]
+fn profile_flops_are_monotone_in_depth() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(400 + case);
+        let body = rand_body(&mut rng, 1, 6);
         let net = build(&body, 4);
         let profile = net.profile();
         // Front FLOPs grow (weakly) as the cut moves deeper.
@@ -177,27 +207,35 @@ proptest! {
         let mut prev = 0;
         for cut in &cuts {
             let through = profile.flops_through(cut.id);
-            prop_assert!(through >= prev, "cut {}", cut.label);
+            assert!(through >= prev, "case {case} cut {}", cut.label);
             prev = through;
         }
-        prop_assert_eq!(profile.flops_after(cuts.last().unwrap().id), 0);
+        assert_eq!(
+            profile.flops_after(cuts.last().unwrap().id),
+            0,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn synthetic_and_real_agree_on_all_sizes(
-        body in prop::collection::vec(layer_strategy(), 0..5),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn synthetic_and_real_agree_on_all_sizes() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(500 + case);
+        let body = rand_body(&mut rng, 0, 5);
+        let seed = rng.next_u64();
         let net = build(&body, 3);
         let params = net.init_params(seed).unwrap();
         let input = Tensor::filled(net.input_shape().dims(), 0.25).unwrap();
         let real = net.forward(&params, &input, ExecMode::Real).unwrap();
-        let synth = net.forward(&params, &input, ExecMode::Synthetic { seed }).unwrap();
+        let synth = net
+            .forward(&params, &input, ExecMode::Synthetic { seed })
+            .unwrap();
         for (id, name, _) in net.iter() {
-            prop_assert_eq!(
+            assert_eq!(
                 real.output(id).unwrap().len(),
                 synth.output(id).unwrap().len(),
-                "node {}", name
+                "case {case} node {name}"
             );
         }
     }

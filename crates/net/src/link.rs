@@ -1,5 +1,6 @@
 //! Shaped, FIFO-serializing links (the `netem` model).
 
+use snapedge_trace::{EventKind, Lane, Tracer};
 use std::fmt;
 use std::time::Duration;
 
@@ -112,13 +113,27 @@ impl Transfer {
 /// transfer requested while the link is busy queues behind the in-flight
 /// one — this is exactly why "offloading before ACK" is slow in the paper
 /// (the snapshot queues behind the still-uploading model).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Link {
     config: LinkConfig,
     busy_until: Duration,
     down: bool,
     total_bytes: u64,
     transfers: usize,
+    label: String,
+    tracer: Tracer,
+}
+
+impl PartialEq for Link {
+    fn eq(&self, other: &Link) -> bool {
+        // Tracer handles are observers, not link state.
+        self.config == other.config
+            && self.busy_until == other.busy_until
+            && self.down == other.down
+            && self.total_bytes == other.total_bytes
+            && self.transfers == other.transfers
+            && self.label == other.label
+    }
 }
 
 impl Link {
@@ -130,7 +145,26 @@ impl Link {
             down: false,
             total_bytes: 0,
             transfers: 0,
+            label: "link".to_string(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches an observability tracer: every scheduled transfer records
+    /// a [`EventKind::Transfer`] event named after `label` (plus a
+    /// [`EventKind::Queue`] event when the transfer had to wait behind an
+    /// in-flight one). Builder-style.
+    pub fn with_tracer(mut self, tracer: Tracer, label: &str) -> Link {
+        self.tracer = tracer;
+        self.label = label.to_string();
+        self
+    }
+
+    /// Replaces the tracer on an existing link (the caller-provided-links
+    /// entry points use this to instrument links they did not build).
+    pub fn set_tracer(&mut self, tracer: Tracer, label: &str) {
+        self.tracer = tracer;
+        self.label = label.to_string();
     }
 
     /// The link's static configuration.
@@ -156,6 +190,26 @@ impl Link {
         self.busy_until = finish;
         self.total_bytes += bytes;
         self.transfers += 1;
+        if self.tracer.is_enabled() {
+            if start > now {
+                self.tracer.record_bytes(
+                    &format!("{}_queue", self.label),
+                    Lane::Network,
+                    EventKind::Queue,
+                    now,
+                    start,
+                    Some(bytes),
+                );
+            }
+            self.tracer.record_bytes(
+                &self.label,
+                Lane::Network,
+                EventKind::Transfer,
+                start,
+                finish,
+                Some(bytes),
+            );
+        }
         Ok(Transfer {
             start,
             finish,
@@ -279,6 +333,32 @@ mod tests {
         link.schedule(Duration::ZERO, 200).unwrap();
         assert_eq!(link.total_bytes(), 300);
         assert_eq!(link.transfer_count(), 2);
+    }
+
+    #[test]
+    fn traced_links_record_transfers_and_queueing() {
+        let tracer = Tracer::new();
+        let mut link = Link::new(LinkConfig::mbps(8.0)).with_tracer(tracer.clone(), "uplink");
+        link.schedule(Duration::ZERO, 1_000_000).unwrap();
+        link.schedule(Duration::ZERO, 1_000_000).unwrap();
+        let trace = tracer.finish();
+        let transfers: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Transfer)
+            .collect();
+        assert_eq!(transfers.len(), 2);
+        assert!(transfers.iter().all(|e| e.name == "uplink"));
+        assert!(transfers.iter().all(|e| e.bytes == Some(1_000_000)));
+        // The second transfer queued behind the first.
+        let queues: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Queue)
+            .collect();
+        assert_eq!(queues.len(), 1);
+        assert_eq!(queues[0].name, "uplink_queue");
+        assert_eq!(queues[0].end, transfers[0].end);
     }
 
     #[test]

@@ -1,176 +1,259 @@
-//! Property-based tests for tensor invariants.
+//! Property-style tests for tensor invariants, run as deterministic
+//! seeded loops (no external `proptest` dependency — the workspace builds
+//! offline). Each case draws its inputs from a [`snapedge_rng::Rng`]
+//! seeded by the loop index, so failures reproduce exactly.
 
-use proptest::prelude::*;
+use snapedge_rng::Rng;
 use snapedge_tensor::{ops, serialize, Shape, Tensor};
 
-fn small_dims() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..6, 1..4)
+const CASES: u64 = 64;
+
+fn small_dims(rng: &mut Rng) -> Vec<usize> {
+    let n = rng.gen_range_usize(1, 4);
+    (0..n).map(|_| rng.gen_range_usize(1, 6)).collect()
 }
 
-fn finite_f32() -> impl Strategy<Value = f32> {
-    // Stay well within f32 precision so text round-trips are exact.
-    (-1.0e6f32..1.0e6f32).prop_filter("finite", |v| v.is_finite())
+/// Uniform f32 well within text round-trip precision.
+fn finite_f32(rng: &mut Rng) -> f32 {
+    rng.gen_range_f32(-1.0e6, 1.0e6)
 }
 
-proptest! {
-    #[test]
-    fn shape_offset_is_bijective(dims in small_dims()) {
+fn f32_vec(rng: &mut Rng, lo: usize, hi: usize) -> Vec<f32> {
+    let n = rng.gen_range_usize(lo, hi);
+    (0..n).map(|_| finite_f32(rng)).collect()
+}
+
+#[test]
+fn shape_offset_is_bijective() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(1000 + case);
+        let dims = small_dims(&mut rng);
         let shape = Shape::new(&dims).unwrap();
         let mut seen = std::collections::HashSet::new();
         // Enumerate all indices and check offsets are unique and in range.
         let mut index = vec![0usize; dims.len()];
-        loop {
+        'outer: loop {
             let off = shape.offset(&index).unwrap();
-            prop_assert!(off < shape.volume());
-            prop_assert!(seen.insert(off));
+            assert!(off < shape.volume());
+            assert!(seen.insert(off), "case {case}: duplicate offset {off}");
             // Odometer increment.
             let mut axis = dims.len();
             loop {
-                if axis == 0 { break; }
+                if axis == 0 {
+                    break 'outer;
+                }
                 axis -= 1;
                 index[axis] += 1;
-                if index[axis] < dims[axis] { break; }
+                if index[axis] < dims[axis] {
+                    break;
+                }
                 index[axis] = 0;
                 if axis == 0 {
-                    prop_assert_eq!(seen.len(), shape.volume());
-                    return Ok(());
+                    break 'outer;
                 }
             }
-            if index.iter().all(|&i| i == 0) { break; }
         }
-        prop_assert_eq!(seen.len(), shape.volume());
+        assert_eq!(seen.len(), shape.volume(), "case {case}");
     }
+}
 
-    #[test]
-    fn binary_roundtrip_preserves_tensor(
-        dims in small_dims(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn binary_roundtrip_preserves_tensor() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(2000 + case);
+        let dims = small_dims(&mut rng);
+        let seed = rng.next_u64();
         let volume: usize = dims.iter().product();
         let t = Tensor::from_fn(&dims, |i| {
             let x = (i as u64).wrapping_mul(seed | 1).wrapping_add(17);
             ((x % 100_000) as f32 / 50_000.0) - 1.0
-        }).unwrap();
-        prop_assert_eq!(t.len(), volume);
+        })
+        .unwrap();
+        assert_eq!(t.len(), volume);
         let back = serialize::from_binary(&serialize::to_binary(&t)).unwrap();
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t, "case {case}");
     }
+}
 
-    #[test]
-    fn js_text_roundtrip_preserves_values(values in prop::collection::vec(finite_f32(), 1..64)) {
+#[test]
+fn js_text_roundtrip_preserves_values() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(3000 + case);
+        let values = f32_vec(&mut rng, 1, 64);
         let t = Tensor::from_vec(&[values.len()], values.clone()).unwrap();
         let back = serialize::from_js_text(&serialize::to_js_text(&t)).unwrap();
-        prop_assert_eq!(back, values);
+        assert_eq!(back, values, "case {case}");
     }
+}
 
-    #[test]
-    fn js_text_size_prediction_is_exact(values in prop::collection::vec(finite_f32(), 0..64).prop_filter("nonempty", |v| !v.is_empty())) {
+#[test]
+fn js_text_size_prediction_is_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(4000 + case);
+        let values = f32_vec(&mut rng, 1, 64);
         let t = Tensor::from_vec(&[values.len()], values).unwrap();
-        prop_assert_eq!(serialize::js_text_size(&t), serialize::to_js_text(&t).len());
+        assert_eq!(
+            serialize::js_text_size(&t),
+            serialize::to_js_text(&t).len(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn relu_output_nonnegative_and_idempotent(values in prop::collection::vec(finite_f32(), 1..64)) {
+#[test]
+fn relu_output_nonnegative_and_idempotent() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(5000 + case);
+        let values = f32_vec(&mut rng, 1, 64);
         let t = Tensor::from_vec(&[values.len()], values).unwrap();
         let r = ops::relu(&t);
-        prop_assert!(r.data().iter().all(|&v| v >= 0.0));
+        assert!(r.data().iter().all(|&v| v >= 0.0), "case {case}");
         let rr = ops::relu(&r);
-        prop_assert_eq!(rr.data(), r.data());
+        assert_eq!(rr.data(), r.data(), "case {case}");
     }
+}
 
-    #[test]
-    fn softmax_is_probability_distribution(values in prop::collection::vec(-50.0f32..50.0, 1..32)) {
+#[test]
+fn softmax_is_probability_distribution() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(6000 + case);
+        let n = rng.gen_range_usize(1, 32);
+        let values: Vec<f32> = (0..n).map(|_| rng.gen_range_f32(-50.0, 50.0)).collect();
         let t = Tensor::from_vec(&[values.len()], values).unwrap();
         let s = ops::softmax(&t).unwrap();
         let sum: f32 = s.data().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4);
-        prop_assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!((sum - 1.0).abs() < 1e-4, "case {case}: sum {sum}");
+        assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
         // Softmax preserves argmax.
-        prop_assert_eq!(s.argmax(), t.argmax());
+        assert_eq!(s.argmax(), t.argmax(), "case {case}");
     }
+}
 
-    #[test]
-    fn maxpool_bounded_by_input_extremes(
-        c in 1usize..4, h in 3usize..10, w in 3usize..10,
-        seed in any::<u32>(),
-    ) {
+#[test]
+fn maxpool_bounded_by_input_extremes() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(7000 + case);
+        let c = rng.gen_range_usize(1, 4);
+        let h = rng.gen_range_usize(3, 10);
+        let w = rng.gen_range_usize(3, 10);
+        let seed = rng.next_u32();
         let t = Tensor::from_fn(&[c, h, w], |i| {
             let x = (i as u32).wrapping_mul(seed | 1);
             ((x % 1000) as f32 / 100.0) - 5.0
-        }).unwrap();
+        })
+        .unwrap();
         let out = ops::pool2d(&t, ops::PoolKind::Max, 3, 2, 0).unwrap();
-        prop_assert!(out.max() <= t.max() + f32::EPSILON);
-        prop_assert!(out.min() >= t.min() - f32::EPSILON);
+        assert!(out.max() <= t.max() + f32::EPSILON, "case {case}");
+        assert!(out.min() >= t.min() - f32::EPSILON, "case {case}");
     }
+}
 
-    #[test]
-    fn avgpool_bounded_by_input_extremes(
-        h in 2usize..8, w in 2usize..8, seed in any::<u32>(),
-    ) {
+#[test]
+fn avgpool_bounded_by_input_extremes() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(8000 + case);
+        let h = rng.gen_range_usize(2, 8);
+        let w = rng.gen_range_usize(2, 8);
+        let seed = rng.next_u32();
         let t = Tensor::from_fn(&[2, h, w], |i| {
             (((i as u32).wrapping_mul(seed | 3) % 777) as f32 / 77.7) - 5.0
-        }).unwrap();
+        })
+        .unwrap();
         let out = ops::pool2d(&t, ops::PoolKind::Average, 2, 2, 0).unwrap();
-        prop_assert!(out.max() <= t.max() + 1e-4);
-        prop_assert!(out.min() >= t.min() - 1e-4);
+        assert!(out.max() <= t.max() + 1e-4, "case {case}");
+        assert!(out.min() >= t.min() - 1e-4, "case {case}");
     }
+}
 
-    #[test]
-    fn conv_output_shape_matches_formula(
-        h in 4usize..12, w in 4usize..12,
-        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
-    ) {
-        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+#[test]
+fn conv_output_shape_matches_formula() {
+    let mut tried = 0u64;
+    let mut case = 0u64;
+    while tried < CASES {
+        case += 1;
+        let mut rng = Rng::seed_from_u64(9000 + case);
+        let h = rng.gen_range_usize(4, 12);
+        let w = rng.gen_range_usize(4, 12);
+        let k = rng.gen_range_usize(1, 4);
+        let stride = rng.gen_range_usize(1, 3);
+        let pad = rng.gen_range_usize(0, 2);
+        if h + 2 * pad < k || w + 2 * pad < k {
+            continue;
+        }
+        tried += 1;
         let input = Tensor::filled(&[2, h, w], 1.0).unwrap();
         let weights = Tensor::filled(&[3, 2, k, k], 0.1).unwrap();
         let bias = Tensor::zeros(&[3]).unwrap();
         let out = ops::conv2d(&input, &weights, &bias, stride, pad).unwrap();
         let oh = ops::window_output(h, k, stride, pad).unwrap();
         let ow = ops::window_output(w, k, stride, pad).unwrap();
-        prop_assert_eq!(out.shape().dims(), &[3, oh, ow]);
+        assert_eq!(out.shape().dims(), &[3, oh, ow], "case {case}");
     }
+}
 
-    #[test]
-    fn conv_is_linear_in_input(
-        seed in any::<u32>(), scale in 0.25f32..4.0,
-    ) {
+#[test]
+fn conv_is_linear_in_input() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(10_000 + case);
+        let seed = rng.next_u32();
+        let scale = rng.gen_range_f32(0.25, 4.0);
         let input = Tensor::from_fn(&[1, 5, 5], |i| {
             (((i as u32).wrapping_mul(seed | 1) % 100) as f32 / 50.0) - 1.0
-        }).unwrap();
+        })
+        .unwrap();
         let weights = Tensor::from_fn(&[2, 1, 3, 3], |i| ((i % 5) as f32 - 2.0) / 4.0).unwrap();
         let bias = Tensor::zeros(&[2]).unwrap();
         let y1 = ops::conv2d(&input, &weights, &bias, 1, 1).unwrap();
         let scaled = input.map(|v| v * scale);
         let y2 = ops::conv2d(&scaled, &weights, &bias, 1, 1).unwrap();
         let y1_scaled = y1.map(|v| v * scale);
-        prop_assert!(y2.approx_eq(&y1_scaled, 1e-2).unwrap());
+        assert!(y2.approx_eq(&y1_scaled, 1e-2).unwrap(), "case {case}");
     }
+}
 
-    #[test]
-    fn im2col_equals_naive_conv(
-        c_in in 1usize..4, c_out in 1usize..4,
-        h in 3usize..9, w in 3usize..9,
-        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
-        seed in any::<u32>(),
-    ) {
-        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+#[test]
+fn im2col_equals_naive_conv() {
+    let mut tried = 0u64;
+    let mut case = 0u64;
+    while tried < CASES {
+        case += 1;
+        let mut rng = Rng::seed_from_u64(11_000 + case);
+        let c_in = rng.gen_range_usize(1, 4);
+        let c_out = rng.gen_range_usize(1, 4);
+        let h = rng.gen_range_usize(3, 9);
+        let w = rng.gen_range_usize(3, 9);
+        let k = rng.gen_range_usize(1, 4);
+        let stride = rng.gen_range_usize(1, 3);
+        let pad = rng.gen_range_usize(0, 2);
+        let seed = rng.next_u32();
+        if h + 2 * pad < k || w + 2 * pad < k {
+            continue;
+        }
+        tried += 1;
         let input = Tensor::from_fn(&[c_in, h, w], |i| {
             (((i as u32).wrapping_mul(seed | 1) >> 8) % 200) as f32 / 100.0 - 1.0
-        }).unwrap();
+        })
+        .unwrap();
         let weights = Tensor::from_fn(&[c_out, c_in, k, k], |i| {
             (((i as u32).wrapping_mul(seed | 7) >> 9) % 100) as f32 / 50.0 - 1.0
-        }).unwrap();
+        })
+        .unwrap();
         let bias = Tensor::from_fn(&[c_out], |i| i as f32 / 10.0).unwrap();
         let naive = ops::conv2d(&input, &weights, &bias, stride, pad).unwrap();
         let fast = ops::conv2d_im2col(&input, &weights, &bias, stride, pad, 1).unwrap();
-        prop_assert!(naive.approx_eq(&fast, 1e-3).unwrap());
+        assert!(naive.approx_eq(&fast, 1e-3).unwrap(), "case {case}");
     }
+}
 
-    #[test]
-    fn concat_volume_is_sum(c1 in 1usize..4, c2 in 1usize..4) {
+#[test]
+fn concat_volume_is_sum() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(12_000 + case);
+        let c1 = rng.gen_range_usize(1, 4);
+        let c2 = rng.gen_range_usize(1, 4);
         let a = Tensor::filled(&[c1, 3, 3], 1.0).unwrap();
         let b = Tensor::filled(&[c2, 3, 3], 2.0).unwrap();
         let out = ops::concat_channels(&[&a, &b]).unwrap();
-        prop_assert_eq!(out.len(), a.len() + b.len());
+        assert_eq!(out.len(), a.len() + b.len(), "case {case}");
     }
 }

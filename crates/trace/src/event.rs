@@ -1,0 +1,163 @@
+//! The typed event record.
+
+use std::time::Duration;
+
+/// Which machine an event happened on (or the wire between them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lane {
+    /// The client board.
+    Client,
+    /// The network.
+    Network,
+    /// The edge server.
+    Server,
+}
+
+impl Lane {
+    /// Stable lowercase name (used by the JSON-lines encoding).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Lane::Client => "client",
+            Lane::Network => "network",
+            Lane::Server => "server",
+        }
+    }
+
+    /// Parses the stable name back.
+    pub fn parse(s: &str) -> Option<Lane> {
+        match s {
+            "client" => Some(Lane::Client),
+            "network" => Some(Lane::Network),
+            "server" => Some(Lane::Server),
+            _ => None,
+        }
+    }
+}
+
+/// What kind of work an event covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// DNN (or app) execution.
+    Exec,
+    /// One layer of a DNN execution (nested under an [`EventKind::Exec`]
+    /// span).
+    Layer,
+    /// Snapshot serialization.
+    Capture,
+    /// Snapshot parse-and-execute.
+    Restore,
+    /// Bytes occupying a link (serialization + propagation).
+    Transfer,
+    /// Waiting for a busy link (FIFO queueing, e.g. a snapshot stuck
+    /// behind a still-uploading model).
+    Queue,
+    /// Compression or decompression CPU time.
+    Codec,
+    /// Model pre-sending (Section III-B.1 of the paper).
+    ModelUpload,
+    /// Anything else (markers, app phases, custom spans).
+    Other,
+}
+
+impl EventKind {
+    /// Stable lowercase name (used by the JSON-lines encoding).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Exec => "exec",
+            EventKind::Layer => "layer",
+            EventKind::Capture => "capture",
+            EventKind::Restore => "restore",
+            EventKind::Transfer => "transfer",
+            EventKind::Queue => "queue",
+            EventKind::Codec => "codec",
+            EventKind::ModelUpload => "model_upload",
+            EventKind::Other => "other",
+        }
+    }
+
+    /// Parses the stable name back.
+    pub fn parse(s: &str) -> Option<EventKind> {
+        match s {
+            "exec" => Some(EventKind::Exec),
+            "layer" => Some(EventKind::Layer),
+            "capture" => Some(EventKind::Capture),
+            "restore" => Some(EventKind::Restore),
+            "transfer" => Some(EventKind::Transfer),
+            "queue" => Some(EventKind::Queue),
+            "codec" => Some(EventKind::Codec),
+            "model_upload" => Some(EventKind::ModelUpload),
+            "other" => Some(EventKind::Other),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded event: a named interval of virtual time on a lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Event name (phase names like `"exec_server"`, layer names, link
+    /// labels).
+    pub name: String,
+    /// Where it happened.
+    pub lane: Lane,
+    /// What kind of work it was.
+    pub kind: EventKind,
+    /// Virtual start time.
+    pub start: Duration,
+    /// Virtual end time (`>= start`).
+    pub end: Duration,
+    /// Payload bytes involved (transfers, captures, codecs), if any.
+    pub bytes: Option<u64>,
+    /// Span nesting depth at record time: 0 for top-level phases, 1+ for
+    /// refinements (per-layer timings inside an exec span, link-level
+    /// events inside a transfer phase).
+    pub depth: u32,
+}
+
+impl Event {
+    /// `end - start`.
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for lane in [Lane::Client, Lane::Network, Lane::Server] {
+            assert_eq!(Lane::parse(lane.as_str()), Some(lane));
+        }
+        for kind in [
+            EventKind::Exec,
+            EventKind::Layer,
+            EventKind::Capture,
+            EventKind::Restore,
+            EventKind::Transfer,
+            EventKind::Queue,
+            EventKind::Codec,
+            EventKind::ModelUpload,
+            EventKind::Other,
+        ] {
+            assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(Lane::parse("moon"), None);
+        assert_eq!(EventKind::parse("nap"), None);
+    }
+
+    #[test]
+    fn duration_is_end_minus_start() {
+        let e = Event {
+            name: "x".into(),
+            lane: Lane::Client,
+            kind: EventKind::Exec,
+            start: Duration::from_millis(3),
+            end: Duration::from_millis(10),
+            bytes: None,
+            depth: 0,
+        };
+        assert_eq!(e.duration(), Duration::from_millis(7));
+    }
+}

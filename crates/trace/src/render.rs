@@ -1,0 +1,112 @@
+//! The ASCII Gantt renderer — the at-a-glance version of the paper's
+//! Fig. 7, generalized to arbitrary event lists.
+
+use crate::event::{Event, Lane};
+use std::time::Duration;
+
+/// Renders events as a fixed-width ASCII Gantt chart. `width` is the
+/// number of character cells representing the full duration (minimum 10).
+/// Times are shown relative to the earliest event start; nested events are
+/// indented by depth.
+pub fn render_ascii(events: &[Event], width: usize) -> String {
+    let width = width.max(10);
+    let origin = events.iter().map(|e| e.start).min().unwrap_or_default();
+    let total = events
+        .iter()
+        .map(|e| e.end - origin.min(e.end))
+        .max()
+        .unwrap_or(Duration::ZERO);
+    if total.is_zero() {
+        return String::from("(empty timeline)\n");
+    }
+    let scale = |t: Duration| -> usize {
+        ((t.as_secs_f64() / total.as_secs_f64()) * width as f64).round() as usize
+    };
+    let mut out = String::new();
+    for event in events {
+        let lane = match event.lane {
+            Lane::Client => "C",
+            Lane::Network => "N",
+            Lane::Server => "S",
+        };
+        let start = event.start.saturating_sub(origin);
+        let end = event.end.saturating_sub(origin);
+        let begin = scale(start).min(width);
+        let cell_end = scale(end).clamp(begin + 1, width.max(begin + 1));
+        let mut bar = String::with_capacity(width + 2);
+        for _ in 0..begin {
+            bar.push(' ');
+        }
+        for _ in begin..cell_end {
+            bar.push('#');
+        }
+        let indent = "  ".repeat(event.depth.min(4) as usize);
+        let label = format!("{indent}{}", event.name);
+        out.push_str(&format!(
+            "{lane} {label:<18.18} |{bar:<width$}| {secs:>8.3}s\n",
+            secs = (end - start).as_secs_f64(),
+        ));
+    }
+    out.push_str(&format!("  {:<18} total {:.3}s\n", "", total.as_secs_f64()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(name: &str, lane: Lane, start: u64, end: u64, depth: u32) -> Event {
+        Event {
+            name: name.into(),
+            lane,
+            kind: EventKind::Exec,
+            start: Duration::from_millis(start),
+            end: Duration::from_millis(end),
+            bytes: None,
+            depth,
+        }
+    }
+
+    #[test]
+    fn empty_renders_gracefully() {
+        assert_eq!(render_ascii(&[], 40), "(empty timeline)\n");
+    }
+
+    #[test]
+    fn bars_are_ordered_and_bounded() {
+        let events = vec![
+            ev("exec_client", Lane::Client, 0, 100, 0),
+            ev("transfer_up", Lane::Network, 100, 250, 0),
+            ev("exec_server", Lane::Server, 250, 400, 0),
+        ];
+        let chart = render_ascii(&events, 40);
+        assert!(chart.contains("exec_client"));
+        assert!(chart.contains("transfer_up"));
+        assert!(chart.contains("total"));
+        for line in chart.lines() {
+            assert!(line.len() < 100, "line too long: {line}");
+        }
+        // The client bar starts at the left edge; the server bar doesn't.
+        let client_line = chart.lines().next().unwrap();
+        assert!(client_line.contains("|#"));
+    }
+
+    #[test]
+    fn nested_events_are_indented() {
+        let events = vec![
+            ev("phase", Lane::Server, 0, 10, 0),
+            ev("conv1", Lane::Server, 0, 5, 1),
+        ];
+        let chart = render_ascii(&events, 20);
+        assert!(chart.contains("  conv1"));
+    }
+
+    #[test]
+    fn nonzero_origin_is_rebased() {
+        let events = vec![ev("late", Lane::Client, 1000, 1100, 0)];
+        let chart = render_ascii(&events, 20);
+        // 100 ms bar, not 1.1 s.
+        assert!(chart.contains("0.100s"), "{chart}");
+    }
+}

@@ -1,173 +1,241 @@
-//! Property tests for the MiniJS front-end: printing any AST and parsing
-//! it back must be the identity — the invariant the snapshot mechanism
-//! rests on (app functions are re-emitted from their ASTs).
+//! Property-style tests for the MiniJS front-end, run as deterministic
+//! seeded loops (no external `proptest` dependency — the workspace builds
+//! offline): printing any AST and parsing it back must be the identity —
+//! the invariant the snapshot mechanism rests on (app functions are
+//! re-emitted from their ASTs).
 
-use proptest::prelude::*;
+use snapedge_rng::Rng;
 use snapedge_webapp::ast::{print_program, Expr, FunctionDef, Stmt};
 use snapedge_webapp::parser::parse_program;
 
-fn ident_strategy() -> impl Strategy<Value = String> {
-    // Avoid keywords and reserved prefixes.
-    "[a-h][a-z0-9]{0,6}".prop_filter("not a keyword", |s| {
-        !matches!(
-            s.as_str(),
-            "var"
-                | "function"
-                | "return"
-                | "if"
-                | "else"
-                | "while"
-                | "for"
-                | "new"
-                | "true"
-                | "false"
-                | "null"
-                | "undefined"
-                | "typeof"
-        )
-    })
+const KEYWORDS: &[&str] = &[
+    "var",
+    "function",
+    "return",
+    "if",
+    "else",
+    "while",
+    "for",
+    "new",
+    "true",
+    "false",
+    "null",
+    "undefined",
+    "typeof",
+];
+
+/// Identifier matching `[a-h][a-z0-9]{0,6}`, never a keyword.
+fn ident(rng: &mut Rng) -> String {
+    loop {
+        let mut s = String::new();
+        s.push(rng.gen_range_u64(b'a' as u64, b'h' as u64 + 1) as u8 as char);
+        let extra = rng.gen_range_usize(0, 7);
+        for _ in 0..extra {
+            let c = if rng.next_bool() {
+                rng.gen_range_u64(b'a' as u64, b'z' as u64 + 1) as u8 as char
+            } else {
+                rng.gen_range_u64(b'0' as u64, b'9' as u64 + 1) as u8 as char
+            };
+            s.push(c);
+        }
+        if !KEYWORDS.contains(&s.as_str()) {
+            return s;
+        }
+    }
 }
 
-fn literal_strategy() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        Just(Expr::Undefined),
-        Just(Expr::Null),
-        any::<bool>().prop_map(Expr::Bool),
+/// Printable-ASCII string (space through `~`) of length `0..max`.
+fn printable(rng: &mut Rng, max: usize) -> String {
+    let n = rng.gen_range_usize(0, max);
+    (0..n)
+        .map(|_| rng.gen_range_u64(b' ' as u64, b'~' as u64 + 1) as u8 as char)
+        .collect()
+}
+
+fn literal(rng: &mut Rng) -> Expr {
+    match rng.gen_range_usize(0, 5) {
+        0 => Expr::Undefined,
+        1 => Expr::Null,
+        2 => Expr::Bool(rng.next_bool()),
         // Finite numbers; the printer handles negatives/specials via
         // wrapping, covered by unit tests.
-        (-1.0e9f64..1.0e9).prop_map(Expr::Number),
-        "[ -~]{0,12}".prop_map(Expr::Str),
-    ]
+        3 => Expr::Number(rng.gen_range_f64(-1.0e9, 1.0e9)),
+        _ => Expr::Str(printable(rng, 13)),
+    }
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![literal_strategy(), ident_strategy().prop_map(Expr::Ident)];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..4).prop_map(Expr::Array),
-            prop::collection::vec((ident_strategy(), inner.clone()), 0..3).prop_map(Expr::Object),
-            (inner.clone(), ident_strategy()).prop_map(|(e, name)| Expr::Member(Box::new(e), name)),
-            (inner.clone(), inner.clone()).prop_map(|(e, i)| Expr::Index(Box::new(e), Box::new(i))),
-            (inner.clone(), prop::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(f, args)| Expr::Call(Box::new(f), args)),
-            (
-                prop_oneof![
-                    Just("+"),
-                    Just("-"),
-                    Just("*"),
-                    Just("/"),
-                    Just("%"),
-                    Just("=="),
-                    Just("!="),
-                    Just("<"),
-                    Just("<="),
-                    Just(">"),
-                    Just(">="),
-                    Just("&&"),
-                    Just("||")
-                ],
-                inner.clone(),
-                inner.clone()
+const BINOPS: &[&str] = &[
+    "+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||",
+];
+
+fn expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_range_usize(0, 4) == 0 {
+        return if rng.next_bool() {
+            literal(rng)
+        } else {
+            Expr::Ident(ident(rng))
+        };
+    }
+    let d = depth - 1;
+    match rng.gen_range_usize(0, 8) {
+        0 => {
+            let n = rng.gen_range_usize(0, 4);
+            Expr::Array((0..n).map(|_| expr(rng, d)).collect())
+        }
+        1 => {
+            let n = rng.gen_range_usize(0, 3);
+            Expr::Object((0..n).map(|_| (ident(rng), expr(rng, d))).collect())
+        }
+        2 => Expr::Member(Box::new(expr(rng, d)), ident(rng)),
+        3 => Expr::Index(Box::new(expr(rng, d)), Box::new(expr(rng, d))),
+        4 => {
+            let n = rng.gen_range_usize(0, 3);
+            Expr::Call(
+                Box::new(expr(rng, d)),
+                (0..n).map(|_| expr(rng, d)).collect(),
             )
-                .prop_map(|(op, l, r)| Expr::Binary(op, Box::new(l), Box::new(r))),
-            (
-                prop_oneof![Just("!"), Just("-"), Just("typeof")],
-                inner.clone()
-            )
-                .prop_map(|(op, e)| match (op, e) {
-                    // The parser folds unary minus over literals.
-                    ("-", Expr::Number(n)) => Expr::Number(-n),
-                    (op, e) => Expr::Unary(op, Box::new(e)),
-                }),
-            inner
-                .clone()
-                .prop_map(|e| Expr::NewFloat32Array(Box::new(e))),
-        ]
-    })
+        }
+        5 => {
+            let op = *rng.choose(BINOPS);
+            Expr::Binary(op, Box::new(expr(rng, d)), Box::new(expr(rng, d)))
+        }
+        6 => {
+            let op = *rng.choose(&["!", "-", "typeof"]);
+            match (op, expr(rng, d)) {
+                // The parser folds unary minus over literals.
+                ("-", Expr::Number(n)) => Expr::Number(-n),
+                (op, e) => Expr::Unary(op, Box::new(e)),
+            }
+        }
+        _ => Expr::NewFloat32Array(Box::new(expr(rng, d))),
+    }
 }
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    let simple = prop_oneof![
-        (ident_strategy(), prop::option::of(expr_strategy()))
-            .prop_map(|(name, init)| Stmt::Var(name, init)),
-        (ident_strategy(), expr_strategy())
-            .prop_map(|(name, value)| Stmt::Assign(Expr::Ident(name), value)),
-        expr_strategy().prop_map(Stmt::Expr),
-    ];
-    simple.prop_recursive(2, 12, 3, |inner| {
-        prop_oneof![
-            inner.clone(),
-            (
-                expr_strategy(),
-                prop::collection::vec(inner.clone(), 0..3),
-                prop::collection::vec(inner.clone(), 0..2)
+fn stmt(rng: &mut Rng, depth: usize) -> Stmt {
+    let simple = depth == 0 || rng.gen_range_usize(0, 2) == 0;
+    if simple {
+        return match rng.gen_range_usize(0, 3) {
+            0 => {
+                let init = if rng.next_bool() {
+                    Some(expr(rng, 2))
+                } else {
+                    None
+                };
+                Stmt::Var(ident(rng), init)
+            }
+            1 => Stmt::Assign(Expr::Ident(ident(rng)), expr(rng, 2)),
+            _ => Stmt::Expr(expr(rng, 2)),
+        };
+    }
+    let d = depth - 1;
+    match rng.gen_range_usize(0, 3) {
+        0 => {
+            let then_n = rng.gen_range_usize(0, 3);
+            let else_n = rng.gen_range_usize(0, 2);
+            Stmt::If(
+                expr(rng, 2),
+                (0..then_n).map(|_| stmt(rng, d)).collect(),
+                (0..else_n).map(|_| stmt(rng, d)).collect(),
             )
-                .prop_map(|(cond, t, e)| Stmt::If(cond, t, e)),
-            (expr_strategy(), prop::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(cond, body)| Stmt::While(cond, body)),
-            (
-                ident_strategy(),
-                prop::collection::vec(ident_strategy(), 0..3),
-                prop::collection::vec(inner, 0..3)
-            )
-                .prop_map(|(name, params, body)| Stmt::Function(FunctionDef {
-                    name,
-                    params,
-                    body
-                })),
-        ]
-    })
+        }
+        1 => {
+            let n = rng.gen_range_usize(0, 3);
+            Stmt::While(expr(rng, 2), (0..n).map(|_| stmt(rng, d)).collect())
+        }
+        _ => {
+            let params = (0..rng.gen_range_usize(0, 3)).map(|_| ident(rng)).collect();
+            let body = (0..rng.gen_range_usize(0, 3))
+                .map(|_| stmt(rng, d))
+                .collect();
+            Stmt::Function(FunctionDef {
+                name: ident(rng),
+                params,
+                body,
+            })
+        }
+    }
 }
 
-/// Normalizes `Stmt::Function` bodies containing `Return` at top level —
-/// generated programs may place `return` outside functions, which parses
-/// fine but is a runtime error; for the roundtrip property that's okay.
-fn program_strategy() -> impl Strategy<Value = Vec<Stmt>> {
-    prop::collection::vec(stmt_strategy(), 0..8)
+fn program(rng: &mut Rng) -> Vec<Stmt> {
+    let n = rng.gen_range_usize(0, 8);
+    (0..n).map(|_| stmt(rng, 2)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Arbitrary finite f64 drawn from the full bit pattern space.
+fn finite_f64(rng: &mut Rng) -> f64 {
+    loop {
+        let v = f64::from_bits(rng.next_u64());
+        if v.is_finite() {
+            return v;
+        }
+    }
+}
 
-    #[test]
-    fn print_then_parse_is_identity(program in program_strategy()) {
-        let printed = print_program(&program);
+#[test]
+fn print_then_parse_is_identity() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(7100 + case);
+        let prog = program(&mut rng);
+        let printed = print_program(&prog);
         let reparsed = parse_program(&printed)
             .unwrap_or_else(|e| panic!("printed program failed to parse: {e}\n{printed}"));
-        prop_assert_eq!(reparsed, program, "printed:\n{}", printed);
+        assert_eq!(reparsed, prog, "case {case} printed:\n{printed}");
     }
+}
 
-    #[test]
-    fn printing_is_a_fixed_point(program in program_strategy()) {
-        let once = print_program(&program);
+#[test]
+fn printing_is_a_fixed_point() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(7300 + case);
+        let prog = program(&mut rng);
+        let once = print_program(&prog);
         let reparsed = parse_program(&once).unwrap();
         let twice = print_program(&reparsed);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}");
     }
+}
 
-    #[test]
-    fn numbers_roundtrip_exactly(n in any::<f64>().prop_filter("finite", |v| v.is_finite())) {
-        let program = vec![Stmt::Var("x".to_string(), Some(Expr::Number(n)))];
-        let printed = print_program(&program);
+#[test]
+fn numbers_roundtrip_exactly() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(7500 + case);
+        let n = finite_f64(&mut rng);
+        let prog = vec![Stmt::Var("x".to_string(), Some(Expr::Number(n)))];
+        let printed = print_program(&prog);
         let reparsed = parse_program(&printed).unwrap();
         let Stmt::Var(_, Some(Expr::Number(m))) = &reparsed[0] else {
             // Negative numbers print as (-N): unary minus around a literal.
             let Stmt::Var(_, Some(Expr::Unary("-", inner))) = &reparsed[0] else {
-                panic!("unexpected shape: {reparsed:?}");
+                panic!("case {case}: unexpected shape: {reparsed:?}");
             };
-            let Expr::Number(m) = **inner else { panic!() };
-            prop_assert_eq!(-m, n);
-            return Ok(());
+            let Expr::Number(m) = **inner else {
+                panic!("case {case}")
+            };
+            assert_eq!(-m, n, "case {case}");
+            continue;
         };
-        prop_assert_eq!(*m, n);
+        assert_eq!(*m, n, "case {case}");
     }
+}
 
-    #[test]
-    fn strings_roundtrip_exactly(s in "[ -~\\n\\t]{0,40}") {
-        let program = vec![Stmt::Var("x".to_string(), Some(Expr::Str(s.clone())))];
-        let printed = print_program(&program);
+#[test]
+fn strings_roundtrip_exactly() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(7700 + case);
+        // Printable ASCII plus explicit newline/tab coverage.
+        let mut s = printable(&mut rng, 40);
+        if case % 4 == 0 {
+            s.push('\n');
+        }
+        if case % 4 == 1 {
+            s.push('\t');
+        }
+        let prog = vec![Stmt::Var("x".to_string(), Some(Expr::Str(s.clone())))];
+        let printed = print_program(&prog);
         let reparsed = parse_program(&printed).unwrap();
-        let Stmt::Var(_, Some(Expr::Str(t))) = &reparsed[0] else { panic!() };
-        prop_assert_eq!(t, &s);
+        let Stmt::Var(_, Some(Expr::Str(t))) = &reparsed[0] else {
+            panic!("case {case}")
+        };
+        assert_eq!(t, &s, "case {case}");
     }
 }

@@ -10,7 +10,7 @@
 //! cargo run --release --example image_classification
 //! ```
 
-use snapedge_core::{run_scenario, OffloadError, ScenarioConfig, Strategy};
+use snapedge_core::prelude::*;
 
 fn main() -> Result<(), OffloadError> {
     println!("Image recognition on the edge: Client vs Server vs Offloading\n");

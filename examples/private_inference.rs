@@ -11,13 +11,9 @@
 //! cargo run --release --example private_inference
 //! ```
 
+use snapedge_core::prelude::*;
 use snapedge_core::privacy::attack_demo_net;
-use snapedge_core::{
-    edge_server_x86, evaluate_privacy, odroid_xu4, run_scenario, AttackConfig, OffloadError,
-    PartitionOptimizer, ScenarioConfig, Strategy,
-};
-use snapedge_dnn::zoo;
-use snapedge_net::LinkConfig;
+use snapedge_core::{evaluate_privacy, AttackConfig, PartitionOptimizer};
 use snapedge_tensor::Tensor;
 
 fn main() -> Result<(), OffloadError> {

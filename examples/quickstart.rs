@@ -9,7 +9,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use snapedge_core::{run_scenario, OffloadError, ScenarioConfig, Strategy};
+use snapedge_core::prelude::*;
 
 fn main() -> Result<(), OffloadError> {
     println!("snapedge quickstart: tiny CNN, real arithmetic, 30 Mbps link\n");

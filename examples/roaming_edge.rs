@@ -11,8 +11,7 @@
 //! cargo run --release --example roaming_edge
 //! ```
 
-use snapedge_core::{run_scenario, vm_install, OffloadError, ScenarioConfig, Strategy};
-use snapedge_net::LinkConfig;
+use snapedge_core::prelude::*;
 use snapedge_vmsynth::SynthesisConfig;
 
 fn main() -> Result<(), OffloadError> {

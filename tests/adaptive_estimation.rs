@@ -2,9 +2,10 @@
 //! EWMA estimator and feeds the estimate to the adaptive offloader —
 //! "the runtime network status" of Section III-B.2, end to end.
 
-use snapedge_core::{edge_server_x86, odroid_xu4, AdaptiveOffloader, AdaptivePolicy, Decision};
-use snapedge_dnn::{zoo, ModelBundle};
-use snapedge_net::{BandwidthEstimator, Link, LinkConfig};
+use snapedge_core::prelude::*;
+use snapedge_core::{AdaptiveOffloader, AdaptivePolicy, Decision};
+use snapedge_dnn::ModelBundle;
+use snapedge_net::BandwidthEstimator;
 use std::time::Duration;
 
 fn controller(model: &str) -> AdaptiveOffloader {

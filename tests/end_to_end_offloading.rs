@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: real DNN + real browsers + real
 //! snapshots + simulated network, end to end.
 
-use snapedge_core::{run_scenario, ScenarioConfig, Strategy};
-use snapedge_dnn::{zoo, ExecMode, ModelBundle, ParamStore};
+use snapedge_core::prelude::*;
+use snapedge_dnn::{ModelBundle, ParamStore};
 use snapedge_tensor::Tensor;
 
 /// The label every strategy should produce: computed directly with the

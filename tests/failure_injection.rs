@@ -2,11 +2,7 @@
 //! fall-back-to-local-execution path the paper recommends while the edge
 //! is unreachable.
 
-use snapedge_core::{
-    run_scenario, run_scenario_with_links, run_with_fallback, OffloadError, ScenarioConfig,
-    Strategy,
-};
-use snapedge_net::{Link, LinkConfig};
+use snapedge_core::prelude::*;
 
 #[test]
 fn uplink_failure_surfaces_as_a_net_error() {

@@ -2,9 +2,8 @@
 //! every figure and table in the paper's evaluation (Section IV): who
 //! wins, by roughly what factor, and where the crossovers fall.
 
-use snapedge_core::{run_scenario, vm_install, ScenarioConfig, Strategy};
-use snapedge_dnn::{zoo, ModelBundle};
-use snapedge_net::LinkConfig;
+use snapedge_core::prelude::*;
+use snapedge_dnn::ModelBundle;
 use snapedge_vmsynth::SynthesisConfig;
 
 fn total_secs(model: &str, strategy: Strategy) -> f64 {

@@ -1,9 +1,12 @@
-//! Property-based tests of the snapshot mechanism: arbitrary app states
-//! must survive capture → restore bit-for-bit, with and without the size
-//! optimizations.
+//! Property-style tests of the snapshot mechanism, run as deterministic
+//! seeded loops (no external `proptest` dependency — the workspace builds
+//! offline): arbitrary app states must survive capture → restore
+//! bit-for-bit, with and without the size optimizations.
 
-use proptest::prelude::*;
+use snapedge_rng::Rng;
 use snapedge_webapp::{state_eq, Browser, SnapshotOptions};
+
+const CASES: u64 = 64;
 
 /// A tiny generator of random-but-valid MiniJS programs that build heap
 /// state: each step either creates a global, nests an object, pushes to an
@@ -20,19 +23,33 @@ enum BuildStep {
     CyclicPair(u8, u8),
 }
 
-fn step_strategy() -> impl Strategy<Value = BuildStep> {
-    prop_oneof![
-        (any::<u8>(), any::<i32>()).prop_map(|(s, n)| BuildStep::NumberGlobal(s, n)),
-        (any::<u8>(), "[a-z ]{0,12}").prop_map(|(s, t)| BuildStep::StringGlobal(s, t)),
-        any::<u8>().prop_map(BuildStep::ObjectGlobal),
-        (any::<u8>(), prop::collection::vec(-1000i32..1000, 0..6))
-            .prop_map(|(s, v)| BuildStep::ArrayGlobal(s, v)),
-        (any::<u8>(), prop::collection::vec(-1.0e3f32..1.0e3, 0..8))
-            .prop_map(|(s, v)| BuildStep::Float32Global(s, v)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| BuildStep::NestUnder(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| BuildStep::Alias(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| BuildStep::CyclicPair(a, b)),
-    ]
+fn rand_step(rng: &mut Rng) -> BuildStep {
+    let slot = rng.next_u32() as u8;
+    match rng.gen_range_usize(0, 8) {
+        0 => BuildStep::NumberGlobal(slot, rng.next_u32() as i32),
+        1 => BuildStep::StringGlobal(slot, rng.ascii_string(b"abcdefghijklmnopqrstuvwxyz ", 13)),
+        2 => BuildStep::ObjectGlobal(slot),
+        3 => {
+            let n = rng.gen_range_usize(0, 6);
+            let v = (0..n)
+                .map(|_| rng.gen_range_i64(-1000, 1000) as i32)
+                .collect();
+            BuildStep::ArrayGlobal(slot, v)
+        }
+        4 => {
+            let n = rng.gen_range_usize(0, 8);
+            let v = (0..n).map(|_| rng.gen_range_f32(-1.0e3, 1.0e3)).collect();
+            BuildStep::Float32Global(slot, v)
+        }
+        5 => BuildStep::NestUnder(slot, rng.next_u32() as u8),
+        6 => BuildStep::Alias(slot, rng.next_u32() as u8),
+        _ => BuildStep::CyclicPair(slot, rng.next_u32() as u8),
+    }
+}
+
+fn rand_steps(rng: &mut Rng, lo: usize, hi: usize) -> Vec<BuildStep> {
+    let n = rng.gen_range_usize(lo, hi);
+    (0..n).map(|_| rand_step(rng)).collect()
 }
 
 fn var(slot: u8) -> String {
@@ -107,66 +124,122 @@ fn script_for(steps: &[BuildStep]) -> String {
     script
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_states_roundtrip_optimized(steps in prop::collection::vec(step_strategy(), 1..24)) {
+#[test]
+fn random_states_roundtrip_optimized() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(21_000 + case);
+        let steps = rand_steps(&mut rng, 1, 24);
         let mut b = Browser::new();
         b.exec_script(&script_for(&steps)).unwrap();
-        let snapshot = b.capture_snapshot(&SnapshotOptions { inline_single_use: true }).unwrap();
+        let snapshot = b
+            .capture_snapshot(&SnapshotOptions {
+                inline_single_use: true,
+            })
+            .unwrap();
         let mut restored = Browser::new();
         restored.load_html(snapshot.html()).unwrap();
-        prop_assert!(state_eq(&b, &restored), "snapshot:\n{}", snapshot.html());
+        assert!(
+            state_eq(&b, &restored),
+            "case {case} snapshot:\n{}",
+            snapshot.html()
+        );
     }
+}
 
-    #[test]
-    fn random_states_roundtrip_baseline(steps in prop::collection::vec(step_strategy(), 1..24)) {
+#[test]
+fn random_states_roundtrip_baseline() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(22_000 + case);
+        let steps = rand_steps(&mut rng, 1, 24);
         let mut b = Browser::new();
         b.exec_script(&script_for(&steps)).unwrap();
-        let snapshot = b.capture_snapshot(&SnapshotOptions { inline_single_use: false }).unwrap();
+        let snapshot = b
+            .capture_snapshot(&SnapshotOptions {
+                inline_single_use: false,
+            })
+            .unwrap();
         let mut restored = Browser::new();
         restored.load_html(snapshot.html()).unwrap();
-        prop_assert!(state_eq(&b, &restored), "snapshot:\n{}", snapshot.html());
+        assert!(
+            state_eq(&b, &restored),
+            "case {case} snapshot:\n{}",
+            snapshot.html()
+        );
     }
+}
 
-    #[test]
-    fn optimization_never_changes_semantics(steps in prop::collection::vec(step_strategy(), 1..24)) {
+#[test]
+fn optimization_never_changes_semantics() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(23_000 + case);
+        let steps = rand_steps(&mut rng, 1, 24);
         let mut b = Browser::new();
         b.exec_script(&script_for(&steps)).unwrap();
-        let optimized = b.capture_snapshot(&SnapshotOptions { inline_single_use: true }).unwrap();
-        let baseline = b.capture_snapshot(&SnapshotOptions { inline_single_use: false }).unwrap();
-        prop_assert!(optimized.size_bytes() <= baseline.size_bytes());
+        let optimized = b
+            .capture_snapshot(&SnapshotOptions {
+                inline_single_use: true,
+            })
+            .unwrap();
+        let baseline = b
+            .capture_snapshot(&SnapshotOptions {
+                inline_single_use: false,
+            })
+            .unwrap();
+        assert!(
+            optimized.size_bytes() <= baseline.size_bytes(),
+            "case {case}"
+        );
         let mut r1 = Browser::new();
         r1.load_html(optimized.html()).unwrap();
         let mut r2 = Browser::new();
         r2.load_html(baseline.html()).unwrap();
-        prop_assert!(state_eq(&r1, &r2));
+        assert!(state_eq(&r1, &r2), "case {case}");
     }
+}
 
-    #[test]
-    fn double_migration_is_stable(steps in prop::collection::vec(step_strategy(), 1..16)) {
+#[test]
+fn double_migration_is_stable() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(24_000 + case);
+        let steps = rand_steps(&mut rng, 1, 16);
         // client -> server -> client: state must be preserved across two
         // hops, exactly the paper's Fig. 3 round trip.
         let mut client = Browser::new();
         client.exec_script(&script_for(&steps)).unwrap();
-        let up = client.capture_snapshot(&SnapshotOptions::default()).unwrap();
+        let up = client
+            .capture_snapshot(&SnapshotOptions::default())
+            .unwrap();
         let mut server = Browser::new();
         server.load_html(up.html()).unwrap();
-        let down = server.capture_snapshot(&SnapshotOptions::default()).unwrap();
+        let down = server
+            .capture_snapshot(&SnapshotOptions::default())
+            .unwrap();
         let mut back = Browser::new();
         back.load_html(down.html()).unwrap();
-        prop_assert!(state_eq(&client, &back));
+        assert!(state_eq(&client, &back), "case {case}");
     }
+}
 
-    #[test]
-    fn f32_payloads_roundtrip_bit_exact(values in prop::collection::vec(any::<f32>().prop_filter("finite", |v| v.is_finite()), 1..64)) {
+#[test]
+fn f32_payloads_roundtrip_bit_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(25_000 + case);
+        let n = rng.gen_range_usize(1, 64);
+        let values: Vec<f32> = (0..n)
+            .map(|_| loop {
+                let v = f32::from_bits(rng.next_u32());
+                if v.is_finite() {
+                    return v;
+                }
+            })
+            .collect();
         let mut b = Browser::new();
         let elems: Vec<String> = values.iter().map(|v| format!("({v})")).collect();
-        b.exec_script(&format!("var f = new Float32Array([{}]);", elems.join(","))).unwrap();
+        b.exec_script(&format!("var f = new Float32Array([{}]);", elems.join(",")))
+            .unwrap();
         let snapshot = b.capture_snapshot(&SnapshotOptions::default()).unwrap();
         let mut restored = Browser::new();
         restored.load_html(snapshot.html()).unwrap();
-        prop_assert!(state_eq(&b, &restored));
+        assert!(state_eq(&b, &restored), "case {case}");
     }
 }
