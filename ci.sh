@@ -17,4 +17,7 @@ cargo build --offline --release --workspace
 echo "== cargo test"
 cargo test --offline -q --workspace
 
+echo "== chaos suite (fault injection across a fixed seed matrix)"
+cargo test --offline -q -p snapedge-integration --test chaos
+
 echo "ci.sh: all green"

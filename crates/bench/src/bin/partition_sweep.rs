@@ -56,7 +56,7 @@ fn main() -> Result<(), snapedge_core::OffloadError> {
         );
         for cut_label in ["1st_conv", "1st_pool"] {
             let cut = net.cut_point(cut_label)?;
-            let predicted = optimizer.predict(&cut).times.total().as_secs_f64();
+            let predicted = optimizer.predict(&cut)?.times.total().as_secs_f64();
             let measured = run_scenario(&ScenarioConfig::paper(
                 model,
                 Strategy::Partial {

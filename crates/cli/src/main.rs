@@ -9,12 +9,13 @@
 //! ```
 
 use snapedge_core::{
-    run_scenario, vm_install, OffloadSession, ScenarioConfig, SessionConfig, Strategy,
+    run_scenario, vm_install, OffloadSession, RetryPolicy, ScenarioConfig, SessionConfig, Strategy,
 };
 use snapedge_dnn::{zoo, ModelBundle};
-use snapedge_net::LinkConfig;
+use snapedge_net::{FaultPlan, LinkConfig};
 use snapedge_vmsynth::SynthesisConfig;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     positional: Vec<String>,
@@ -66,10 +67,19 @@ impl Args {
 const USAGE: &str = "usage:
   snapedge run     --model <name> --strategy <client|server|before-ack|after-ack|partial>
                    [--cut <label>] [--mbps <rate>] [--timeline true] [--trace <file.jsonl>]
+                   [--fault-plan <spec>] [--retry <spec>]
   snapedge sweep   --model <name> [--mbps <rate>]
   snapedge session --model <name> [--rounds <n>] [--no-deltas true]
+                   [--fault-plan <spec>] [--retry <spec>]
   snapedge install --model <name> [--mbps <rate>]
-  snapedge models";
+  snapedge models
+
+  --fault-plan injects link faults at virtual times, e.g.
+      'down@2..5,degrade@7..9x0.25,corrupt@10..11'
+    entries hit both links unless prefixed 'up:'/'down:' (or 'both:'), e.g.
+      'up:down@2..5,down:corrupt@1..2'
+  --retry enables recovery from transient faults:
+      'default' or 'attempts=<n>,deadline=<s>,backoff=<s>,backoff-max=<s>'";
 
 fn main() -> ExitCode {
     match real_main() {
@@ -107,9 +117,50 @@ fn parse_strategy(args: &Args) -> Result<Strategy, String> {
     }
 }
 
+/// Splits a `--fault-plan` spec into per-link plans. Entries apply to both
+/// links unless prefixed `up:` / `down:` (or the explicit `both:`).
+fn parse_fault_flags(args: &Args) -> Result<(FaultPlan, FaultPlan), String> {
+    let Some(spec) = args.flag("fault-plan") else {
+        return Ok((FaultPlan::none(), FaultPlan::none()));
+    };
+    let mut up = Vec::new();
+    let mut down = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        if let Some(rest) = entry.strip_prefix("up:") {
+            up.push(rest);
+        } else if let Some(rest) = entry.strip_prefix("down:") {
+            down.push(rest);
+        } else {
+            let rest = entry.strip_prefix("both:").unwrap_or(entry);
+            up.push(rest);
+            down.push(rest);
+        }
+    }
+    let build = |entries: &[&str]| {
+        FaultPlan::parse(&entries.join(",")).map_err(|e| format!("bad --fault-plan: {e}"))
+    };
+    Ok((build(&up)?, build(&down)?))
+}
+
+fn parse_retry_flag(args: &Args) -> Result<Option<RetryPolicy>, String> {
+    match args.flag("retry") {
+        None => Ok(None),
+        Some("default") | Some("on") => Ok(Some(RetryPolicy::default())),
+        Some(spec) => RetryPolicy::parse(spec)
+            .map(Some)
+            .map_err(|e| format!("bad --retry: {e}")),
+    }
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let mut cfg = ScenarioConfig::paper(&args.model(), parse_strategy(args)?);
     cfg.link = LinkConfig::mbps(args.mbps()?);
+    (cfg.up_faults, cfg.down_faults) = parse_fault_flags(args)?;
+    cfg.retry = parse_retry_flag(args)?;
     let report = run_scenario(&cfg).map_err(|e| e.to_string())?;
     println!("model:      {}", report.model);
     println!("strategy:   {:?}", report.strategy);
@@ -137,6 +188,17 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             ack.as_secs_f64(),
             report.snapshot_up_bytes,
             report.snapshot_down_bytes
+        );
+    }
+    if report.fell_back {
+        println!("fallback:   offload gave up; the inference completed locally");
+    }
+    let retries = report.retry_count();
+    if retries > 0 || report.fault_time() > Duration::ZERO {
+        println!(
+            "resilience: {retries} retries | backoff {:.3}s | fault time {:.3}s",
+            report.backoff_time().as_secs_f64(),
+            report.fault_time().as_secs_f64()
         );
     }
     if args.flag("timeline").is_some() {
@@ -190,6 +252,8 @@ fn cmd_session(args: &Args) -> Result<(), String> {
     if args.flag("no-deltas").is_some() {
         cfg.use_deltas = false;
     }
+    (cfg.up_faults, cfg.down_faults) = parse_fault_flags(args)?;
+    cfg.retry = parse_retry_flag(args)?;
     let mut session = OffloadSession::new(cfg).map_err(|e| e.to_string())?;
     println!(
         "{:>6} {:>8} {:>12} {:>12} {:>10}",
@@ -200,7 +264,13 @@ fn cmd_session(args: &Args) -> Result<(), String> {
         println!(
             "{:>6} {:>8} {:>12} {:>12} {:>9.2}s   {}",
             r.round,
-            if r.delta_up { "delta" } else { "full" },
+            if r.fell_back {
+                "local"
+            } else if r.delta_up {
+                "delta"
+            } else {
+                "full"
+            },
             r.up_bytes,
             r.down_bytes,
             r.total.as_secs_f64(),
@@ -260,6 +330,7 @@ fn cmd_models() -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snapedge_net::LinkState;
 
     fn args(parts: &[&str]) -> Args {
         Args::from_vec(parts.iter().map(|s| s.to_string()).collect()).unwrap()
@@ -321,5 +392,54 @@ mod tests {
     #[test]
     fn bad_mbps_is_an_error() {
         assert!(args(&["run", "--mbps", "fast"]).mbps().is_err());
+    }
+
+    #[test]
+    fn fault_plan_defaults_to_no_faults() {
+        let (up, down) = parse_fault_flags(&args(&["run"])).unwrap();
+        assert!(up.is_empty() && down.is_empty());
+    }
+
+    #[test]
+    fn fault_plan_entries_hit_both_links_unless_prefixed() {
+        let (up, down) = parse_fault_flags(&args(&[
+            "run",
+            "--fault-plan",
+            "down@2..5,up:corrupt@7..8,down:degrade@1..2x0.5",
+        ]))
+        .unwrap();
+        assert_eq!(up.windows().len(), 2);
+        assert_eq!(down.windows().len(), 2);
+        assert_eq!(
+            up.state_at(Duration::from_secs_f64(7.5)),
+            LinkState::Corrupting
+        );
+        assert_eq!(
+            down.state_at(Duration::from_secs_f64(1.5)),
+            LinkState::Degraded(0.5)
+        );
+        // the unprefixed outage lands on both
+        assert_eq!(up.state_at(Duration::from_secs(3)), LinkState::Down);
+        assert_eq!(down.state_at(Duration::from_secs(3)), LinkState::Down);
+    }
+
+    #[test]
+    fn bad_fault_plan_is_an_error() {
+        assert!(parse_fault_flags(&args(&["run", "--fault-plan", "explode@1..2"])).is_err());
+    }
+
+    #[test]
+    fn retry_flag_parses_default_and_spec() {
+        assert_eq!(parse_retry_flag(&args(&["run"])).unwrap(), None);
+        assert_eq!(
+            parse_retry_flag(&args(&["run", "--retry", "default"])).unwrap(),
+            Some(RetryPolicy::default())
+        );
+        let p = parse_retry_flag(&args(&["run", "--retry", "attempts=7,deadline=90"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.max_attempts, 7);
+        assert_eq!(p.deadline, Duration::from_secs(90));
+        assert!(parse_retry_flag(&args(&["run", "--retry", "attempts=zero"])).is_err());
     }
 }

@@ -106,7 +106,7 @@ impl AdaptiveOffloader {
         let mut offload_time = best.times.total();
         if !model_ready {
             // The snapshot queues behind the model upload.
-            offload_time += link.transfer_time(self.model_bytes);
+            offload_time += link.transfer_time(self.model_bytes)?;
         }
         if offload_time < local_time {
             let decision = if best.cut.id.index() == 0 {
@@ -127,6 +127,20 @@ impl AdaptiveOffloader {
                 predicted: local_time,
                 local_time,
             })
+        }
+    }
+
+    /// The plan when the edge server is unreachable — a dead link, an
+    /// exhausted retry budget, or an expired deadline. There is no link
+    /// estimate to optimize against; the only move that completes the
+    /// inference is local execution, the degradation the paper recommends
+    /// whenever offloading cannot win.
+    pub fn decide_unreachable(&self) -> Plan {
+        let local_time = self.local_time();
+        Plan {
+            decision: Decision::Local,
+            predicted: local_time,
+            local_time,
         }
     }
 }
@@ -188,6 +202,15 @@ mod tests {
             .decide(&LinkConfig::wifi_30mbps(), false)
             .unwrap();
         assert_ne!(plan.decision, Decision::Local);
+    }
+
+    #[test]
+    fn unreachable_server_always_means_local() {
+        // Even for GoogLeNet, where offloading wins by 10x, no reachable
+        // server means local execution.
+        let plan = offloader("googlenet", false).decide_unreachable();
+        assert_eq!(plan.decision, Decision::Local);
+        assert_eq!(plan.predicted, plan.local_time);
     }
 
     #[test]

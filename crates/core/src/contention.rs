@@ -101,8 +101,8 @@ pub fn simulate_contention(cfg: &ContentionConfig) -> Result<ContentionReport, O
     // Client-side per-request costs.
     let capture = cfg.client_device.capture_time(cfg.snapshot_bytes);
     let restore = cfg.client_device.restore_time(cfg.snapshot_bytes);
-    let uplink = cfg.link.transfer_time(cfg.snapshot_bytes);
-    let downlink = cfg.link.transfer_time(cfg.snapshot_bytes);
+    let uplink = cfg.link.transfer_time(cfg.snapshot_bytes)?;
+    let downlink = cfg.link.transfer_time(cfg.snapshot_bytes)?;
 
     let mut queue: EventQueue<Event> = EventQueue::new();
     // Stagger app starts slightly so the horizon is not phase-locked.

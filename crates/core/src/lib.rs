@@ -23,6 +23,7 @@
 //! | a browser-bearing machine | [`endpoint`] |
 //! | pre-sending, ACK, migration, partial inference — full scenarios | [`scenario`] |
 //! | Neurosurgeon-style partition-point optimization | [`partition`] |
+//! | fault classification, retry policy, local fallback | [`resilience`] |
 //! | per-layer latency prediction (regression models) | [`predictor`] |
 //! | the feature-inversion attack and the withholding defense | [`privacy`] |
 //! | on-demand installation via VM synthesis | [`install`] |
@@ -58,6 +59,7 @@ pub mod partition;
 pub mod predictor;
 pub mod prelude;
 pub mod privacy;
+pub mod resilience;
 mod scenario;
 mod session;
 pub mod timeline;
@@ -73,6 +75,7 @@ pub use mlhost::{CaffeJsHost, ExecKind, ExecRecord, ExecTracker};
 pub use partition::{PartitionOptimizer, PartitionPrediction, PredictedTimes};
 pub use predictor::{LatencyPredictor, LayerSample, LinearModel};
 pub use privacy::{evaluate_privacy, reconstruct_input, AttackConfig, PrivacyReport};
+pub use resilience::{classify, schedule_resilient, FaultClass, RetryPolicy};
 pub use scenario::{
     run_scenario, run_scenario_with_links, run_with_fallback, Breakdown, ScenarioBuilder,
     ScenarioConfig, ScenarioReport, Strategy,

@@ -115,7 +115,12 @@ impl PartitionOptimizer {
     }
 
     /// Predicts the end-to-end inference time when offloading at `cut`.
-    pub fn predict(&self, cut: &CutPoint) -> PartitionPrediction {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OffloadError::Net`] when the link has no usable bandwidth
+    /// — no transfer time can be predicted over a dead link.
+    pub fn predict(&self, cut: &CutPoint) -> Result<PartitionPrediction, OffloadError> {
         let feature_bytes = self.feature_text_bytes(cut);
         let snapshot_bytes = self.base_snapshot_bytes + feature_bytes;
         let client_exec = self.client.exec_time(&self.profile, None, Some(cut.id));
@@ -123,22 +128,26 @@ impl PartitionOptimizer {
         let times = PredictedTimes {
             client_exec,
             capture: self.client.capture_time(snapshot_bytes),
-            upload: self.link.transfer_time(snapshot_bytes),
+            upload: self.link.transfer_time(snapshot_bytes)?,
             restore: self.server.restore_time(snapshot_bytes),
             server_exec,
             result_return: self.server.capture_time(self.result_snapshot_bytes)
-                + self.link.transfer_time(self.result_snapshot_bytes)
+                + self.link.transfer_time(self.result_snapshot_bytes)?
                 + self.client.restore_time(self.result_snapshot_bytes),
         };
-        PartitionPrediction {
+        Ok(PartitionPrediction {
             cut: cut.clone(),
             times,
             feature_text_bytes: feature_bytes,
-        }
+        })
     }
 
     /// Predictions for every valid cut, in execution order.
-    pub fn predictions(&self) -> Vec<PartitionPrediction> {
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PartitionOptimizer::predict`].
+    pub fn predictions(&self) -> Result<Vec<PartitionPrediction>, OffloadError> {
         self.cuts.iter().map(|c| self.predict(c)).collect()
     }
 
@@ -149,9 +158,10 @@ impl PartitionOptimizer {
     /// # Errors
     ///
     /// Returns [`OffloadError::Config`] when no cut satisfies the
-    /// constraint (cannot happen for zoo networks).
+    /// constraint (cannot happen for zoo networks), or [`OffloadError::Net`]
+    /// when the link has no usable bandwidth.
     pub fn best(&self, require_privacy: bool) -> Result<PartitionPrediction, OffloadError> {
-        self.predictions()
+        self.predictions()?
             .into_iter()
             .filter(|p| !require_privacy || p.cut.id.index() > 0)
             .min_by_key(|p| p.times.total())
@@ -219,8 +229,8 @@ mod tests {
         // following pool layer *reduces* inference time.
         let opt = optimizer("googlenet");
         let net = zoo::googlenet();
-        let conv = opt.predict(&net.cut_point("1st_conv").unwrap());
-        let pool = opt.predict(&net.cut_point("1st_pool").unwrap());
+        let conv = opt.predict(&net.cut_point("1st_conv").unwrap()).unwrap();
+        let pool = opt.predict(&net.cut_point("1st_pool").unwrap()).unwrap();
         assert!(pool.times.total() < conv.times.total());
     }
 
@@ -248,7 +258,7 @@ mod tests {
     #[test]
     fn predictions_cover_every_cut_in_order() {
         let opt = optimizer("agenet");
-        let preds = opt.predictions();
+        let preds = opt.predictions().unwrap();
         assert_eq!(preds[0].cut.label, "input");
         for pair in preds.windows(2) {
             assert!(pair[0].cut.id.index() < pair[1].cut.id.index());

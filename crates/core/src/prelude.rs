@@ -18,6 +18,7 @@
 pub use crate::device::{edge_server_x86, odroid_xu4, DeviceProfile};
 pub use crate::error::OffloadError;
 pub use crate::install::{vm_install, InstallReport};
+pub use crate::resilience::{classify, FaultClass, RetryPolicy};
 pub use crate::scenario::{
     run_scenario, run_scenario_with_links, run_with_fallback, Breakdown, ScenarioBuilder,
     ScenarioConfig, ScenarioReport, Strategy,
@@ -25,6 +26,6 @@ pub use crate::scenario::{
 pub use crate::session::{OffloadSession, RoundReport, SessionBuilder, SessionConfig};
 pub use crate::timeline;
 pub use snapedge_dnn::{zoo, ExecMode};
-pub use snapedge_net::{Link, LinkConfig};
+pub use snapedge_net::{FaultKind, FaultPlan, FaultWindow, Link, LinkConfig};
 pub use snapedge_trace::{Event, EventKind, Lane, Summary, Trace, Tracer};
 pub use snapedge_webapp::SnapshotOptions;

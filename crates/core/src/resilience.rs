@@ -1,0 +1,327 @@
+//! Fault classification and recovery policy.
+//!
+//! The paper's adaptive section concedes that when the edge server is not
+//! ready *"it would be better for the client to execute the DNN locally"*
+//! (Section IV-A). This module supplies the machinery that turns a
+//! mid-offload network failure into a recoverable event instead of a lost
+//! inference: errors are classified as transient or fatal, transient ones
+//! are retried under a [`RetryPolicy`] (bounded attempts, virtual-time
+//! exponential backoff, a hard deadline), and when the budget runs out the
+//! runtime degrades to local execution via the
+//! [`AdaptiveOffloader`](crate::AdaptiveOffloader). Everything is measured
+//! in *virtual* time on the shared `SimClock`, so a recovery under an
+//! injected [`FaultPlan`](snapedge_net::FaultPlan) is bit-for-bit
+//! reproducible.
+
+use crate::OffloadError;
+use snapedge_net::{Link, NetError, Transfer};
+use snapedge_trace::{EventKind, Lane, Tracer};
+use std::time::Duration;
+
+/// Whether a failure is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// The operation may succeed if repeated (link outage, corrupted
+    /// payload): the network can heal.
+    Transient,
+    /// Retrying cannot help (configuration, protocol, app errors, a link
+    /// with no bandwidth at all).
+    Fatal,
+}
+
+/// Classifies an [`OffloadError`] for the retry loop.
+///
+/// Link outages and corrupted payloads are [`FaultClass::Transient`]: an
+/// outage window closes and a retransmit replaces a corrupt payload.
+/// [`NetError::ZeroBandwidth`] is a configuration error — no amount of
+/// waiting gives a zero-bandwidth link capacity — and everything
+/// non-network (app, protocol, DNN, tensor) is deterministic, so both are
+/// [`FaultClass::Fatal`].
+pub fn classify(err: &OffloadError) -> FaultClass {
+    match err {
+        OffloadError::Net(NetError::LinkDown) | OffloadError::Net(NetError::Corrupt(_)) => {
+            FaultClass::Transient
+        }
+        _ => FaultClass::Fatal,
+    }
+}
+
+/// Recovery knobs for resilient offloading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per transfer (1 = no retries).
+    pub max_attempts: u32,
+    /// Total virtual-time budget for one inference, measured from the
+    /// moment the user clicked. When a retry (including its backoff sleep)
+    /// would overrun the deadline, the runtime falls back to local
+    /// execution instead.
+    pub deadline: Duration,
+    /// First backoff sleep; attempt `n` sleeps `backoff_base * 2^(n-1)`,
+    /// capped at [`RetryPolicy::backoff_max`].
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_max: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, a 60 s deadline, 100 ms initial backoff doubling up
+    /// to 10 s.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            deadline: Duration::from_secs(60),
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff sleep after failed attempt number `attempt` (1-based):
+    /// exponential doubling from [`RetryPolicy::backoff_base`], capped at
+    /// [`RetryPolicy::backoff_max`].
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(32);
+        let raw = self.backoff_base.saturating_mul(1u32 << doublings.min(31));
+        raw.min(self.backoff_max)
+    }
+
+    /// Parses a `key=value` spec, e.g. `attempts=5,deadline=30,backoff=0.2`
+    /// (`deadline`/`backoff`/`backoff-max` in seconds). Unspecified keys
+    /// keep their [`RetryPolicy::default`] values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed entry.
+    pub fn parse(spec: &str) -> Result<RetryPolicy, String> {
+        let mut policy = RetryPolicy::default();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("retry entry {entry:?} is missing '='"))?;
+            let secs = |v: &str| -> Result<Duration, String> {
+                let s: f64 = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad duration {v:?} in retry spec"))?;
+                if !(s.is_finite() && s >= 0.0) {
+                    return Err(format!("bad duration {v:?} in retry spec"));
+                }
+                Ok(Duration::from_secs_f64(s))
+            };
+            match key.trim() {
+                "attempts" => {
+                    policy.max_attempts = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad attempts {value:?} in retry spec"))?;
+                    if policy.max_attempts == 0 {
+                        return Err("attempts must be at least 1".to_string());
+                    }
+                }
+                "deadline" => policy.deadline = secs(value)?,
+                "backoff" => policy.backoff_base = secs(value)?,
+                "backoff-max" => policy.backoff_max = secs(value)?,
+                other => return Err(format!("unknown retry key {other:?}")),
+            }
+        }
+        Ok(policy)
+    }
+}
+
+/// Schedules `bytes` on `link` at virtual time `at`, retrying transient
+/// failures (outage-refused attempts, corrupted payloads) under `policy`.
+///
+/// The shared clock is deliberately *not* advanced — the caller decides
+/// whether the transfer is synchronous (snapshot migration: advance to
+/// [`Transfer::finish`]) or overlapped (model pre-sending: the link's
+/// occupancy carries the time). Each backoff sleep is recorded as an
+/// [`EventKind::Backoff`] span and each re-attempt as an instant
+/// [`EventKind::Retry`] marker, so the trace reconstructs the whole
+/// recovery. The sleep before attempt `n+1` is the larger of the policy's
+/// exponential backoff and the link's next fault-window edge, so the retry
+/// after an outage lands exactly when the link comes back up.
+///
+/// Returns `Ok(None)` when the retry budget is exhausted — attempts spent,
+/// the next retry would start past `anchor + deadline`, or the link is
+/// statically down and can never come back — and the caller should degrade
+/// gracefully. Without a policy the first transient failure is returned as
+/// an error, preserving strict fail-fast behaviour.
+///
+/// # Errors
+///
+/// Fatal (non-retryable) failures are returned immediately; transient ones
+/// only when no `policy` was given.
+pub fn schedule_resilient(
+    link: &mut Link,
+    tracer: &Tracer,
+    policy: Option<&RetryPolicy>,
+    at: Duration,
+    anchor: Duration,
+    bytes: u64,
+) -> Result<Option<Transfer>, OffloadError> {
+    let mut at = at;
+    let mut attempt: u32 = 1;
+    loop {
+        let failure = match link.schedule(at, bytes) {
+            Ok(xfer) if !xfer.corrupted => return Ok(Some(xfer)),
+            Ok(xfer) => {
+                // The link was occupied for the full transfer; the receiver
+                // discards the payload and requests a retransmit.
+                at = xfer.finish;
+                OffloadError::Net(NetError::Corrupt(format!(
+                    "{bytes}-byte payload corrupted in flight"
+                )))
+            }
+            Err(e) => OffloadError::Net(e),
+        };
+        if classify(&failure) == FaultClass::Fatal {
+            return Err(failure);
+        }
+        let Some(policy) = policy else {
+            return Err(failure);
+        };
+        if attempt >= policy.max_attempts {
+            return Ok(None);
+        }
+        let mut resume = at + policy.backoff(attempt);
+        match link.next_up_after(resume) {
+            // Statically failed: no outage window ever closes.
+            None => return Ok(None),
+            Some(up) => resume = resume.max(up),
+        }
+        if resume > anchor + policy.deadline {
+            return Ok(None);
+        }
+        tracer.record("backoff", Lane::Network, EventKind::Backoff, at, resume);
+        tracer.record("retry", Lane::Network, EventKind::Retry, resume, resume);
+        at = resume;
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapedge_net::{FaultPlan, LinkConfig};
+
+    #[test]
+    fn resilient_schedule_retries_past_an_outage() {
+        let mut link = Link::new(LinkConfig::mbps(8.0))
+            .with_fault_plan(FaultPlan::parse("down@0..2").unwrap());
+        let tracer = Tracer::new();
+        let policy = RetryPolicy::default();
+        let xfer = schedule_resilient(
+            &mut link,
+            &tracer,
+            Some(&policy),
+            Duration::ZERO,
+            Duration::ZERO,
+            1_000_000,
+        )
+        .unwrap()
+        .expect("retry should succeed once the window closes");
+        // The retry lands exactly when the link comes back up.
+        assert_eq!(xfer.start, Duration::from_secs(2));
+        let trace = tracer.finish();
+        assert_eq!(
+            trace.duration_of_kind(EventKind::Backoff, None),
+            Duration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn statically_down_links_exhaust_immediately() {
+        let mut link = Link::new(LinkConfig::mbps(8.0));
+        link.set_down(true);
+        let tracer = Tracer::new();
+        // Fail-fast without a policy.
+        assert!(matches!(
+            schedule_resilient(
+                &mut link,
+                &tracer,
+                None,
+                Duration::ZERO,
+                Duration::ZERO,
+                1_000
+            ),
+            Err(OffloadError::Net(NetError::LinkDown))
+        ));
+        // Graceful give-up with one: there is no window edge to wait for.
+        let policy = RetryPolicy::default();
+        let gave_up = schedule_resilient(
+            &mut link,
+            &tracer,
+            Some(&policy),
+            Duration::ZERO,
+            Duration::ZERO,
+            1_000,
+        )
+        .unwrap();
+        assert!(gave_up.is_none());
+    }
+
+    #[test]
+    fn network_faults_are_transient_everything_else_fatal() {
+        assert_eq!(
+            classify(&OffloadError::Net(NetError::LinkDown)),
+            FaultClass::Transient
+        );
+        assert_eq!(
+            classify(&OffloadError::Net(NetError::Corrupt("x".into()))),
+            FaultClass::Transient
+        );
+        assert_eq!(
+            classify(&OffloadError::Net(NetError::ZeroBandwidth)),
+            FaultClass::Fatal
+        );
+        assert_eq!(
+            classify(&OffloadError::Protocol("p".into())),
+            FaultClass::Fatal
+        );
+        assert_eq!(
+            classify(&OffloadError::Config("c".into())),
+            FaultClass::Fatal
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_millis(350),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(100));
+        assert_eq!(p.backoff(2), Duration::from_millis(200));
+        assert_eq!(p.backoff(3), Duration::from_millis(350), "capped");
+        assert_eq!(p.backoff(30), Duration::from_millis(350));
+    }
+
+    #[test]
+    fn parse_overrides_only_named_keys() {
+        let p = RetryPolicy::parse("attempts=7, deadline=30, backoff=0.25").unwrap();
+        assert_eq!(p.max_attempts, 7);
+        assert_eq!(p.deadline, Duration::from_secs(30));
+        assert_eq!(p.backoff_base, Duration::from_millis(250));
+        assert_eq!(p.backoff_max, RetryPolicy::default().backoff_max);
+        assert_eq!(RetryPolicy::parse("").unwrap(), RetryPolicy::default());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "attempts",
+            "attempts=zero",
+            "attempts=0",
+            "deadline=-3",
+            "warp=9",
+        ] {
+            assert!(RetryPolicy::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

@@ -8,12 +8,14 @@
 //! hand-waved: the bytes that cross the link are the bytes of the snapshot
 //! HTML the client actually captured.
 
+use crate::adaptive::{AdaptiveOffloader, AdaptivePolicy, Decision};
 use crate::apps;
 use crate::device::DeviceProfile;
 use crate::endpoint::Endpoint;
+use crate::resilience::{schedule_resilient, RetryPolicy};
 use crate::OffloadError;
 use snapedge_dnn::{zoo, ExecMode, ModelBundle, ParamStore};
-use snapedge_net::{Link, LinkConfig, SimClock};
+use snapedge_net::{FaultPlan, Link, LinkConfig, SimClock};
 use snapedge_trace::{EventKind, Lane, Trace, Tracer};
 use snapedge_webapp::{RunOutcome, SnapshotOptions};
 use std::time::Duration;
@@ -65,6 +67,14 @@ pub struct ScenarioConfig {
     /// codec CPU time on both sides — an extension the paper does not
     /// evaluate (see the `compression` bench).
     pub compress: bool,
+    /// Fault-injection schedule for the client→server link: virtual-time
+    /// windows where the uplink is down, degraded, or corrupting.
+    pub up_faults: FaultPlan,
+    /// Fault-injection schedule for the server→client link.
+    pub down_faults: FaultPlan,
+    /// Recovery policy for transient network faults. `None` keeps the
+    /// strict fail-fast behaviour: the first fault surfaces as an error.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl ScenarioConfig {
@@ -96,6 +106,9 @@ impl ScenarioConfig {
                 image_bytes: 35_000,
                 snapshot: SnapshotOptions::default(),
                 compress: false,
+                up_faults: FaultPlan::none(),
+                down_faults: FaultPlan::none(),
+                retry: None,
             },
         }
     }
@@ -115,6 +128,9 @@ impl ScenarioConfig {
                 image_bytes: 2_000,
                 snapshot: SnapshotOptions::default(),
                 compress: false,
+                up_faults: FaultPlan::none(),
+                down_faults: FaultPlan::none(),
+                retry: None,
             },
         }
     }
@@ -200,6 +216,29 @@ impl ScenarioBuilder {
     /// Compress snapshots before transmission.
     pub fn compress(mut self, on: bool) -> ScenarioBuilder {
         self.cfg.compress = on;
+        self
+    }
+
+    /// Fault-injection schedule for the client→server link.
+    pub fn up_faults(mut self, plan: FaultPlan) -> ScenarioBuilder {
+        self.cfg.up_faults = plan;
+        self
+    }
+
+    /// Fault-injection schedule for the server→client link.
+    pub fn down_faults(mut self, plan: FaultPlan) -> ScenarioBuilder {
+        self.cfg.down_faults = plan;
+        self
+    }
+
+    /// The same fault-injection schedule on both links.
+    pub fn faults(self, plan: FaultPlan) -> ScenarioBuilder {
+        self.up_faults(plan.clone()).down_faults(plan)
+    }
+
+    /// Recovery policy for transient network faults.
+    pub fn retry(mut self, policy: RetryPolicy) -> ScenarioBuilder {
+        self.cfg.retry = Some(policy);
         self
     }
 
@@ -292,10 +331,36 @@ pub struct ScenarioReport {
     pub snapshot_down_bytes: u64,
     /// The label shown on the client's screen at the end.
     pub result: String,
+    /// Whether the run gave up on offloading (retry budget or deadline
+    /// exhausted, server unreachable) and completed the inference locally.
+    pub fell_back: bool,
     /// Full event trace of the run: canonical phase events at depth 0,
     /// per-layer DNN execution and link-level transfer/queue events
     /// nested below. [`ScenarioReport::breakdown`] is derived from it.
     pub trace: Trace,
+}
+
+impl ScenarioReport {
+    /// Number of re-attempts the run needed (instant [`EventKind::Retry`]
+    /// markers in the trace).
+    pub fn retry_count(&self) -> usize {
+        self.trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Retry)
+            .count()
+    }
+
+    /// Total virtual time spent sleeping between retries.
+    pub fn backoff_time(&self) -> Duration {
+        self.trace.duration_of_kind(EventKind::Backoff, None)
+    }
+
+    /// Total virtual time lost to injected faults: outage stalls, degraded
+    /// stretches, and corrupted serializations that had to be repeated.
+    pub fn fault_time(&self) -> Duration {
+        self.trace.duration_of_kind(EventKind::Fault, None)
+    }
 }
 
 /// Runs a scenario to completion.
@@ -310,8 +375,8 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioReport, OffloadError
         Strategy::ServerOnly => run_local(cfg, /* on_server = */ true),
         _ => run_offload(
             cfg,
-            &mut Link::new(cfg.link.clone()),
-            &mut Link::new(cfg.link.clone()),
+            &mut Link::new(cfg.link.clone()).with_fault_plan(cfg.up_faults.clone()),
+            &mut Link::new(cfg.link.clone()).with_fault_plan(cfg.down_faults.clone()),
         ),
     }
 }
@@ -364,6 +429,11 @@ pub fn run_with_fallback(
 /// models). Advances the shared clock past the arrival. Records
 /// `compress_{dir}` / `transfer_{dir}` / `decompress_{dir}` events to
 /// `tracer`; link-level occupancy/queue events nest under the transfer.
+///
+/// Transient link faults are retried under `cfg.retry` (the deadline is
+/// measured from `anchor`, the moment the user clicked); `Ok(None)` means
+/// the retry budget ran out and the caller should degrade to local
+/// execution.
 #[allow(clippy::too_many_arguments)]
 fn ship(
     cfg: &ScenarioConfig,
@@ -375,7 +445,8 @@ fn ship(
     tracer: &Tracer,
     link: &mut Link,
     clock: &SimClock,
-) -> Result<u64, OffloadError> {
+    anchor: Duration,
+) -> Result<Option<u64>, OffloadError> {
     let (sender_lane, receiver_lane) = lanes;
     if !cfg.compress {
         let span = tracer.begin_bytes(
@@ -385,10 +456,21 @@ fn ship(
             clock.now(),
             Some(snapshot.size_bytes()),
         );
-        let xfer = link.schedule(clock.now(), snapshot.size_bytes())?;
+        let Some(xfer) = schedule_resilient(
+            link,
+            tracer,
+            cfg.retry.as_ref(),
+            clock.now(),
+            anchor,
+            snapshot.size_bytes(),
+        )?
+        else {
+            tracer.end(span, clock.now());
+            return Ok(None);
+        };
         clock.advance_to(xfer.finish);
         tracer.end(span, xfer.finish);
-        return Ok(snapshot.size_bytes());
+        return Ok(Some(snapshot.size_bytes()));
     }
     let packed = snapedge_net::compress::compress(snapshot.html().as_bytes());
     let compress_start = clock.now();
@@ -408,7 +490,18 @@ fn ship(
         clock.now(),
         Some(packed.len() as u64),
     );
-    let xfer = link.schedule(clock.now(), packed.len() as u64)?;
+    let Some(xfer) = schedule_resilient(
+        link,
+        tracer,
+        cfg.retry.as_ref(),
+        clock.now(),
+        anchor,
+        packed.len() as u64,
+    )?
+    else {
+        tracer.end(span, clock.now());
+        return Ok(None);
+    };
     clock.advance_to(xfer.finish);
     tracer.end(span, xfer.finish);
     let unpacked = snapedge_net::compress::decompress(&packed)?;
@@ -425,7 +518,62 @@ fn ship(
         decompress_start,
         clock.now(),
     );
-    Ok(packed.len() as u64)
+    Ok(Some(packed.len() as u64))
+}
+
+/// Completes the inference locally after an offload attempt exhausted its
+/// retry budget: the armed trigger event is still at the front of the
+/// client's queue (snapshot capture never mutates the client), so
+/// disarming it and resuming executes the inference handler on the client
+/// itself. The [`AdaptiveOffloader`]'s unreachable-server decision is
+/// consulted first — the controller decides, the runtime obeys — and the
+/// moment is marked with an instant [`EventKind::Fallback`] event.
+#[allow(clippy::too_many_arguments)]
+fn finish_locally(
+    cfg: &ScenarioConfig,
+    net: &snapedge_dnn::Network,
+    client: &mut Endpoint,
+    tracer: &Tracer,
+    clock: &SimClock,
+    clicked_at: Duration,
+    ack_at: Option<Duration>,
+    model_upload_bytes: u64,
+) -> Result<ScenarioReport, OffloadError> {
+    let plan = AdaptiveOffloader::new(
+        net.clone(),
+        cfg.client_device.clone(),
+        cfg.server_device.clone(),
+        model_upload_bytes,
+        AdaptivePolicy::default(),
+    )
+    .decide_unreachable();
+    debug_assert_eq!(plan.decision, Decision::Local);
+    tracer.record(
+        "fallback_local",
+        Lane::Client,
+        EventKind::Fallback,
+        clock.now(),
+        clock.now(),
+    );
+    client.browser.set_offload_trigger(None);
+    let exec_span = tracer.begin("exec_client", Lane::Client, EventKind::Exec, clock.now());
+    client.run()?;
+    tracer.end(exec_span, clock.now());
+    let trace = tracer.finish();
+    Ok(ScenarioReport {
+        model: cfg.model.clone(),
+        strategy: cfg.strategy.clone(),
+        breakdown: Breakdown::from_trace(&trace),
+        total: clock.now() - clicked_at,
+        ack_at,
+        clicked_at,
+        model_upload_bytes,
+        snapshot_up_bytes: 0,
+        snapshot_down_bytes: 0,
+        result: client.browser.element_text("result")?.to_string(),
+        fell_back: true,
+        trace,
+    })
 }
 
 fn app_html(cfg: &ScenarioConfig) -> String {
@@ -494,6 +642,7 @@ fn run_local(cfg: &ScenarioConfig, on_server: bool) -> Result<ScenarioReport, Of
         snapshot_up_bytes: 0,
         snapshot_down_bytes: 0,
         result: ep.browser.element_text("result")?.to_string(),
+        fell_back: false,
         trace,
     })
 }
@@ -532,6 +681,7 @@ fn run_offload(
         None => full_bundle.clone(),
     };
     let model_upload_bytes = sent_bundle.total_bytes();
+    let policy = cfg.retry.as_ref();
     let upload_span = tracer.begin_bytes(
         "model_upload",
         Lane::Network,
@@ -539,26 +689,60 @@ fn run_offload(
         Duration::ZERO,
         Some(model_upload_bytes),
     );
-    let model_xfer = uplink.schedule(Duration::ZERO, model_upload_bytes)?;
-    tracer.end(upload_span, model_xfer.finish);
-    let ack_span = tracer.begin_bytes(
-        "model_ack",
-        Lane::Network,
-        EventKind::Other,
-        model_xfer.finish,
-        Some(64),
-    );
-    let ack_xfer = downlink.schedule(model_xfer.finish, 64)?;
-    tracer.end(ack_span, ack_xfer.finish);
-    let ack_at = ack_xfer.finish;
+    // The pre-send overlaps with the app start: the link carries the time,
+    // the clock stays put. Transient faults are retried on the link's own
+    // timeline; `None` means the server never became reachable.
+    let ack_at = match schedule_resilient(
+        uplink,
+        &tracer,
+        policy,
+        Duration::ZERO,
+        Duration::ZERO,
+        model_upload_bytes,
+    )? {
+        Some(model_xfer) => {
+            tracer.end(upload_span, model_xfer.finish);
+            let ack_span = tracer.begin_bytes(
+                "model_ack",
+                Lane::Network,
+                EventKind::Other,
+                model_xfer.finish,
+                Some(64),
+            );
+            match schedule_resilient(
+                downlink,
+                &tracer,
+                policy,
+                model_xfer.finish,
+                Duration::ZERO,
+                64,
+            )? {
+                Some(ack_xfer) => {
+                    tracer.end(ack_span, ack_xfer.finish);
+                    Some(ack_xfer.finish)
+                }
+                None => {
+                    tracer.end(ack_span, clock.now());
+                    None
+                }
+            }
+        }
+        None => {
+            tracer.end(upload_span, clock.now());
+            None
+        }
+    };
 
     // Server-side parameters come from the received bundle (rear-only for
-    // partial inference): the server *cannot* run front layers.
-    let server_params = match cfg.exec_mode {
-        ExecMode::Real => ParamStore::from_bundle(&sent_bundle)?,
-        ExecMode::Synthetic { .. } => ParamStore::empty(net.name()),
-    };
-    server.install_model(net.clone(), server_params, cfg.exec_mode, cut, cfg.seed);
+    // partial inference): the server *cannot* run front layers. An
+    // unreachable server never receives the model.
+    if ack_at.is_some() {
+        let server_params = match cfg.exec_mode {
+            ExecMode::Real => ParamStore::from_bundle(&sent_bundle)?,
+            ExecMode::Synthetic { .. } => ParamStore::empty(net.name()),
+        };
+        server.install_model(net.clone(), server_params, cfg.exec_mode, cut, cfg.seed);
+    }
     client.install_model(net.clone(), client_params, cfg.exec_mode, cut, cfg.seed);
 
     // --- App start and user interaction on the client.
@@ -569,7 +753,7 @@ fn run_offload(
 
     let clicked_at = match cfg.strategy {
         Strategy::OffloadBeforeAck => Duration::ZERO,
-        _ => ack_at,
+        _ => ack_at.unwrap_or_else(|| clock.now()),
     };
     clock.advance_to(clicked_at);
 
@@ -583,10 +767,24 @@ fn run_offload(
         )));
     }
 
+    if ack_at.is_none() {
+        // The pre-send never got through: degrade before shipping anything.
+        return finish_locally(
+            cfg,
+            &net,
+            &mut client,
+            &tracer,
+            &clock,
+            clicked_at,
+            ack_at,
+            model_upload_bytes,
+        );
+    }
+
     // --- Client-to-server migration. Capture/restore events come from the
     // endpoints; transfer/codec events from `ship`.
     let (snap_up, _capture_client) = client.capture(&cfg.snapshot)?;
-    let snapshot_up_bytes = ship(
+    let Some(snapshot_up_bytes) = ship(
         cfg,
         &snap_up,
         &client.device,
@@ -596,7 +794,20 @@ fn run_offload(
         &tracer,
         uplink,
         &clock,
-    )?;
+        clicked_at,
+    )?
+    else {
+        return finish_locally(
+            cfg,
+            &net,
+            &mut client,
+            &tracer,
+            &clock,
+            clicked_at,
+            ack_at,
+            model_upload_bytes,
+        );
+    };
     server.restore(&snap_up)?;
     let exec_span = tracer.begin("exec_server", Lane::Server, EventKind::Exec, clock.now());
     server.run()?;
@@ -604,7 +815,7 @@ fn run_offload(
 
     // --- Server-to-client migration of the updated state.
     let (snap_down, _capture_server) = server.capture(&cfg.snapshot)?;
-    let snapshot_down_bytes = ship(
+    let Some(snapshot_down_bytes) = ship(
         cfg,
         &snap_down,
         &server.device,
@@ -614,7 +825,23 @@ fn run_offload(
         &tracer,
         downlink,
         &clock,
-    )?;
+        clicked_at,
+    )?
+    else {
+        // The result is stranded at the server; the client's state is
+        // untouched (it restores only after a successful downlink), so the
+        // inference can still complete locally.
+        return finish_locally(
+            cfg,
+            &net,
+            &mut client,
+            &tracer,
+            &clock,
+            clicked_at,
+            ack_at,
+            model_upload_bytes,
+        );
+    };
     client.restore(&snap_down)?;
     client.browser.set_offload_trigger(None);
     client.run()?;
@@ -625,12 +852,13 @@ fn run_offload(
         strategy: cfg.strategy.clone(),
         breakdown: Breakdown::from_trace(&trace),
         total: clock.now() - clicked_at,
-        ack_at: Some(ack_at),
+        ack_at,
         clicked_at,
         model_upload_bytes,
         snapshot_up_bytes,
         snapshot_down_bytes,
         result: client.browser.element_text("result")?.to_string(),
+        fell_back: false,
         trace,
     })
 }

@@ -14,9 +14,10 @@
 use crate::apps;
 use crate::device::DeviceProfile;
 use crate::endpoint::Endpoint;
+use crate::resilience::{schedule_resilient, RetryPolicy};
 use crate::OffloadError;
 use snapedge_dnn::{zoo, ExecMode, ModelBundle, Network, NodeId, ParamStore};
-use snapedge_net::{Link, LinkConfig, SimClock};
+use snapedge_net::{FaultPlan, Link, LinkConfig, NetError, SimClock};
 use snapedge_trace::{EventKind, Lane, Trace, Tracer};
 use snapedge_webapp::{DeltaCapture, RunOutcome, SnapshotOptions, StateBase};
 use std::time::Duration;
@@ -45,6 +46,13 @@ pub struct SessionConfig {
     /// Use delta snapshots after the first offload (the future-work
     /// optimization); `false` sends a full snapshot every time.
     pub use_deltas: bool,
+    /// Fault-injection schedule for the client→server link.
+    pub up_faults: FaultPlan,
+    /// Fault-injection schedule for the server→client link.
+    pub down_faults: FaultPlan,
+    /// Recovery policy for transient network faults. `None` keeps the
+    /// strict fail-fast behaviour: the first fault surfaces as an error.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl SessionConfig {
@@ -72,6 +80,9 @@ impl SessionConfig {
                 image_bytes: 35_000,
                 snapshot: SnapshotOptions::default(),
                 use_deltas: true,
+                up_faults: FaultPlan::none(),
+                down_faults: FaultPlan::none(),
+                retry: None,
             },
         }
     }
@@ -90,6 +101,9 @@ impl SessionConfig {
                 image_bytes: 2_000,
                 snapshot: SnapshotOptions::default(),
                 use_deltas: true,
+                up_faults: FaultPlan::none(),
+                down_faults: FaultPlan::none(),
+                retry: None,
             },
         }
     }
@@ -169,6 +183,29 @@ impl SessionBuilder {
         self
     }
 
+    /// Fault-injection schedule for the client→server link.
+    pub fn up_faults(mut self, plan: FaultPlan) -> SessionBuilder {
+        self.cfg.up_faults = plan;
+        self
+    }
+
+    /// Fault-injection schedule for the server→client link.
+    pub fn down_faults(mut self, plan: FaultPlan) -> SessionBuilder {
+        self.cfg.down_faults = plan;
+        self
+    }
+
+    /// The same fault-injection schedule on both links.
+    pub fn faults(self, plan: FaultPlan) -> SessionBuilder {
+        self.up_faults(plan.clone()).down_faults(plan)
+    }
+
+    /// Recovery policy for transient network faults.
+    pub fn retry(mut self, policy: RetryPolicy) -> SessionBuilder {
+        self.cfg.retry = Some(policy);
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> SessionConfig {
         self.cfg
@@ -193,6 +230,9 @@ pub struct RoundReport {
     pub total: Duration,
     /// Label displayed on the client's screen.
     pub result: String,
+    /// Whether this round gave up on offloading (retry budget exhausted)
+    /// and completed the inference locally on the client.
+    pub fell_back: bool,
 }
 
 /// A persistent offloading relationship between one client and its current
@@ -243,8 +283,12 @@ impl OffloadSession {
         let mut session = OffloadSession {
             server: Endpoint::new("edge-server-1", cfg.server_device.clone(), clock.clone())
                 .with_tracer(tracer.clone(), Lane::Server),
-            uplink: Link::new(cfg.link.clone()).with_tracer(tracer.clone(), "uplink"),
-            downlink: Link::new(cfg.link.clone()).with_tracer(tracer.clone(), "downlink"),
+            uplink: Link::new(cfg.link.clone())
+                .with_tracer(tracer.clone(), "uplink")
+                .with_fault_plan(cfg.up_faults.clone()),
+            downlink: Link::new(cfg.link.clone())
+                .with_tracer(tracer.clone(), "downlink")
+                .with_fault_plan(cfg.down_faults.clone()),
             cfg,
             net,
             cut,
@@ -309,7 +353,23 @@ impl OffloadSession {
             self.clock.now(),
             Some(sent.total_bytes()),
         );
-        let xfer = self.uplink.schedule(self.clock.now(), sent.total_bytes())?;
+        // The pre-send rides the link's own timeline (overlapping with
+        // whatever the client is doing); transient faults are retried under
+        // the session's policy. A server the retry budget cannot reach is
+        // reported as a down link — the caller may hand off again later.
+        let presend_at = self.clock.now();
+        let Some(xfer) = schedule_resilient(
+            &mut self.uplink,
+            &self.tracer,
+            self.cfg.retry.as_ref(),
+            presend_at,
+            presend_at,
+            sent.total_bytes(),
+        )?
+        else {
+            self.tracer.end(upload_span, self.clock.now());
+            return Err(OffloadError::Net(NetError::LinkDown));
+        };
         self.tracer.end(upload_span, xfer.finish);
         let ack_span = self.tracer.begin_bytes(
             "model_ack",
@@ -318,7 +378,18 @@ impl OffloadSession {
             xfer.finish,
             Some(64),
         );
-        let ack = self.downlink.schedule(xfer.finish, 64)?;
+        let Some(ack) = schedule_resilient(
+            &mut self.downlink,
+            &self.tracer,
+            self.cfg.retry.as_ref(),
+            xfer.finish,
+            presend_at,
+            64,
+        )?
+        else {
+            self.tracer.end(ack_span, self.clock.now());
+            return Err(OffloadError::Net(NetError::LinkDown));
+        };
         self.tracer.end(ack_span, ack.finish);
         self.ack_at = ack.finish;
         let server_params = match self.cfg.exec_mode {
@@ -363,9 +434,12 @@ impl OffloadSession {
         let name = format!("edge-server-{}", self.round + 1);
         self.server = Endpoint::new(&name, self.cfg.server_device.clone(), self.clock.clone())
             .with_tracer(self.tracer.clone(), Lane::Server);
-        self.uplink = Link::new(self.cfg.link.clone()).with_tracer(self.tracer.clone(), "uplink");
-        self.downlink =
-            Link::new(self.cfg.link.clone()).with_tracer(self.tracer.clone(), "downlink");
+        self.uplink = Link::new(self.cfg.link.clone())
+            .with_tracer(self.tracer.clone(), "uplink")
+            .with_fault_plan(self.cfg.up_faults.clone());
+        self.downlink = Link::new(self.cfg.link.clone())
+            .with_tracer(self.tracer.clone(), "downlink")
+            .with_fault_plan(self.cfg.down_faults.clone());
         self.agreed = None;
         self.setup_server()
     }
@@ -412,7 +486,9 @@ impl OffloadSession {
         }
 
         // --- Uplink migration: delta when an agreement exists.
-        let (up_bytes, delta_up) = self.migrate_up()?;
+        let Some((up_bytes, delta_up)) = self.migrate_up(clicked_at)? else {
+            return self.finish_round_locally(clicked_at);
+        };
 
         // The server runs the pending event.
         let server_base = self.server.browser.state_base();
@@ -426,7 +502,11 @@ impl OffloadSession {
         self.tracer.end(exec_span, self.clock.now());
 
         // --- Downlink migration.
-        let (down_bytes, delta_down) = self.migrate_down(&server_base, delta_up)?;
+        let Some((down_bytes, delta_down)) =
+            self.migrate_down(&server_base, delta_up, clicked_at)?
+        else {
+            return self.finish_round_locally(clicked_at);
+        };
 
         self.client.browser.set_offload_trigger(None);
         self.client.run()?;
@@ -448,10 +528,52 @@ impl OffloadSession {
             down_bytes,
             total: self.clock.now() - clicked_at,
             result: self.client.browser.element_text("result")?.to_string(),
+            fell_back: false,
         })
     }
 
-    fn migrate_up(&mut self) -> Result<(u64, bool), OffloadError> {
+    /// Completes the round locally after the retry budget ran out: the
+    /// armed trigger event is still queued on the client (captures never
+    /// mutate it), so disarming the trigger and resuming executes the
+    /// inference handler there. The server's view of the client state is
+    /// now stale, so the delta agreement is dropped — the next round
+    /// re-sends a full snapshot.
+    fn finish_round_locally(&mut self, clicked_at: Duration) -> Result<RoundReport, OffloadError> {
+        self.tracer.record(
+            "fallback_local",
+            Lane::Client,
+            EventKind::Fallback,
+            self.clock.now(),
+            self.clock.now(),
+        );
+        self.client.browser.set_offload_trigger(None);
+        let span = self.tracer.begin(
+            "exec_client",
+            Lane::Client,
+            EventKind::Exec,
+            self.clock.now(),
+        );
+        self.client.run()?;
+        self.tracer.end(span, self.clock.now());
+        let trigger = match self.cut {
+            Some(_) => apps::PARTIAL_OFFLOAD_EVENT,
+            None => apps::FULL_OFFLOAD_EVENT,
+        };
+        self.client.browser.set_offload_trigger(Some(trigger));
+        self.agreed = None;
+        Ok(RoundReport {
+            round: self.round,
+            delta_up: false,
+            delta_down: false,
+            up_bytes: 0,
+            down_bytes: 0,
+            total: self.clock.now() - clicked_at,
+            result: self.client.browser.element_text("result")?.to_string(),
+            fell_back: true,
+        })
+    }
+
+    fn migrate_up(&mut self, anchor: Duration) -> Result<Option<(u64, bool)>, OffloadError> {
         if self.cfg.use_deltas {
             if let Some(base) = self.agreed.clone() {
                 if let DeltaCapture::Delta(delta) = self
@@ -470,34 +592,43 @@ impl OffloadSession {
                         self.clock.now(),
                         Some(bytes),
                     );
-                    self.transfer("up", bytes)?;
-                    let restore_start = self.clock.now();
-                    self.server.browser.apply_delta(&delta)?;
-                    self.charge_restore_server(bytes);
-                    self.tracer.record_bytes(
-                        "restore_server",
-                        Lane::Server,
-                        EventKind::Restore,
-                        restore_start,
-                        self.clock.now(),
-                        Some(bytes),
-                    );
-                    return Ok((bytes, true));
+                    if self.transfer("up", bytes, anchor)?.is_some() {
+                        let restore_start = self.clock.now();
+                        self.server.browser.apply_delta(&delta)?;
+                        self.charge_restore_server(bytes);
+                        self.tracer.record_bytes(
+                            "restore_server",
+                            Lane::Server,
+                            EventKind::Restore,
+                            restore_start,
+                            self.clock.now(),
+                            Some(bytes),
+                        );
+                        return Ok(Some((bytes, true)));
+                    }
+                    // The delta never arrived, so the server's agreed base
+                    // can no longer be trusted. Drop the agreement and fall
+                    // through to a full-snapshot re-send (fresh attempt
+                    // budget, same deadline).
+                    self.agreed = None;
                 }
             }
         }
         let (snapshot, _) = self.client.capture(&self.cfg.snapshot)?;
         let bytes = snapshot.size_bytes();
-        self.transfer("up", bytes)?;
+        if self.transfer("up", bytes, anchor)?.is_none() {
+            return Ok(None);
+        }
         self.server.restore(&snapshot)?;
-        Ok((bytes, false))
+        Ok(Some((bytes, false)))
     }
 
     fn migrate_down(
         &mut self,
         server_base: &StateBase,
         delta_possible: bool,
-    ) -> Result<(u64, bool), OffloadError> {
+        anchor: Duration,
+    ) -> Result<Option<(u64, bool)>, OffloadError> {
         if self.cfg.use_deltas && delta_possible {
             if let DeltaCapture::Delta(delta) = self
                 .server
@@ -515,7 +646,9 @@ impl OffloadSession {
                     self.clock.now(),
                     Some(bytes),
                 );
-                self.transfer("down", bytes)?;
+                if self.transfer("down", bytes, anchor)?.is_none() {
+                    return Ok(None);
+                }
                 let restore_start = self.clock.now();
                 self.client.browser.apply_delta(&delta)?;
                 self.charge_restore_client(bytes);
@@ -527,19 +660,29 @@ impl OffloadSession {
                     self.clock.now(),
                     Some(bytes),
                 );
-                return Ok((bytes, true));
+                return Ok(Some((bytes, true)));
             }
         }
         let (snapshot, _) = self.server.capture(&self.cfg.snapshot)?;
         let bytes = snapshot.size_bytes();
-        self.transfer("down", bytes)?;
+        if self.transfer("down", bytes, anchor)?.is_none() {
+            return Ok(None);
+        }
         self.client.restore(&snapshot)?;
-        Ok((bytes, false))
+        Ok(Some((bytes, false)))
     }
 
     /// Ships `bytes` over the uplink (`dir == "up"`) or downlink, advancing
     /// the clock to delivery and recording a `transfer_{dir}` span.
-    fn transfer(&mut self, dir: &str, bytes: u64) -> Result<(), OffloadError> {
+    /// Transient faults are retried under the session's policy (the
+    /// deadline measured from `anchor`, the moment the user clicked);
+    /// `Ok(None)` means the retry budget ran out.
+    fn transfer(
+        &mut self,
+        dir: &str,
+        bytes: u64,
+        anchor: Duration,
+    ) -> Result<Option<()>, OffloadError> {
         let link = match dir {
             "up" => &mut self.uplink,
             _ => &mut self.downlink,
@@ -551,10 +694,21 @@ impl OffloadSession {
             self.clock.now(),
             Some(bytes),
         );
-        let xfer = link.schedule(self.clock.now(), bytes)?;
+        let Some(xfer) = schedule_resilient(
+            link,
+            &self.tracer,
+            self.cfg.retry.as_ref(),
+            self.clock.now(),
+            anchor,
+            bytes,
+        )?
+        else {
+            self.tracer.end(span, self.clock.now());
+            return Ok(None);
+        };
         self.clock.advance_to(xfer.finish);
         self.tracer.end(span, xfer.finish);
-        Ok(())
+        Ok(Some(()))
     }
 
     fn charge_capture_client(&self, bytes: u64) {

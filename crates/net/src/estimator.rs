@@ -127,7 +127,7 @@ mod tests {
         let cfg = e.as_link_config(Duration::from_millis(5)).unwrap();
         assert!((cfg.bandwidth_bps - 30.0e6).abs() < 1.0);
         // The config is usable for transfer-time prediction.
-        assert!(cfg.transfer_time(3_750_000).as_secs_f64() > 0.9);
+        assert!(cfg.transfer_time(3_750_000).unwrap().as_secs_f64() > 0.9);
     }
 
     #[test]

@@ -32,10 +32,12 @@
 mod clock;
 pub mod compress;
 mod estimator;
+mod fault;
 mod link;
 mod queue;
 
 pub use clock::SimClock;
 pub use estimator::BandwidthEstimator;
+pub use fault::{FaultKind, FaultPlan, FaultWindow, LinkState};
 pub use link::{Link, LinkConfig, NetError, Transfer};
 pub use queue::EventQueue;

@@ -55,6 +55,20 @@ pub enum EventKind {
     Codec,
     /// Model pre-sending (Section III-B.1 of the paper).
     ModelUpload,
+    /// An injected or encountered fault: a link outage stalling a
+    /// transfer, a corrupted payload, a degraded window. The span covers
+    /// the virtual time the fault cost (instant for a refused transfer).
+    Fault,
+    /// A re-attempt of a failed operation (instant marker; the re-run
+    /// work records its own spans).
+    Retry,
+    /// Virtual-time sleep between retry attempts (exponential backoff or
+    /// waiting out a known outage window).
+    Backoff,
+    /// Graceful degradation to local execution after the retry budget or
+    /// deadline was exhausted (Section IV-A's "better for the client to
+    /// execute the DNN locally").
+    Fallback,
     /// Anything else (markers, app phases, custom spans).
     Other,
 }
@@ -71,6 +85,10 @@ impl EventKind {
             EventKind::Queue => "queue",
             EventKind::Codec => "codec",
             EventKind::ModelUpload => "model_upload",
+            EventKind::Fault => "fault",
+            EventKind::Retry => "retry",
+            EventKind::Backoff => "backoff",
+            EventKind::Fallback => "fallback",
             EventKind::Other => "other",
         }
     }
@@ -86,6 +104,10 @@ impl EventKind {
             "queue" => Some(EventKind::Queue),
             "codec" => Some(EventKind::Codec),
             "model_upload" => Some(EventKind::ModelUpload),
+            "fault" => Some(EventKind::Fault),
+            "retry" => Some(EventKind::Retry),
+            "backoff" => Some(EventKind::Backoff),
+            "fallback" => Some(EventKind::Fallback),
             "other" => Some(EventKind::Other),
             _ => None,
         }
@@ -139,6 +161,10 @@ mod tests {
             EventKind::Queue,
             EventKind::Codec,
             EventKind::ModelUpload,
+            EventKind::Fault,
+            EventKind::Retry,
+            EventKind::Backoff,
+            EventKind::Fallback,
             EventKind::Other,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));

@@ -32,7 +32,7 @@ fn main() -> Result<(), OffloadError> {
     );
     for label in zoo::fig8_cuts("googlenet") {
         let cut = net.cut_point(label)?;
-        let p = optimizer.predict(&cut);
+        let p = optimizer.predict(&cut)?;
         println!(
             "{:<12} {:>14.2} {:>12.2} {:>12.2} {:>10.2}",
             cut.label,
