@@ -11,6 +11,10 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (hot-path crates forbid unwrap outside tests)"
+cargo clippy --offline --no-deps -p snapedge-core -p snapedge-webapp --lib -- \
+    -D warnings -D clippy::unwrap_used
+
 echo "== cargo build --release"
 cargo build --offline --release --workspace
 
@@ -19,5 +23,11 @@ cargo test --offline -q --workspace
 
 echo "== chaos suite (fault injection across a fixed seed matrix)"
 cargo test --offline -q -p snapedge-integration --test chaos
+
+echo "== determinism lint (wall-clock, hash-iter, unwrap-hot-path)"
+cargo run --offline --release -p snapedge-lint
+
+echo "== static snapshot verifier smoke (paper apps + live captures)"
+cargo run --offline --release -p snapedge-cli --bin snapedge -- analyze --all-apps true
 
 echo "ci.sh: all green"

@@ -1,0 +1,55 @@
+//! The documented host/DOM API surface of the MiniJS runtime.
+//!
+//! These tables mirror the dispatch tables in `snapedge-webapp`'s
+//! interpreter (`interp.rs`). They are the *closedness boundary*: a
+//! snapshot may reference exactly these names plus its own declarations
+//! and any host objects the embedder registered — anything else is either
+//! a free identifier or an unknown API and would fail at restore time on
+//! the server.
+//!
+//! Determinism note: everything in this surface is deterministic under the
+//! virtual clock. MiniJS deliberately has no `Date`, no `Math.random`, and
+//! no timers, so "restore-determinism" reduces to staying inside this
+//! allowlist — host state a snapshot does not carry is only reachable
+//! through names *outside* it.
+
+/// Host globals every browser exposes (`document`, `console`, `Math`).
+/// Registered host objects (e.g. the paper's Caffe.js-style `model`) are
+/// added per-analysis via [`AnalysisOptions::hosts`](crate::AnalysisOptions).
+pub const HOST_GLOBALS: &[&str] = &["document", "console", "Math"];
+
+/// Methods callable on `document`.
+pub const DOCUMENT_METHODS: &[&str] = &["getElementById", "createElement", "clearEventQueue"];
+
+/// Properties readable on `document`.
+pub const DOCUMENT_PROPS: &[&str] = &["body"];
+
+/// Methods callable on `console`.
+pub const CONSOLE_METHODS: &[&str] = &["log"];
+
+/// Methods callable on `Math`.
+pub const MATH_METHODS: &[&str] = &["floor", "ceil", "round", "abs", "sqrt", "pow", "max", "min"];
+
+/// Properties readable on `Math`.
+pub const MATH_PROPS: &[&str] = &["PI"];
+
+/// Methods callable on a DOM element handle.
+pub const DOM_METHODS: &[&str] = &[
+    "addEventListener",
+    "removeEventListener",
+    "dispatchEvent",
+    "appendChild",
+    "getAttribute",
+    "setAttribute",
+    "removeAttribute",
+    "getImageData",
+    "setImageData",
+    "clearImage",
+];
+
+/// Properties readable on a DOM element handle.
+pub const DOM_PROPS: &[&str] = &["textContent", "tagName", "id"];
+
+/// Properties assignable on a DOM element handle (`tagName`/`id` are
+/// read-only in the runtime).
+pub const DOM_WRITABLE_PROPS: &[&str] = &["textContent"];

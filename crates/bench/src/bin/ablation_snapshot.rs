@@ -28,10 +28,12 @@ fn main() -> Result<(), snapedge_core::OffloadError> {
             let mut optimized = ScenarioConfig::paper(model, strategy.clone());
             optimized.snapshot = SnapshotOptions {
                 inline_single_use: true,
+                ..SnapshotOptions::default()
             };
             let mut baseline = ScenarioConfig::paper(model, strategy);
             baseline.snapshot = SnapshotOptions {
                 inline_single_use: false,
+                ..SnapshotOptions::default()
             };
             let opt = run_scenario(&optimized)?;
             let base = run_scenario(&baseline)?;
@@ -80,11 +82,13 @@ fn main() -> Result<(), snapedge_core::OffloadError> {
         let optimized = browser
             .capture_snapshot(&SnapshotOptions {
                 inline_single_use: true,
+                ..SnapshotOptions::default()
             })
             .expect("capture");
         let baseline = browser
             .capture_snapshot(&SnapshotOptions {
                 inline_single_use: false,
+                ..SnapshotOptions::default()
             })
             .expect("capture");
         rows.push(vec![

@@ -6,14 +6,18 @@
 //! snapedge session --model googlenet --rounds 5   # repeated offloads w/ deltas
 //! snapedge install --model agenet                 # VM-synthesis cost
 //! snapedge models                                 # list zoo models & cuts
+//! snapedge analyze --all-apps true                # static snapshot verification
 //! ```
 
+use snapedge_analyze::{analyze_html, analyze_script, AnalysisOptions, AnalysisReport};
 use snapedge_core::{
-    run_scenario, vm_install, OffloadSession, RetryPolicy, ScenarioConfig, SessionConfig, Strategy,
+    apps, run_scenario, vm_install, OffloadSession, RetryPolicy, ScenarioConfig, SessionConfig,
+    Strategy,
 };
 use snapedge_dnn::{zoo, ModelBundle};
 use snapedge_net::{FaultPlan, LinkConfig};
 use snapedge_vmsynth::SynthesisConfig;
+use snapedge_webapp::SnapshotOptions;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -73,6 +77,8 @@ const USAGE: &str = "usage:
                    [--fault-plan <spec>] [--retry <spec>]
   snapedge install --model <name> [--mbps <rate>]
   snapedge models
+  snapedge analyze [--all-apps true | --model <name> [--cut <label>]]
+                   [--html <file>] [--mode <app|snapshot|delta>] [--hosts <a,b>]
 
   --fault-plan injects link faults at virtual times, e.g.
       'down@2..5,degrade@7..9x0.25,corrupt@10..11'
@@ -100,6 +106,7 @@ fn real_main() -> Result<(), String> {
         Some("session") => cmd_session(&args),
         Some("install") => cmd_install(&args),
         Some("models") => cmd_models(),
+        Some("analyze") => cmd_analyze(&args),
         _ => Err("missing or unknown subcommand".to_string()),
     }
 }
@@ -327,9 +334,115 @@ fn cmd_models() -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--mode` / `--hosts` into analyzer options. Apps talk to the
+/// Caffe.js `model` host, so it is in the allowlist by default.
+fn parse_analysis_options(args: &Args) -> Result<AnalysisOptions, String> {
+    let opts = match args.flag("mode").unwrap_or("app") {
+        "app" => AnalysisOptions::app(),
+        "snapshot" => AnalysisOptions::snapshot(),
+        "delta" => AnalysisOptions::delta(Vec::new()),
+        other => return Err(format!("unknown --mode {other:?}")),
+    };
+    let hosts = match args.flag("hosts") {
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|h| !h.is_empty())
+            .map(str::to_string)
+            .collect(),
+        None => vec!["model".to_string()],
+    };
+    Ok(opts.with_hosts(hosts))
+}
+
+/// Prints one target's verdict; returns its diagnostic count.
+fn print_report(target: &str, report: &AnalysisReport) -> usize {
+    if report.is_clean() {
+        let s = &report.stats;
+        println!(
+            "analyze {target}: clean ({} functions, {} reachable; {} globals, {} handlers)",
+            s.functions, s.reachable_functions, s.globals, s.handlers
+        );
+    } else {
+        println!("analyze {target}: {}", report.summary());
+        println!("{}", report.render());
+    }
+    report.diagnostics.len()
+}
+
+/// Analyzes a MiniJS or HTML file from disk.
+fn cmd_analyze_file(path: &str, args: &Args) -> Result<(), String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let opts = parse_analysis_options(args)?;
+    let report = if source.contains("<script>") {
+        analyze_html(&source, &opts)
+    } else {
+        analyze_script(&source, &opts)
+    };
+    if print_report(path, &report) > 0 {
+        return Err(format!("{path}: {}", report.summary()));
+    }
+    Ok(())
+}
+
+/// Statically verifies one model's apps and live snapshots: both paper app
+/// sources are analyzed in app mode, then a two-round delta session runs
+/// with `SnapshotOptions::verify` on, so the endpoints verify the full
+/// snapshot (round 1) and the deltas (round 2) before any link traffic.
+fn analyze_model(model: &str, cut: Option<&str>) -> Result<usize, String> {
+    let url = apps::synthetic_image_data_url(7, 256);
+    let opts = AnalysisOptions::app().with_hosts(vec!["model".to_string()]);
+    let mut findings = 0;
+    let sources = [
+        ("full-app", apps::full_inference_app(&url)),
+        ("partial-app", apps::partial_inference_app(&url)),
+    ];
+    for (label, html) in &sources {
+        findings += print_report(&format!("{model} {label}"), &analyze_html(html, &opts));
+    }
+    let mut builder = SessionConfig::paper_builder(model).snapshot(SnapshotOptions {
+        verify: true,
+        ..SnapshotOptions::default()
+    });
+    if let Some(cut) = cut {
+        builder = builder.cut(cut);
+    }
+    let mut session = OffloadSession::new(builder.build()).map_err(|e| e.to_string())?;
+    for round in 1..=2u64 {
+        session
+            .infer(round)
+            .map_err(|e| format!("{model} round {round}: {e}"))?;
+    }
+    println!("analyze {model} session: 2 rounds verified (full + delta snapshots)");
+    Ok(findings)
+}
+
+/// `snapedge analyze` — the static snapshot verifier. With `--html` it
+/// analyzes a file; otherwise it sweeps the paper apps (all models, or one
+/// with `--model`) and verifies live captures pre-send.
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.flag("html") {
+        return cmd_analyze_file(path, args);
+    }
+    let models: Vec<String> = match args.flag("model") {
+        Some(m) => vec![m.to_string()],
+        None => vec!["googlenet".into(), "agenet".into(), "gendernet".into()],
+    };
+    let mut findings = 0;
+    for model in &models {
+        findings += analyze_model(model, args.flag("cut"))?;
+    }
+    if findings > 0 {
+        return Err(format!("analyze: {findings} diagnostic(s) across targets"));
+    }
+    println!("analyze: all targets clean");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snapedge_analyze::Mode;
     use snapedge_net::LinkState;
 
     fn args(parts: &[&str]) -> Args {
@@ -426,6 +539,32 @@ mod tests {
     #[test]
     fn bad_fault_plan_is_an_error() {
         assert!(parse_fault_flags(&args(&["run", "--fault-plan", "explode@1..2"])).is_err());
+    }
+
+    #[test]
+    fn analysis_options_default_to_app_mode_with_model_host() {
+        let opts = parse_analysis_options(&args(&["analyze"])).unwrap();
+        assert_eq!(opts.mode, Mode::App);
+        assert_eq!(opts.hosts, vec!["model".to_string()]);
+        let opts =
+            parse_analysis_options(&args(&["analyze", "--mode", "snapshot", "--hosts", "a, b"]))
+                .unwrap();
+        assert_eq!(opts.mode, Mode::Snapshot);
+        assert_eq!(opts.hosts, vec!["a".to_string(), "b".to_string()]);
+        assert!(parse_analysis_options(&args(&["analyze", "--mode", "dynamic"])).is_err());
+    }
+
+    #[test]
+    fn paper_apps_analyze_clean_from_the_cli_path() {
+        let url = apps::synthetic_image_data_url(7, 256);
+        let opts = parse_analysis_options(&args(&["analyze"])).unwrap();
+        for html in [
+            apps::full_inference_app(&url),
+            apps::partial_inference_app(&url),
+        ] {
+            let report = analyze_html(&html, &opts);
+            assert!(report.is_clean(), "{}", report.render());
+        }
     }
 
     #[test]

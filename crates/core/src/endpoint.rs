@@ -108,9 +108,17 @@ impl Endpoint {
     /// Captures a snapshot, charging the device's capture time to the
     /// clock; returns the snapshot and the charged duration.
     ///
+    /// When `options.verify` is set, the captured snapshot is statically
+    /// verified (closedness, host-API surface, reserved-prefix hygiene)
+    /// before it is handed to the caller, and a `verify_{lane}` trace
+    /// event is recorded. An unshippable snapshot is rejected here —
+    /// before any link traffic and before the retry budget is touched.
+    ///
     /// # Errors
     ///
-    /// Propagates snapshot serialization failures.
+    /// Propagates snapshot serialization failures; returns
+    /// [`OffloadError::Verify`] when verification finds error-severity
+    /// diagnostics.
     pub fn capture(
         &mut self,
         options: &SnapshotOptions,
@@ -127,7 +135,61 @@ impl Endpoint {
             self.clock.now(),
             Some(snapshot.size_bytes()),
         );
+        if options.verify {
+            self.verify_script(
+                snapshot.html(),
+                snapedge_analyze::Mode::Snapshot,
+                Vec::new(),
+            )?;
+        }
         Ok((snapshot, cost))
+    }
+
+    /// Statically verifies generated snapshot (or delta) source against
+    /// this endpoint's host surface, recording a `verify_{lane}` event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OffloadError::Verify`] when the analyzer reports
+    /// error-severity diagnostics.
+    pub fn verify_script(
+        &mut self,
+        source: &str,
+        mode: snapedge_analyze::Mode,
+        ambient: Vec<String>,
+    ) -> Result<(), OffloadError> {
+        let opts = snapedge_analyze::AnalysisOptions {
+            mode,
+            hosts: self.browser.host_names(),
+            ambient,
+        };
+        let report = match mode {
+            snapedge_analyze::Mode::Delta => snapedge_analyze::analyze_script(source, &opts),
+            _ => snapedge_analyze::analyze_html(source, &opts),
+        };
+        let now = self.clock.now();
+        self.tracer.record_bytes(
+            &self.phase_name("verify"),
+            self.lane,
+            EventKind::Verify,
+            now,
+            now,
+            Some(source.len() as u64),
+        );
+        if report.has_errors() {
+            let findings: Vec<String> = report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == snapedge_analyze::Severity::Error)
+                .map(|d| d.to_string())
+                .collect();
+            return Err(OffloadError::Verify(format!(
+                "snapshot failed static verification ({}): {}",
+                report.summary(),
+                findings.join("; ")
+            )));
+        }
+        Ok(())
     }
 
     /// Restores a snapshot, charging the device's restore time; returns

@@ -20,6 +20,12 @@ pub enum OffloadError {
     Protocol(String),
     /// Configuration error (unknown strategy parameters, bad cut, ...).
     Config(String),
+    /// Pre-send static verification rejected a snapshot: the analyzer
+    /// found error-severity diagnostics (free identifiers, unknown host
+    /// APIs, reserved-prefix violations), so shipping it would fail at
+    /// restore time. Raised before any link traffic and before the retry
+    /// budget is touched.
+    Verify(String),
 }
 
 impl fmt::Display for OffloadError {
@@ -31,6 +37,7 @@ impl fmt::Display for OffloadError {
             OffloadError::Net(e) => write!(f, "net: {e}"),
             OffloadError::Protocol(msg) => write!(f, "protocol: {msg}"),
             OffloadError::Config(msg) => write!(f, "config: {msg}"),
+            OffloadError::Verify(msg) => write!(f, "verify: {msg}"),
         }
     }
 }

@@ -157,7 +157,9 @@ impl CaffeJsHost {
                     .cell(*id)
                     .map_err(|e| WebError::Runtime(e.to_string()))?
                 else {
-                    unreachable!()
+                    return Err(WebError::Runtime(
+                        "internal error: heap cell mismatch in model input".into(),
+                    ));
                 };
                 Tensor::from_vec(&dims, data.clone())
                     .map_err(|e| WebError::Runtime(format!("pixel input: {e}")))
@@ -251,7 +253,9 @@ impl HostObject for CaffeJsHost {
                     .cell(*id)
                     .map_err(|e| WebError::Runtime(e.to_string()))?
                 else {
-                    unreachable!()
+                    return Err(WebError::Runtime(
+                        "internal error: heap cell mismatch in feature upload".into(),
+                    ));
                 };
                 let dims = self
                     .net

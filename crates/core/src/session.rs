@@ -592,6 +592,16 @@ impl OffloadSession {
                         self.clock.now(),
                         Some(bytes),
                     );
+                    if self.cfg.snapshot.verify {
+                        // Pre-send verification of the delta against the
+                        // agreed base's declarations; an unshippable delta
+                        // is rejected before any link traffic.
+                        self.client.verify_script(
+                            delta.script(),
+                            snapedge_analyze::Mode::Delta,
+                            base.declared_names(),
+                        )?;
+                    }
                     if self.transfer("up", bytes, anchor)?.is_some() {
                         let restore_start = self.clock.now();
                         self.server.browser.apply_delta(&delta)?;
@@ -646,6 +656,13 @@ impl OffloadSession {
                     self.clock.now(),
                     Some(bytes),
                 );
+                if self.cfg.snapshot.verify {
+                    self.server.verify_script(
+                        delta.script(),
+                        snapedge_analyze::Mode::Delta,
+                        server_base.declared_names(),
+                    )?;
+                }
                 if self.transfer("down", bytes, anchor)?.is_none() {
                     return Ok(None);
                 }

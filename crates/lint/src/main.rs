@@ -1,0 +1,347 @@
+//! `snapedge-lint` — a determinism lint over the workspace's own sources.
+//!
+//! The simulator's claim to reproducibility rests on three invariants that
+//! `rustc` cannot check for us:
+//!
+//! 1. **No wall-clock time.** All time flows through the virtual
+//!    [`SimClock`]; a stray `Instant::now()` makes a run depend on the host
+//!    machine. Only the micro-benchmarks (`crates/bench/`) legitimately
+//!    measure real time.
+//! 2. **No hash-order iteration near serialized output.** Snapshot and
+//!    delta scripts are byte-compared across endpoints, so any `HashMap`/
+//!    `HashSet` in the files that produce them risks nondeterministic
+//!    output ordering. Visited-sets that are never iterated may opt out
+//!    with a `lint: allow(hash-iter)` comment on the same or preceding
+//!    line.
+//! 3. **No panicking calls on the offload hot path.** Capture, transfer,
+//!    restore and retry must surface typed errors — a panic mid-offload
+//!    deprives the resilience layer of its chance to recover.
+//!
+//! Test modules (`#[cfg(test)]` regions, tracked by brace depth) are
+//! exempt from rules 2 and 3; rule 1 applies everywhere outside the bench
+//! crate, because determinism matters in tests too. Exit status is
+//! non-zero when any finding is reported, so CI can gate on it.
+//!
+//! [`SimClock`]: ../snapedge_net/struct.SimClock.html
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Patterns that read the host's real clock.
+const WALL_CLOCK: [&str; 2] = ["SystemTime::now", "Instant::now"];
+
+/// Panicking calls forbidden on the hot path.
+const PANICKING: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Suppression comment for the hash-iter rule.
+const ALLOW_HASH_ITER: &str = "lint: allow(hash-iter)";
+
+/// Files (or directory prefixes ending in `/`) whose output is serialized
+/// and byte-compared, making hash iteration order observable.
+const HASH_SENSITIVE: [&str; 5] = [
+    "crates/webapp/src/snapshot.rs",
+    "crates/webapp/src/delta.rs",
+    "crates/webapp/src/value.rs",
+    "crates/webapp/src/dom.rs",
+    "crates/trace/src/",
+];
+
+/// Files on the capture → transfer → restore → retry path, where a panic
+/// would bypass the typed-error resilience machinery.
+const HOT_PATH: [&str; 12] = [
+    "crates/webapp/src/interp.rs",
+    "crates/webapp/src/snapshot.rs",
+    "crates/webapp/src/delta.rs",
+    "crates/webapp/src/dom.rs",
+    "crates/webapp/src/value.rs",
+    "crates/webapp/src/browser.rs",
+    "crates/net/src/link.rs",
+    "crates/core/src/endpoint.rs",
+    "crates/core/src/session.rs",
+    "crates/core/src/scenario.rs",
+    "crates/core/src/resilience.rs",
+    "crates/core/src/mlhost.rs",
+];
+
+/// One lint hit, reported as `file:line: [rule] message`.
+struct Finding {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match workspace_root() {
+        Ok(root) => root,
+        Err(msg) => {
+            eprintln!("snapedge-lint: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let files = rust_sources(&root);
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match std::fs::read_to_string(path) {
+            Ok(content) => findings.extend(lint_file(&rel, &content)),
+            Err(e) => {
+                eprintln!("snapedge-lint: reading {rel}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if findings.is_empty() {
+        println!(
+            "snapedge-lint: {} files scanned, no determinism findings",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        eprintln!(
+            "snapedge-lint: {} finding(s) in {} files scanned",
+            findings.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the workspace root (the first
+/// ancestor whose `Cargo.toml` declares `[workspace]`).
+fn workspace_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
+    for dir in start.ancestors() {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir.to_path_buf());
+            }
+        }
+    }
+    Err(format!(
+        "no workspace Cargo.toml found above {}",
+        start.display()
+    ))
+}
+
+/// Collects every `.rs` file under `crates/`, `tests/` and `examples/`,
+/// in sorted (deterministic) order.
+fn rust_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` items by tracking brace
+/// depth from the attribute to the close of the item it gates.
+fn test_region_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].trim_start().starts_with("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            mask[j] = true;
+            for ch in lines[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// Applies all three rules to one file; `rel` is the workspace-relative
+/// path with forward slashes.
+fn lint_file(rel: &str, content: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = content.lines().collect();
+    let in_test = test_region_mask(&lines);
+    // Benches measure real time by design; the lint's own sources name
+    // the patterns they search for.
+    let clock_exempt = rel.starts_with("crates/bench/") || rel.starts_with("crates/lint/");
+    let hash_sensitive = HASH_SENSITIVE
+        .iter()
+        .any(|p| rel == *p || (p.ends_with('/') && rel.starts_with(p)));
+    let hot_path = HOT_PATH.contains(&rel);
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.trim_start().starts_with("//") {
+            continue;
+        }
+        if !clock_exempt && WALL_CLOCK.iter().any(|p| line.contains(p)) {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "wall-clock",
+                message: "wall-clock time source outside the virtual clock (use SimClock)"
+                    .to_string(),
+            });
+        }
+        if in_test[idx] {
+            continue;
+        }
+        if hash_sensitive && (line.contains("HashMap") || line.contains("HashSet")) {
+            let allowed = line.contains(ALLOW_HASH_ITER)
+                || (idx > 0 && lines[idx - 1].contains(ALLOW_HASH_ITER));
+            if !allowed {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: "hash-iter",
+                    message: format!(
+                        "hash collection in serialization-sensitive code; use BTreeMap/BTreeSet \
+                         or annotate `{ALLOW_HASH_ITER}`"
+                    ),
+                });
+            }
+        }
+        if hot_path {
+            if let Some(p) = PANICKING.iter().find(|p| line.contains(**p)) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: "unwrap-hot-path",
+                    message: format!(
+                        "panicking call `{p}` on the offload hot path; return a typed error"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_flagged_outside_bench_and_lint() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let found = lint_file("crates/core/src/device.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "wall-clock");
+        assert_eq!(found[0].line, 1);
+        assert!(lint_file("crates/bench/benches/micro.rs", src).is_empty());
+        assert!(lint_file("crates/lint/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_applies_even_inside_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { SystemTime::now(); }\n}\n";
+        let found = lint_file("crates/net/src/clock.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn hash_iter_respects_allow_comments() {
+        let bare = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let found = lint_file("crates/webapp/src/snapshot.rs", bare);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "hash-iter");
+        let same_line = "let v = HashSet::new(); // lint: allow(hash-iter)\n";
+        assert!(lint_file("crates/webapp/src/snapshot.rs", same_line).is_empty());
+        let prev_line = "// never iterated; lint: allow(hash-iter)\nlet v = HashSet::new();\n";
+        assert!(lint_file("crates/webapp/src/delta.rs", prev_line).is_empty());
+        // Not serialization-sensitive: no finding.
+        assert!(lint_file("crates/dnn/src/zoo.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn panicking_calls_are_flagged_only_on_hot_paths() {
+        let src = "fn f() { x.unwrap(); }\n";
+        let found = lint_file("crates/webapp/src/interp.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "unwrap-hot-path");
+        assert!(lint_file("crates/cli/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_the_panic_rule() {
+        let src = "fn f() -> u32 { 1 }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { \
+                   assert_eq!(super::f(), 1); x.unwrap(); }\n}\nfn g() { y.expect(\"boom\"); }\n";
+        let found = lint_file("crates/net/src/link.rs", src);
+        assert_eq!(found.len(), 1, "only the post-module expect is caught");
+        assert_eq!(found[0].line, 7);
+        assert!(found[0].message.contains(".expect("));
+    }
+
+    #[test]
+    fn comment_lines_are_ignored() {
+        let src = "// mentions Instant::now and .unwrap() in prose\n";
+        assert!(lint_file("crates/webapp/src/interp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn findings_render_with_file_and_line() {
+        let f = Finding {
+            file: "crates/x.rs".into(),
+            line: 12,
+            rule: "wall-clock",
+            message: "msg".into(),
+        };
+        assert_eq!(f.to_string(), "crates/x.rs:12: [wall-clock] msg");
+    }
+}

@@ -273,7 +273,7 @@ impl Link {
                 vec![],
             )
         } else {
-            self.serialize_through_faults(start, bytes, bw)
+            self.serialize_through_faults(start, bytes, bw)?
         };
         self.busy_until = finish;
         self.total_bytes += bytes;
@@ -340,18 +340,26 @@ impl Link {
     /// degraded. Returns the finish instant (serialization + propagation),
     /// whether any touched segment corrupts payloads, and the stalled /
     /// degraded sub-intervals for trace accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadFaultPlan`] for a plan whose stalled window
+    /// never ends (a transfer through it could never complete).
     #[allow(clippy::type_complexity)]
     fn serialize_through_faults(
         &self,
         start: Duration,
         bytes: u64,
         bw: f64,
-    ) -> (
-        Duration,
-        bool,
-        Vec<(Duration, Duration)>,
-        Vec<(Duration, Duration)>,
-    ) {
+    ) -> Result<
+        (
+            Duration,
+            bool,
+            Vec<(Duration, Duration)>,
+            Vec<(Duration, Duration)>,
+        ),
+        NetError,
+    > {
         let mut remaining_bits = (bytes + self.config.overhead_bytes) as f64 * 8.0;
         let mut t = start;
         let mut corrupted = false;
@@ -368,8 +376,11 @@ impl Link {
             let rate = bw * factor;
             if rate <= 0.0 {
                 // Stalled: nothing serializes until the window closes. The
-                // plan's windows are finite, so a boundary always exists.
-                let end = boundary.expect("down window must end");
+                // plan's windows are finite, so a boundary always exists —
+                // but a malformed plan must not panic mid-migration.
+                let Some(end) = boundary else {
+                    return Err(NetError::BadFaultPlan("stalled window never ends".into()));
+                };
                 stalls.push((t, end));
                 t = end;
                 continue;
@@ -389,7 +400,11 @@ impl Link {
                 t += needed;
                 break;
             }
-            let edge = boundary.expect("checked above");
+            let Some(edge) = boundary else {
+                return Err(NetError::BadFaultPlan(
+                    "segment without a closing boundary".into(),
+                ));
+            };
             let seg = edge - t;
             remaining_bits -= rate * seg.as_secs_f64();
             if let LinkState::Degraded(_) = state {
@@ -397,7 +412,7 @@ impl Link {
             }
             t = edge;
         }
-        (t + self.config.latency, corrupted, stalls, degraded)
+        Ok((t + self.config.latency, corrupted, stalls, degraded))
     }
 
     /// When the link becomes idle.

@@ -69,6 +69,11 @@ pub enum EventKind {
     /// deadline was exhausted (Section IV-A's "better for the client to
     /// execute the DNN locally").
     Fallback,
+    /// Static pre-send verification of a captured snapshot (closedness /
+    /// determinism analysis). Emitted before any link traffic; a failed
+    /// verification rejects the migration without touching the retry
+    /// budget.
+    Verify,
     /// Anything else (markers, app phases, custom spans).
     Other,
 }
@@ -89,6 +94,7 @@ impl EventKind {
             EventKind::Retry => "retry",
             EventKind::Backoff => "backoff",
             EventKind::Fallback => "fallback",
+            EventKind::Verify => "verify",
             EventKind::Other => "other",
         }
     }
@@ -108,6 +114,7 @@ impl EventKind {
             "retry" => Some(EventKind::Retry),
             "backoff" => Some(EventKind::Backoff),
             "fallback" => Some(EventKind::Fallback),
+            "verify" => Some(EventKind::Verify),
             "other" => Some(EventKind::Other),
             _ => None,
         }
@@ -165,6 +172,7 @@ mod tests {
             EventKind::Retry,
             EventKind::Backoff,
             EventKind::Fallback,
+            EventKind::Verify,
             EventKind::Other,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));

@@ -150,6 +150,12 @@ impl Browser {
         self.hosts.contains_key(name)
     }
 
+    /// Names of all registered host objects, in deterministic order.
+    /// The static verifier extends its host-API allowlist with these.
+    pub fn host_names(&self) -> Vec<String> {
+        self.hosts.keys().cloned().collect()
+    }
+
     /// Arms offloading: the event loop will stop just before dispatching
     /// an event with this name (Section III-A: the snapshot is taken just
     /// before the expensive handler runs). `None` disarms.

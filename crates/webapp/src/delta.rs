@@ -36,6 +36,18 @@ pub struct StateBase {
     pub(crate) core: Core,
 }
 
+impl StateBase {
+    /// Names already declared at the agreed base: globals and top-level
+    /// functions. A delta script restores on top of this state, so the
+    /// static verifier treats these as ambient declarations rather than
+    /// free identifiers.
+    pub fn declared_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.core.globals.keys().cloned().collect();
+        names.extend(self.core.functions.keys().cloned());
+        names
+    }
+}
+
 impl std::fmt::Debug for StateBase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StateBase")
@@ -183,6 +195,8 @@ fn capture_delta(
         }
         let same = match base.globals.get(name) {
             Some(old) => {
+                // Visited-set only — nothing is emitted in iteration order.
+                // lint: allow(hash-iter)
                 let mut visited = std::collections::HashSet::new();
                 new.heap.deep_eq(value, &base.heap, old, &mut visited)
             }
@@ -349,7 +363,8 @@ fn diff_dom(new: &Core, base: &Core) -> DiffResult {
 
     let mut new_node_counter = 0usize;
     for id in new.doc.walk() {
-        let key = node_key(new, id)?.expect("checked above");
+        let key = node_key(new, id)?
+            .ok_or_else(|| WebError::Snapshot("delta: node lost its id during diff".into()))?;
         let Some(&base_id) = base_by_key.get(&key) else {
             // Entirely new nodes are emitted when diffing their parent's
             // child list below.
@@ -405,14 +420,17 @@ fn diff_dom(new: &Core, base: &Core) -> DiffResult {
             return Ok(Err(format!("element {key:?} lost children")));
         }
         for (i, &bc) in base_children.iter().enumerate() {
-            let bkey = node_key(base, bc)?.expect("base ids checked");
-            let nkey = node_key(new, new_children[i])?.expect("new ids checked");
+            let bkey = node_key(base, bc)?
+                .ok_or_else(|| WebError::Snapshot("delta: base node lost its id".into()))?;
+            let nkey = node_key(new, new_children[i])?
+                .ok_or_else(|| WebError::Snapshot("delta: new node lost its id".into()))?;
             if bkey != nkey {
                 return Ok(Err(format!("children of {key:?} were reordered")));
             }
         }
         for &nc in &new_children[base_children.len()..] {
-            let ckey = node_key(new, nc)?.expect("new ids checked");
+            let ckey = node_key(new, nc)?
+                .ok_or_else(|| WebError::Snapshot("delta: appended node lost its id".into()))?;
             if base_by_key.contains_key(&ckey) {
                 return Ok(Err(format!("element {ckey:?} was moved under {key:?}")));
             }

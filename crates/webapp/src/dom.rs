@@ -253,10 +253,9 @@ impl Document {
                     let candidate = format!("__sdom{counter}");
                     counter += 1;
                     if self.get_element_by_id(&candidate).is_none() {
-                        self.node_mut(id)
-                            .expect("walked node exists")
-                            .attrs
-                            .insert("id".to_string(), candidate);
+                        if let Ok(node) = self.node_mut(id) {
+                            node.attrs.insert("id".to_string(), candidate);
+                        }
                         break;
                     }
                 }

@@ -255,7 +255,7 @@ impl Browser {
             Expr::Object(props) => {
                 let obj = self.core.heap.alloc_object();
                 let JsValue::Object(id) = obj else {
-                    unreachable!()
+                    return Err(heap_cell_mismatch("alloc_object"));
                 };
                 for (key, value_expr) in props {
                     let value = self.eval(value_expr, frame)?;
@@ -282,11 +282,11 @@ impl Browser {
                             .into_iter()
                             .map(|v| v as f32)
                             .collect(),
-                        _ => unreachable!("Array value points at array cell"),
+                        _ => return Err(heap_cell_mismatch("Float32Array source array")),
                     },
                     JsValue::Float32Array(id) => match self.core.heap.cell(*id)? {
                         HeapCell::Float32Array(v) => v.clone(),
-                        _ => unreachable!(),
+                        _ => return Err(heap_cell_mismatch("Float32Array source")),
                     },
                     other => {
                         return Err(WebError::Runtime(format!(
@@ -411,7 +411,9 @@ impl Browser {
                     ("<=", Some(o)) => o != std::cmp::Ordering::Greater,
                     (">", Some(o)) => o == std::cmp::Ordering::Greater,
                     (">=", Some(o)) => o != std::cmp::Ordering::Less,
-                    _ => unreachable!(),
+                    (other, _) => {
+                        return Err(WebError::Runtime(format!("unknown comparison {other}")))
+                    }
                 };
                 Ok(JsValue::Bool(result))
             }
@@ -571,19 +573,17 @@ impl Browser {
         match method {
             "push" => {
                 let HeapCell::Array(v) = self.core.heap.cell_mut(id)? else {
-                    unreachable!("Array value points at array cell")
+                    return Err(heap_cell_mismatch("array push"));
                 };
                 for a in args {
                     v.push(a.clone());
                 }
-                Ok(JsValue::Number(match self.core.heap.cell(id)? {
-                    HeapCell::Array(v) => v.len() as f64,
-                    _ => unreachable!(),
-                }))
+                let len = v.len() as f64;
+                Ok(JsValue::Number(len))
             }
             "pop" => {
                 let HeapCell::Array(v) = self.core.heap.cell_mut(id)? else {
-                    unreachable!()
+                    return Err(heap_cell_mismatch("array pop"));
                 };
                 Ok(v.pop().unwrap_or(JsValue::Undefined))
             }
@@ -592,7 +592,7 @@ impl Browser {
                     .first()
                     .ok_or_else(|| WebError::Runtime("indexOf needs an argument".into()))?;
                 let HeapCell::Array(v) = self.core.heap.cell(id)? else {
-                    unreachable!()
+                    return Err(heap_cell_mismatch("array indexOf"));
                 };
                 let idx = v
                     .iter()
@@ -607,14 +607,14 @@ impl Browser {
                     None => ",".to_string(),
                 };
                 let HeapCell::Array(v) = self.core.heap.cell(id)? else {
-                    unreachable!()
+                    return Err(heap_cell_mismatch("array join"));
                 };
                 let parts: Vec<String> = v.clone().iter().map(|e| self.stringify(e)).collect();
                 Ok(JsValue::Str(parts.join(&sep)))
             }
             "slice" => {
                 let HeapCell::Array(v) = self.core.heap.cell(id)? else {
-                    unreachable!()
+                    return Err(heap_cell_mismatch("array slice"));
                 };
                 let len = v.len();
                 let start = match args.first() {
@@ -753,7 +753,7 @@ impl Browser {
             "setImageData" => match args.first() {
                 Some(JsValue::Float32Array(id)) => {
                     let HeapCell::Float32Array(data) = self.core.heap.cell(*id)? else {
-                        unreachable!()
+                        return Err(heap_cell_mismatch("setImageData"));
                     };
                     let data = data.clone();
                     self.core.doc.set_image_data(node, Some(data))?;
@@ -941,6 +941,13 @@ fn stringify_value(core: &Core, value: &JsValue, depth: usize) -> String {
         JsValue::Dom(_) => "[object HTMLElement]".to_string(),
         JsValue::Host(name) => format!("[host {name}]"),
     }
+}
+
+/// Internal invariant violation: a typed `JsValue` handle pointed at a
+/// heap cell of a different shape. Surfaced as a runtime error instead of
+/// a panic so corrupted state cannot abort a migration mid-flight.
+fn heap_cell_mismatch(what: &str) -> WebError {
+    WebError::Runtime(format!("internal error: heap cell mismatch in {what}"))
 }
 
 fn js_equals(a: &JsValue, b: &JsValue) -> bool {

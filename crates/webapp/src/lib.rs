@@ -54,7 +54,7 @@ mod error;
 mod host;
 pub mod html;
 mod interp;
-mod lexer;
+pub mod lexer;
 pub mod parser;
 mod snapshot;
 mod value;
@@ -64,5 +64,7 @@ pub use delta::{DeltaCapture, DeltaScript, DeltaStats, StateBase};
 pub use dom::{Document, DomNodeId};
 pub use error::WebError;
 pub use host::{FnHost, HostObject};
-pub use snapshot::{state_eq, Snapshot, SnapshotOptions, SnapshotStats};
+pub use snapshot::{
+    is_reserved_machinery, state_eq, Snapshot, SnapshotOptions, SnapshotStats, RESERVED_PREFIX,
+};
 pub use value::{Heap, HeapCell, JsValue, ObjId};

@@ -2,6 +2,7 @@
 
 use crate::ast::{Expr, FunctionDef, Stmt};
 use crate::lexer::{lex, Spanned, Token};
+use crate::snapshot::{is_reserved_machinery, RESERVED_PREFIX};
 use crate::WebError;
 
 /// Parses a MiniJS program.
@@ -104,9 +105,27 @@ impl Parser {
         }
     }
 
+    /// Rejects user declarations under the reserved snapshot prefix
+    /// (`__snapedge_`). Only the exact machinery names the snapshot and
+    /// delta generators emit are allowed through, so apps cannot shadow
+    /// restore machinery.
+    fn check_declared_name(&self, name: &str, line: usize) -> Result<(), WebError> {
+        if name.starts_with(RESERVED_PREFIX) && !is_reserved_machinery(name) {
+            return Err(WebError::Parse {
+                line,
+                message: format!(
+                    "identifier {name:?} uses the reserved snapshot prefix {RESERVED_PREFIX:?}"
+                ),
+            });
+        }
+        Ok(())
+    }
+
     fn statement(&mut self) -> Result<Stmt, WebError> {
         if self.eat_keyword("var") {
+            let line = self.line();
             let name = self.expect_ident()?;
+            self.check_declared_name(&name, line)?;
             let init = if self.eat_punct("=") {
                 Some(self.expression()?)
             } else {
@@ -116,12 +135,17 @@ impl Parser {
             return Ok(Stmt::Var(name, init));
         }
         if self.eat_keyword("function") {
+            let line = self.line();
             let name = self.expect_ident()?;
+            self.check_declared_name(&name, line)?;
             self.expect_punct("(")?;
             let mut params = Vec::new();
             if !self.eat_punct(")") {
                 loop {
-                    params.push(self.expect_ident()?);
+                    let line = self.line();
+                    let param = self.expect_ident()?;
+                    self.check_declared_name(&param, line)?;
+                    params.push(param);
                     if self.eat_punct(")") {
                         break;
                     }
@@ -189,7 +213,9 @@ impl Parser {
     /// terminator (used for plain statements and `for` headers).
     fn simple_statement(&mut self) -> Result<Stmt, WebError> {
         if self.eat_keyword("var") {
+            let line = self.line();
             let name = self.expect_ident()?;
+            self.check_declared_name(&name, line)?;
             let init = if self.eat_punct("=") {
                 Some(self.expression()?)
             } else {
@@ -197,15 +223,16 @@ impl Parser {
             };
             return Ok(Stmt::Var(name, init));
         }
+        let target_line = self.line();
         let target = self.expression()?;
         if self.eat_punct("=") {
-            self.check_assign_target(&target)?;
+            self.check_assign_target(&target, target_line)?;
             let value = self.expression()?;
             return Ok(Stmt::Assign(target, value));
         }
         for (op, bin) in [("+=", "+"), ("-=", "-")] {
             if self.eat_punct(op) {
-                self.check_assign_target(&target)?;
+                self.check_assign_target(&target, target_line)?;
                 let value = self.expression()?;
                 // Desugar: `a += b` => `a = (a + b)`.
                 return Ok(Stmt::Assign(
@@ -217,9 +244,10 @@ impl Parser {
         Ok(Stmt::Expr(target))
     }
 
-    fn check_assign_target(&self, target: &Expr) -> Result<(), WebError> {
+    fn check_assign_target(&self, target: &Expr, line: usize) -> Result<(), WebError> {
         match target {
-            Expr::Ident(_) | Expr::Member(..) | Expr::Index(..) => Ok(()),
+            Expr::Ident(name) => self.check_declared_name(name, line),
+            Expr::Member(..) | Expr::Index(..) => Ok(()),
             _ => Err(self.error("invalid assignment target")),
         }
     }
@@ -596,5 +624,46 @@ mod tests {
     fn reports_parse_line() {
         let err = parse_program("var x = 1;\nvar = 2;").unwrap_err();
         assert!(matches!(err, WebError::Parse { line: 2, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_reserved_prefix_declarations() {
+        for src in [
+            "var __snapedge_x = 1;",
+            "function __snapedge_evil() { return 1; }",
+            "function f(__snapedge_p) { return __snapedge_p; }",
+            "for (var __snapedge_i = 0; __snapedge_i < 3; __snapedge_i += 1) { f(); }",
+        ] {
+            let err = parse_program(src).unwrap_err();
+            assert!(
+                matches!(&err, WebError::Parse { message, .. } if message.contains("reserved")),
+                "{src}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_reserved_prefix_assignment_targets() {
+        let err = parse_program("var a = 1;\n__snapedge_sneaky = 2;").unwrap_err();
+        assert!(matches!(&err, WebError::Parse { line: 2, .. }), "{err:?}");
+        let err = parse_program("__snapedge_sneaky += 2;").unwrap_err();
+        assert!(
+            matches!(&err, WebError::Parse { message, .. } if message.contains("reserved")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn accepts_snapshot_machinery_names() {
+        // The exact names the snapshot and delta generators emit must
+        // still parse, or restore itself would be rejected.
+        parse_program("function __snapedge_restore() { g = 1; } __snapedge_restore();").unwrap();
+        parse_program("function __snapedge_apply_delta() { g = 2; } __snapedge_apply_delta();")
+            .unwrap();
+        parse_program("function __snapedge_apply_delta() { var __snapedge_n0 = document.createElement(\"div\"); document.body.appendChild(__snapedge_n0); }").unwrap();
+        // Close-but-wrong machinery names stay rejected.
+        assert!(parse_program("var __snapedge_n = 1;").is_err());
+        assert!(parse_program("var __snapedge_n1x = 1;").is_err());
+        assert!(parse_program("function __snapedge_restore2() { return 1; }").is_err());
     }
 }

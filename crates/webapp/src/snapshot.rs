@@ -29,12 +29,19 @@ pub struct SnapshotOptions {
     /// exactly once and free of cycles are inlined as literals instead of
     /// being built through numbered temporaries and patch statements.
     pub inline_single_use: bool,
+    /// Run the static snapshot verifier (`snapedge-analyze`) on the
+    /// generated script before shipping it. The webapp crate only carries
+    /// the flag; the verification itself runs in the offload layer
+    /// (`snapedge-core`), which rejects unshippable snapshots before any
+    /// link traffic.
+    pub verify: bool,
 }
 
 impl Default for SnapshotOptions {
     fn default() -> Self {
         SnapshotOptions {
             inline_single_use: true,
+            verify: false,
         }
     }
 }
@@ -115,7 +122,27 @@ impl Browser {
 
 /// Name prefix reserved for snapshot machinery (the restore function).
 /// Functions and globals with this prefix are environment, not app state.
-pub(crate) const RESERVED_PREFIX: &str = "__snapedge_";
+///
+/// The parser rejects user declarations under this prefix (so apps cannot
+/// shadow restore machinery), and the static analyzer treats it as the
+/// boundary between app state and generated environment.
+pub const RESERVED_PREFIX: &str = "__snapedge_";
+
+/// Returns true for the exact machinery names the snapshot/delta
+/// generators emit under [`RESERVED_PREFIX`]: `__snapedge_restore`,
+/// `__snapedge_apply_delta`, and the delta new-subtree temporaries
+/// `__snapedge_n<digits>`. These are the only reserved-prefix names the
+/// parser accepts as declarations — anything else under the prefix is a
+/// hygiene violation.
+pub fn is_reserved_machinery(name: &str) -> bool {
+    if name == "__snapedge_restore" || name == "__snapedge_apply_delta" {
+        return true;
+    }
+    match name.strip_prefix("__snapedge_n") {
+        Some(rest) => !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()),
+        None => false,
+    }
+}
 
 /// Output of [`emit_globals_script`].
 pub(crate) struct GlobalsEmit {
@@ -562,6 +589,8 @@ pub fn state_eq(a: &Browser, b: &Browser) -> bool {
         let Some(vb) = cb.globals.get(name) else {
             return false;
         };
+        // Visited-set only — nothing is emitted in iteration order.
+        // lint: allow(hash-iter)
         let mut visited = std::collections::HashSet::new();
         if !ca.heap.deep_eq(va, &cb.heap, vb, &mut visited) {
             return false;

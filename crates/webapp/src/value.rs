@@ -303,6 +303,7 @@ impl Heap {
         a: &JsValue,
         other_heap: &Heap,
         b: &JsValue,
+        // Visited-set only — never iterated. lint: allow(hash-iter)
         visited: &mut std::collections::HashSet<(usize, usize)>,
     ) -> bool {
         match (a, b) {

@@ -313,11 +313,13 @@ fn optimization_shrinks_snapshots() {
     let optimized = b
         .capture_snapshot(&SnapshotOptions {
             inline_single_use: true,
+            ..SnapshotOptions::default()
         })
         .unwrap();
     let baseline = b
         .capture_snapshot(&SnapshotOptions {
             inline_single_use: false,
+            ..SnapshotOptions::default()
         })
         .unwrap();
     assert!(optimized.size_bytes() < baseline.size_bytes());

@@ -134,6 +134,7 @@ fn random_states_roundtrip_optimized() {
         let snapshot = b
             .capture_snapshot(&SnapshotOptions {
                 inline_single_use: true,
+                ..SnapshotOptions::default()
             })
             .unwrap();
         let mut restored = Browser::new();
@@ -156,6 +157,7 @@ fn random_states_roundtrip_baseline() {
         let snapshot = b
             .capture_snapshot(&SnapshotOptions {
                 inline_single_use: false,
+                ..SnapshotOptions::default()
             })
             .unwrap();
         let mut restored = Browser::new();
@@ -178,11 +180,13 @@ fn optimization_never_changes_semantics() {
         let optimized = b
             .capture_snapshot(&SnapshotOptions {
                 inline_single_use: true,
+                ..SnapshotOptions::default()
             })
             .unwrap();
         let baseline = b
             .capture_snapshot(&SnapshotOptions {
                 inline_single_use: false,
+                ..SnapshotOptions::default()
             })
             .unwrap();
         assert!(
