@@ -24,6 +24,9 @@ cargo test --offline -q --workspace
 echo "== chaos suite (fault injection across a fixed seed matrix)"
 cargo test --offline -q -p snapedge-integration --test chaos
 
+echo "== failover suite (edge-fleet handoff and fleet-of-one bit-compat)"
+cargo test --offline -q -p snapedge-integration --test failover
+
 echo "== determinism lint (wall-clock, hash-iter, unwrap-hot-path)"
 cargo run --offline --release -p snapedge-lint
 

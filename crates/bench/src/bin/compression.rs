@@ -22,7 +22,7 @@ fn main() -> Result<(), snapedge_core::OffloadError> {
                 cut: cut.to_string(),
             };
             let mut plain = ScenarioConfig::paper("googlenet", strategy.clone());
-            plain.link = LinkConfig::mbps(mbps);
+            plain.primary_mut().link = LinkConfig::mbps(mbps);
             let mut packed = plain.clone();
             packed.compress = true;
             let a = run_scenario(&plain)?;

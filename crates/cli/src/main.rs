@@ -11,8 +11,8 @@
 
 use snapedge_analyze::{analyze_html, analyze_script, AnalysisOptions, AnalysisReport};
 use snapedge_core::{
-    apps, run_scenario, vm_install, OffloadSession, RetryPolicy, ScenarioConfig, SessionConfig,
-    Strategy,
+    apps, parse_servers, run_scenario, vm_install, OffloadSession, RetryPolicy, ScenarioConfig,
+    ServerSpec, SessionConfig, Strategy,
 };
 use snapedge_dnn::{zoo, ModelBundle};
 use snapedge_net::{FaultPlan, LinkConfig};
@@ -71,10 +71,10 @@ impl Args {
 const USAGE: &str = "usage:
   snapedge run     --model <name> --strategy <client|server|before-ack|after-ack|partial>
                    [--cut <label>] [--mbps <rate>] [--timeline true] [--trace <file.jsonl>]
-                   [--fault-plan <spec>] [--retry <spec>]
+                   [--fault-plan <spec>] [--retry <spec>] [--servers <spec>]
   snapedge sweep   --model <name> [--mbps <rate>]
   snapedge session --model <name> [--rounds <n>] [--no-deltas true]
-                   [--fault-plan <spec>] [--retry <spec>]
+                   [--fault-plan <spec>] [--retry <spec>] [--servers <spec>]
   snapedge install --model <name> [--mbps <rate>]
   snapedge models
   snapedge analyze [--all-apps true | --model <name> [--cut <label>]]
@@ -85,7 +85,13 @@ const USAGE: &str = "usage:
     entries hit both links unless prefixed 'up:'/'down:' (or 'both:'), e.g.
       'up:down@2..5,down:corrupt@1..2'
   --retry enables recovery from transient faults:
-      'default' or 'attempts=<n>,deadline=<s>,backoff=<s>,backoff-max=<s>'";
+      'default' or 'attempts=<n>,deadline=<s>,backoff=<s>,backoff-max=<s>'
+  --servers declares an ordered edge fleet for estimator-driven failover:
+      'edge-a;edge-b,mbps=12,latency=0.005;edge-c,up=down@2..5+corrupt@7..8'
+    ';'-separated entries, each 'name[,key=value...]' inheriting the primary
+    link; keys: mbps, bps, latency (s), overhead (B), loss, and fault plans
+    up/down/faults ('+' separates windows). Carries its own fault plans, so
+    it cannot be combined with --fault-plan.";
 
 fn main() -> ExitCode {
     match real_main() {
@@ -153,6 +159,39 @@ fn parse_fault_flags(args: &Args) -> Result<(FaultPlan, FaultPlan), String> {
     Ok((build(&up)?, build(&down)?))
 }
 
+/// Applies the fleet flags to a config's server list. `--servers`
+/// replaces the whole fleet (each entry inherits the primary's device and
+/// link as a template) and carries per-server fault plans through its
+/// `up=`/`down=`/`faults=` keys, so combining it with `--fault-plan` is
+/// rejected as ambiguous; without it, `--fault-plan` lands on the
+/// primary's links as before.
+fn apply_fleet_flags(args: &Args, servers: &mut Vec<ServerSpec>) -> Result<(), String> {
+    match args.flag("servers") {
+        Some(spec) => {
+            if args.flag("fault-plan").is_some() {
+                return Err(
+                    "--servers carries per-server fault plans (up=/down=/faults=); \
+                     drop --fault-plan"
+                        .to_string(),
+                );
+            }
+            let template = servers
+                .first()
+                .cloned()
+                .ok_or_else(|| "config has no primary server".to_string())?;
+            *servers = parse_servers(spec, &template).map_err(|e| format!("bad --servers: {e}"))?;
+        }
+        None => {
+            let (up, down) = parse_fault_flags(args)?;
+            if let Some(primary) = servers.first_mut() {
+                primary.up_faults = up;
+                primary.down_faults = down;
+            }
+        }
+    }
+    Ok(())
+}
+
 fn parse_retry_flag(args: &Args) -> Result<Option<RetryPolicy>, String> {
     match args.flag("retry") {
         None => Ok(None),
@@ -165,13 +204,21 @@ fn parse_retry_flag(args: &Args) -> Result<Option<RetryPolicy>, String> {
 
 fn cmd_run(args: &Args) -> Result<(), String> {
     let mut cfg = ScenarioConfig::paper(&args.model(), parse_strategy(args)?);
-    cfg.link = LinkConfig::mbps(args.mbps()?);
-    (cfg.up_faults, cfg.down_faults) = parse_fault_flags(args)?;
+    cfg.primary_mut().link = LinkConfig::mbps(args.mbps()?);
+    apply_fleet_flags(args, &mut cfg.servers)?;
     cfg.retry = parse_retry_flag(args)?;
     let report = run_scenario(&cfg).map_err(|e| e.to_string())?;
     println!("model:      {}", report.model);
     println!("strategy:   {:?}", report.strategy);
     println!("result:     {}", report.result);
+    if let Some(name) = &report.server {
+        let handoffs = report.handoff_count();
+        if handoffs > 0 {
+            println!("server:     {name} (after {handoffs} handoff(s))");
+        } else if cfg.servers.len() > 1 {
+            println!("server:     {name}");
+        }
+    }
     println!("total:      {:.3}s", report.total.as_secs_f64());
     let b = report.breakdown;
     println!(
@@ -238,7 +285,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             }
         };
         let mut cfg = ScenarioConfig::paper(&model, strategy);
-        cfg.link = LinkConfig::mbps(mbps);
+        cfg.primary_mut().link = LinkConfig::mbps(mbps);
         let report = run_scenario(&cfg).map_err(|e| e.to_string())?;
         println!(
             "{:<14} {:>10.2} {:>14.2}",
@@ -259,17 +306,17 @@ fn cmd_session(args: &Args) -> Result<(), String> {
     if args.flag("no-deltas").is_some() {
         cfg.use_deltas = false;
     }
-    (cfg.up_faults, cfg.down_faults) = parse_fault_flags(args)?;
+    apply_fleet_flags(args, &mut cfg.servers)?;
     cfg.retry = parse_retry_flag(args)?;
     let mut session = OffloadSession::new(cfg).map_err(|e| e.to_string())?;
     println!(
-        "{:>6} {:>8} {:>12} {:>12} {:>10}",
-        "round", "mode", "up bytes", "down bytes", "total"
+        "{:>6} {:>8} {:>12} {:>12} {:>10} {:>15}",
+        "round", "mode", "up bytes", "down bytes", "total", "server"
     );
     for round in 1..=rounds {
         let r = session.infer(round).map_err(|e| e.to_string())?;
         println!(
-            "{:>6} {:>8} {:>12} {:>12} {:>9.2}s   {}",
+            "{:>6} {:>8} {:>12} {:>12} {:>9.2}s {:>15}   {}",
             r.round,
             if r.fell_back {
                 "local"
@@ -281,6 +328,7 @@ fn cmd_session(args: &Args) -> Result<(), String> {
             r.up_bytes,
             r.down_bytes,
             r.total.as_secs_f64(),
+            r.server,
             r.result
         );
     }
@@ -565,6 +613,80 @@ mod tests {
             let report = analyze_html(&html, &opts);
             assert!(report.is_clean(), "{}", report.render());
         }
+    }
+
+    #[test]
+    fn servers_flag_replaces_the_fleet() {
+        let mut cfg = ScenarioConfig::paper("googlenet", Strategy::OffloadAfterAck);
+        apply_fleet_flags(
+            &args(&[
+                "run",
+                "--servers",
+                "edge-a;edge-b,mbps=12,up=down@2..5+corrupt@7..8",
+            ]),
+            &mut cfg.servers,
+        )
+        .unwrap();
+        assert_eq!(cfg.servers.len(), 2);
+        assert_eq!(cfg.servers[0].name, "edge-a");
+        assert_eq!(cfg.servers[1].link.bandwidth_bps, 12.0e6);
+        assert_eq!(cfg.servers[1].up_faults.windows().len(), 2);
+        // Entries inherit the primary's link as a template.
+        assert_eq!(
+            cfg.servers[0].link.bandwidth_bps,
+            ScenarioConfig::paper("googlenet", Strategy::OffloadAfterAck)
+                .primary()
+                .link
+                .bandwidth_bps
+        );
+    }
+
+    #[test]
+    fn servers_flag_round_trips_through_format_and_parse() {
+        // parse -> format -> parse must reproduce the fleet exactly.
+        let template = ScenarioConfig::paper("googlenet", Strategy::OffloadAfterAck)
+            .primary()
+            .clone();
+        let fleet = parse_servers(
+            "edge-a,mbps=30,latency=0.002;edge-b,mbps=12,loss=0.05,up=down@2..5+degrade@7..9x0.25;\
+             edge-c,bps=2500000,overhead=96,down=corrupt@1..2",
+            &template,
+        )
+        .unwrap();
+        let formatted = snapedge_core::format_servers(&fleet);
+        let reparsed = parse_servers(&formatted, &template).unwrap();
+        assert_eq!(reparsed, fleet);
+        // And formatting is a fixed point from there on.
+        assert_eq!(snapedge_core::format_servers(&reparsed), formatted);
+    }
+
+    #[test]
+    fn servers_and_fault_plan_flags_are_mutually_exclusive() {
+        let mut cfg = ScenarioConfig::paper("googlenet", Strategy::OffloadAfterAck);
+        let err = apply_fleet_flags(
+            &args(&["run", "--servers", "edge-a", "--fault-plan", "down@2..5"]),
+            &mut cfg.servers,
+        )
+        .unwrap_err();
+        assert!(err.contains("--fault-plan"), "{err}");
+        assert!(apply_fleet_flags(
+            &args(&["run", "--servers", "edge-a,=bad"]),
+            &mut cfg.servers
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn without_servers_flag_fault_plans_land_on_the_primary() {
+        let mut cfg = SessionConfig::paper("googlenet");
+        apply_fleet_flags(
+            &args(&["session", "--fault-plan", "up:down@2..5"]),
+            &mut cfg.servers,
+        )
+        .unwrap();
+        assert_eq!(cfg.servers.len(), 1);
+        assert_eq!(cfg.servers[0].up_faults.windows().len(), 1);
+        assert!(cfg.servers[0].down_faults.is_empty());
     }
 
     #[test]

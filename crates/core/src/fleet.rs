@@ -1,0 +1,576 @@
+//! The edge fleet: an ordered set of candidate servers and the health
+//! bookkeeping that picks which one a session offloads to.
+//!
+//! The paper wires exactly one edge server per client; a deployment has a
+//! *fleet* of candidates, each with its own device profile, link and fault
+//! schedule. [`ServerPool`] keeps one [`BandwidthEstimator`]-backed health
+//! record per server — fed by completed transfers and by fault/backoff
+//! observations — and exposes a selection metric based on **predicted
+//! migration time**: the bytes pending migration (plus the model, if this
+//! server has not been pre-sent one) over the estimated bandwidth, plus
+//! link latency. The session/scenario drivers pre-send the model to the
+//! best candidate and automatically hand off to the next-best one when the
+//! retry budget against the current server exhausts; local execution is
+//! the last resort once every candidate is exhausted.
+//!
+//! Selection is deterministic: candidates are scored in order and ties go
+//! to the lowest index, so the same configuration always picks the same
+//! server — the property the bit-for-bit chaos suite leans on.
+
+use crate::device::DeviceProfile;
+use snapedge_net::{BandwidthEstimator, FaultPlan, LinkConfig, Transfer};
+use std::time::Duration;
+
+/// Static description of one candidate edge server: who it is, how fast
+/// it is, what the path to it looks like, and when that path misbehaves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSpec {
+    /// Server name (appears in trace events and reports).
+    pub name: String,
+    /// The server's device model.
+    pub device: DeviceProfile,
+    /// The client↔server link (each direction gets one).
+    pub link: LinkConfig,
+    /// Fault-injection schedule for the client→server direction.
+    pub up_faults: FaultPlan,
+    /// Fault-injection schedule for the server→client direction.
+    pub down_faults: FaultPlan,
+}
+
+impl ServerSpec {
+    /// A fault-free spec with the given name, device and link.
+    pub fn new(name: &str, device: DeviceProfile, link: LinkConfig) -> ServerSpec {
+        ServerSpec {
+            name: name.to_string(),
+            device,
+            link,
+            up_faults: FaultPlan::none(),
+            down_faults: FaultPlan::none(),
+        }
+    }
+
+    /// Replaces the link, builder style.
+    pub fn with_link(mut self, link: LinkConfig) -> ServerSpec {
+        self.link = link;
+        self
+    }
+
+    /// Replaces the device model, builder style.
+    pub fn with_device(mut self, device: DeviceProfile) -> ServerSpec {
+        self.device = device;
+        self
+    }
+
+    /// Sets the client→server fault schedule, builder style.
+    pub fn with_up_faults(mut self, plan: FaultPlan) -> ServerSpec {
+        self.up_faults = plan;
+        self
+    }
+
+    /// Sets the server→client fault schedule, builder style.
+    pub fn with_down_faults(mut self, plan: FaultPlan) -> ServerSpec {
+        self.down_faults = plan;
+        self
+    }
+
+    /// The same fault schedule in both directions, builder style.
+    pub fn with_faults(self, plan: FaultPlan) -> ServerSpec {
+        let down = plan.clone();
+        self.with_up_faults(plan).with_down_faults(down)
+    }
+}
+
+/// Mutable per-server health: what the client has learned about one
+/// candidate from its own traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerHealth {
+    estimator: BandwidthEstimator,
+    model_ready: bool,
+    exhausted: bool,
+    faults: usize,
+}
+
+impl ServerHealth {
+    fn new() -> ServerHealth {
+        ServerHealth {
+            estimator: BandwidthEstimator::default(),
+            model_ready: false,
+            exhausted: false,
+            faults: 0,
+        }
+    }
+
+    /// The bandwidth estimator fed by this server's transfers.
+    pub fn estimator(&self) -> &BandwidthEstimator {
+        &self.estimator
+    }
+
+    /// Whether the model has been pre-sent to (and acknowledged by) this
+    /// server.
+    pub fn model_ready(&self) -> bool {
+        self.model_ready
+    }
+
+    /// Whether the retry budget against this server exhausted during the
+    /// current round.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Total fault/backoff observations recorded against this server.
+    pub fn faults(&self) -> usize {
+        self.faults
+    }
+}
+
+/// The ordered candidate set plus per-server health records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerPool {
+    servers: Vec<(ServerSpec, ServerHealth)>,
+}
+
+impl ServerPool {
+    /// Builds a pool over `specs`, all starting healthy with no model
+    /// pre-sent and no bandwidth history.
+    pub fn new(specs: Vec<ServerSpec>) -> ServerPool {
+        ServerPool {
+            servers: specs
+                .into_iter()
+                .map(|spec| (spec, ServerHealth::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of candidate servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// `true` when the pool has no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The static spec of candidate `idx`.
+    pub fn spec(&self, idx: usize) -> Option<&ServerSpec> {
+        self.servers.get(idx).map(|(spec, _)| spec)
+    }
+
+    /// The health record of candidate `idx`.
+    pub fn health(&self, idx: usize) -> Option<&ServerHealth> {
+        self.servers.get(idx).map(|(_, health)| health)
+    }
+
+    /// Feeds one completed transfer against candidate `idx` into its
+    /// bandwidth estimator.
+    pub fn observe_transfer(&mut self, idx: usize, transfer: &Transfer) {
+        if let Some((_, health)) = self.servers.get_mut(idx) {
+            health.estimator.observe_transfer(transfer);
+        }
+    }
+
+    /// Records `count` fault/backoff observations against candidate
+    /// `idx`: each one penalizes the bandwidth estimate, steering future
+    /// selection away from the unhealthy path.
+    pub fn observe_faults(&mut self, idx: usize, count: usize) {
+        if count == 0 {
+            return;
+        }
+        if let Some((_, health)) = self.servers.get_mut(idx) {
+            health.faults += count;
+            for _ in 0..count {
+                health.estimator.penalize();
+            }
+        }
+    }
+
+    /// Marks the model as pre-sent to candidate `idx`.
+    pub fn mark_model_ready(&mut self, idx: usize) {
+        if let Some((_, health)) = self.servers.get_mut(idx) {
+            health.model_ready = true;
+        }
+    }
+
+    /// Marks candidate `idx`'s model as *not* installed any more — called
+    /// when the client abandons a provisioned server (its endpoint and
+    /// browser state are dropped), so the selection metric charges a
+    /// fresh pre-send if that candidate is ever picked again.
+    pub fn mark_model_stale(&mut self, idx: usize) {
+        if let Some((_, health)) = self.servers.get_mut(idx) {
+            health.model_ready = false;
+        }
+    }
+
+    /// Marks candidate `idx` as exhausted for the current round; an
+    /// exhausted candidate is skipped by [`ServerPool::select`] until
+    /// [`ServerPool::begin_round`] clears the flag.
+    pub fn mark_exhausted(&mut self, idx: usize) {
+        if let Some((_, health)) = self.servers.get_mut(idx) {
+            health.exhausted = true;
+        }
+    }
+
+    /// Starts a new inference round: every candidate gets a fresh chance
+    /// (exhaustion is per-round; estimator history and model readiness
+    /// persist).
+    pub fn begin_round(&mut self) {
+        for (_, health) in &mut self.servers {
+            health.exhausted = false;
+        }
+    }
+
+    /// Resets candidate `idx`'s bandwidth estimator (and fault tally).
+    /// Called when a handoff re-provisions a server so post-handoff
+    /// estimates never mix samples observed against a different epoch of
+    /// the same path.
+    pub fn reset_estimator(&mut self, idx: usize) {
+        if let Some((_, health)) = self.servers.get_mut(idx) {
+            health.estimator.reset();
+            health.faults = 0;
+        }
+    }
+
+    /// The selection metric: predicted time to migrate `pending_bytes` to
+    /// candidate `idx`, using the estimator's learned bandwidth when it
+    /// has samples (the configured link rate otherwise), plus the model
+    /// pre-send cost (`model_bytes`) when this server is not yet
+    /// model-ready, plus link latency. Unusable paths (zero or non-finite
+    /// bandwidth) predict `Duration::MAX`.
+    pub fn predicted_migration(
+        &self,
+        idx: usize,
+        pending_bytes: u64,
+        model_bytes: u64,
+    ) -> Duration {
+        let Some((spec, health)) = self.servers.get(idx) else {
+            return Duration::MAX;
+        };
+        let bw = health
+            .estimator
+            .estimate_bps()
+            .unwrap_or_else(|| spec.link.effective_bandwidth_bps());
+        if !(bw.is_finite() && bw > 0.0) {
+            return Duration::MAX;
+        }
+        let mut bytes = pending_bytes;
+        if !health.model_ready {
+            bytes = bytes.saturating_add(model_bytes);
+        }
+        let secs = (bytes.saturating_add(spec.link.overhead_bytes)) as f64 * 8.0 / bw;
+        match Duration::try_from_secs_f64(secs) {
+            Ok(wire) => spec.link.latency.saturating_add(wire),
+            Err(_) => Duration::MAX,
+        }
+    }
+
+    /// Picks the non-exhausted candidate with the smallest predicted
+    /// migration time. Ties go to the lowest index (the configured
+    /// preference order), making selection deterministic. `None` when
+    /// every candidate is exhausted.
+    pub fn select(&self, pending_bytes: u64, model_bytes: u64) -> Option<usize> {
+        let mut best: Option<(usize, Duration)> = None;
+        for idx in 0..self.servers.len() {
+            if self.servers[idx].1.exhausted {
+                continue;
+            }
+            let predicted = self.predicted_migration(idx, pending_bytes, model_bytes);
+            match best {
+                Some((_, incumbent)) if incumbent <= predicted => {}
+                _ => best = Some((idx, predicted)),
+            }
+        }
+        best.map(|(idx, _)| idx)
+    }
+}
+
+/// Parses a `--servers` fleet spec: entries separated by `;`, each entry
+/// a server name followed by comma-separated `key=value` overrides
+/// applied on top of `template` (which supplies the device profile and
+/// any unspecified link fields).
+///
+/// Keys: `mbps` (bandwidth in Mbit/s), `bps` (bandwidth in bit/s),
+/// `latency` (seconds), `overhead` (bytes), `loss` (fraction), and fault
+/// plans `up`/`down`/`faults` in [`FaultPlan::parse`] syntax with `+`
+/// standing in for the plan-internal `,` (e.g. `up=down@2..5+corrupt@7..8`).
+///
+/// ```
+/// use snapedge_core::fleet::{parse_servers, ServerSpec};
+/// use snapedge_core::edge_server_x86;
+/// use snapedge_net::LinkConfig;
+///
+/// let template = ServerSpec::new("t", edge_server_x86(), LinkConfig::wifi_30mbps());
+/// let fleet = parse_servers("edge-a,mbps=30;edge-b,mbps=12,up=down@2..5", &template).unwrap();
+/// assert_eq!(fleet.len(), 2);
+/// assert_eq!(fleet[1].name, "edge-b");
+/// ```
+///
+/// # Errors
+///
+/// Returns a description of the malformed entry.
+pub fn parse_servers(spec: &str, template: &ServerSpec) -> Result<Vec<ServerSpec>, String> {
+    let mut servers = Vec::new();
+    for entry in spec.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let mut fields = entry.split(',');
+        let name = fields.next().unwrap_or("").trim();
+        if name.is_empty() {
+            return Err(format!("server entry {entry:?} is missing a name"));
+        }
+        if name.contains('=') {
+            return Err(format!(
+                "server entry {entry:?} must start with a name, not a key=value field"
+            ));
+        }
+        let mut server = ServerSpec::new(name, template.device.clone(), template.link.clone());
+        for field in fields {
+            let field = field.trim();
+            if field.is_empty() {
+                continue;
+            }
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("server field {field:?} is missing '='"))?;
+            let bad = |what: &str| format!("server {name:?}, field {field:?}: {what}");
+            let number = |v: &str, what: &str| -> Result<f64, String> {
+                let n: f64 = v.trim().parse().map_err(|_| bad(what))?;
+                if !(n.is_finite() && n >= 0.0) {
+                    return Err(bad(what));
+                }
+                Ok(n)
+            };
+            let plan = |v: &str| -> Result<FaultPlan, String> {
+                FaultPlan::parse(&v.replace('+', ","))
+                    .map_err(|e| bad(&format!("bad fault plan: {e}")))
+            };
+            match key.trim() {
+                "mbps" => server.link.bandwidth_bps = number(value, "bad mbps value")? * 1.0e6,
+                "bps" => server.link.bandwidth_bps = number(value, "bad bps value")?,
+                "latency" => {
+                    server.link.latency =
+                        Duration::try_from_secs_f64(number(value, "bad latency value")?)
+                            .map_err(|_| bad("latency out of range"))?
+                }
+                "overhead" => {
+                    server.link.overhead_bytes = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("bad overhead value"))?
+                }
+                "loss" => server.link.loss = number(value, "bad loss value")?,
+                "up" => server.up_faults = plan(value)?,
+                "down" => server.down_faults = plan(value)?,
+                "faults" => {
+                    let p = plan(value)?;
+                    server.up_faults = p.clone();
+                    server.down_faults = p;
+                }
+                other => return Err(format!("unknown server key {other:?}")),
+            }
+        }
+        servers.push(server);
+    }
+    if servers.is_empty() {
+        return Err("server spec names no servers".to_string());
+    }
+    Ok(servers)
+}
+
+/// Formats a fleet back into the canonical spec syntax accepted by
+/// [`parse_servers`]. Link fields are always emitted (with exact
+/// round-tripping float forms), fault plans only when non-empty, so
+/// `parse_servers(&format_servers(&fleet), &template)` reproduces the
+/// fleet exactly whenever every server shares the template's device.
+pub fn format_servers(servers: &[ServerSpec]) -> String {
+    servers
+        .iter()
+        .map(|s| {
+            let mut out = format!(
+                "{},bps={},latency={},overhead={},loss={}",
+                s.name,
+                s.link.bandwidth_bps,
+                s.link.latency.as_secs_f64(),
+                s.link.overhead_bytes,
+                s.link.loss
+            );
+            if !s.up_faults.is_empty() {
+                out.push_str(",up=");
+                out.push_str(&s.up_faults.to_spec().replace(',', "+"));
+            }
+            if !s.down_faults.is_empty() {
+                out.push_str(",down=");
+                out.push_str(&s.down_faults.to_spec().replace(',', "+"));
+            }
+            out
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::edge_server_x86;
+
+    fn spec(name: &str, mbps: f64) -> ServerSpec {
+        ServerSpec::new(name, edge_server_x86(), LinkConfig::mbps(mbps))
+    }
+
+    #[test]
+    fn selection_prefers_the_fastest_configured_link() {
+        let pool = ServerPool::new(vec![spec("a", 10.0), spec("b", 30.0), spec("c", 5.0)]);
+        assert_eq!(pool.select(100_000, 1_000_000), Some(1));
+    }
+
+    #[test]
+    fn ties_go_to_the_lowest_index() {
+        let pool = ServerPool::new(vec![spec("a", 10.0), spec("b", 10.0)]);
+        assert_eq!(pool.select(100_000, 0), Some(0));
+    }
+
+    #[test]
+    fn learned_bandwidth_overrides_the_configured_rate() {
+        let mut pool = ServerPool::new(vec![spec("a", 30.0), spec("b", 10.0)]);
+        // Observed traffic shows "a" is actually crawling.
+        pool.observe_transfer(
+            0,
+            &Transfer {
+                start: Duration::ZERO,
+                finish: Duration::from_secs(10),
+                bytes: 125_000, // 0.1 Mbps observed
+                corrupted: false,
+            },
+        );
+        assert_eq!(pool.select(100_000, 0), Some(1));
+    }
+
+    #[test]
+    fn fault_observations_penalize_the_estimate() {
+        let mut pool = ServerPool::new(vec![spec("a", 30.0), spec("b", 20.0)]);
+        // "a" performs as configured at first...
+        pool.observe_transfer(
+            0,
+            &Transfer {
+                start: Duration::ZERO,
+                finish: Duration::from_secs(1),
+                bytes: 3_750_000, // 30 Mbps observed
+                corrupted: false,
+            },
+        );
+        assert_eq!(pool.select(1_000_000, 0), Some(0));
+        // ...then a string of faults halves its estimate below b's rate.
+        pool.observe_faults(0, 2);
+        assert_eq!(pool.health(0).map(|h| h.faults()), Some(2));
+        assert_eq!(pool.select(1_000_000, 0), Some(1));
+    }
+
+    #[test]
+    fn model_readiness_feeds_the_metric() {
+        let mut pool = ServerPool::new(vec![spec("a", 30.0), spec("b", 29.0)]);
+        // A huge model pre-send dominates; "b" already has the model.
+        pool.mark_model_ready(1);
+        assert_eq!(pool.select(10_000, 50_000_000), Some(1));
+        // With both ready, raw link speed decides again.
+        pool.mark_model_ready(0);
+        assert_eq!(pool.select(10_000, 50_000_000), Some(0));
+    }
+
+    #[test]
+    fn exhausted_candidates_are_skipped_until_the_next_round() {
+        let mut pool = ServerPool::new(vec![spec("a", 30.0), spec("b", 10.0)]);
+        pool.mark_exhausted(0);
+        assert_eq!(pool.select(0, 0), Some(1));
+        pool.mark_exhausted(1);
+        assert_eq!(pool.select(0, 0), None);
+        pool.begin_round();
+        assert_eq!(pool.select(0, 0), Some(0));
+    }
+
+    #[test]
+    fn reset_estimator_forgets_the_previous_epoch() {
+        let mut pool = ServerPool::new(vec![spec("a", 30.0)]);
+        pool.observe_transfer(
+            0,
+            &Transfer {
+                start: Duration::ZERO,
+                finish: Duration::from_secs(1),
+                bytes: 125_000,
+                corrupted: false,
+            },
+        );
+        pool.observe_faults(0, 3);
+        pool.reset_estimator(0);
+        let health = pool.health(0).unwrap();
+        assert_eq!(health.estimator().samples(), 0);
+        assert_eq!(health.estimator().estimate_bps(), None);
+        assert_eq!(health.faults(), 0);
+    }
+
+    #[test]
+    fn unusable_links_predict_max() {
+        let dead = ServerSpec::new(
+            "dead",
+            edge_server_x86(),
+            LinkConfig {
+                bandwidth_bps: 0.0,
+                latency: Duration::ZERO,
+                overhead_bytes: 0,
+                loss: 0.0,
+            },
+        );
+        let pool = ServerPool::new(vec![dead, spec("ok", 1.0)]);
+        assert_eq!(pool.predicted_migration(0, 1000, 0), Duration::MAX);
+        assert_eq!(pool.select(1000, 0), Some(1));
+        // Out-of-range index is also "unreachable", not a panic.
+        assert_eq!(pool.predicted_migration(9, 1000, 0), Duration::MAX);
+    }
+
+    #[test]
+    fn parse_and_format_roundtrip() {
+        let template = spec("template", 30.0);
+        let fleet = parse_servers(
+            "edge-a,mbps=30;edge-b,mbps=12,latency=0.01,up=down@2..5+corrupt@7..8;edge-c,loss=0.1,down=degrade@1..2x0.5",
+            &template,
+        )
+        .unwrap();
+        assert_eq!(fleet.len(), 3);
+        assert_eq!(fleet[0].name, "edge-a");
+        assert_eq!(fleet[1].link.latency, Duration::from_millis(10));
+        assert_eq!(fleet[1].up_faults.windows().len(), 2);
+        assert!(fleet[1].down_faults.is_empty());
+        assert_eq!(fleet[2].link.loss, 0.1);
+        let formatted = format_servers(&fleet);
+        let back = parse_servers(&formatted, &template).unwrap();
+        assert_eq!(back, fleet, "parse → format → parse must be identity");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        let template = spec("template", 30.0);
+        for bad in [
+            "",
+            ";;",
+            "mbps=30",            // name missing
+            "a,mbps",             // missing '='
+            "a,mbps=fast",        // bad number
+            "a,latency=-1",       // negative
+            "a,warp=9",           // unknown key
+            "a,up=teleport@1..2", // bad plan
+        ] {
+            assert!(
+                parse_servers(bad, &template).is_err(),
+                "{bad:?} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn faults_key_applies_both_directions() {
+        let template = spec("template", 30.0);
+        let fleet = parse_servers("a,faults=down@1..2", &template).unwrap();
+        assert_eq!(fleet[0].up_faults, fleet[0].down_faults);
+        assert_eq!(fleet[0].up_faults.windows().len(), 1);
+    }
+}

@@ -24,6 +24,7 @@
 //! | pre-sending, ACK, migration, partial inference — full scenarios | [`scenario`] |
 //! | Neurosurgeon-style partition-point optimization | [`partition`] |
 //! | fault classification, retry policy, local fallback | [`resilience`] |
+//! | edge-fleet server pool, health records, failover selection | [`fleet`] |
 //! | per-layer latency prediction (regression models) | [`predictor`] |
 //! | the feature-inversion attack and the withholding defense | [`privacy`] |
 //! | on-demand installation via VM synthesis | [`install`] |
@@ -53,6 +54,7 @@ pub mod device;
 mod endpoint;
 pub mod energy;
 mod error;
+pub mod fleet;
 pub mod install;
 mod mlhost;
 pub mod partition;
@@ -70,12 +72,16 @@ pub use device::{edge_server_x86, odroid_xu4, DeviceProfile};
 pub use endpoint::Endpoint;
 pub use energy::{client_energy, odroid_xu4_energy, EnergyProfile, EnergyReport};
 pub use error::OffloadError;
+pub use fleet::{format_servers, parse_servers, ServerHealth, ServerPool, ServerSpec};
 pub use install::{vm_install, InstallReport};
 pub use mlhost::{CaffeJsHost, ExecKind, ExecRecord, ExecTracker};
 pub use partition::{PartitionOptimizer, PartitionPrediction, PredictedTimes};
 pub use predictor::{LatencyPredictor, LayerSample, LinearModel};
 pub use privacy::{evaluate_privacy, reconstruct_input, AttackConfig, PrivacyReport};
-pub use resilience::{classify, schedule_resilient, FaultClass, RetryPolicy};
+pub use resilience::{
+    classify, schedule_resilient, schedule_resilient_traced, FaultClass, ResilienceOutcome,
+    RetryPolicy,
+};
 pub use scenario::{
     run_scenario, run_scenario_with_links, run_with_fallback, Breakdown, ScenarioBuilder,
     ScenarioConfig, ScenarioReport, Strategy,

@@ -17,8 +17,9 @@
 
 pub use crate::device::{edge_server_x86, odroid_xu4, DeviceProfile};
 pub use crate::error::OffloadError;
+pub use crate::fleet::{format_servers, parse_servers, ServerHealth, ServerPool, ServerSpec};
 pub use crate::install::{vm_install, InstallReport};
-pub use crate::resilience::{classify, FaultClass, RetryPolicy};
+pub use crate::resilience::{classify, FaultClass, ResilienceOutcome, RetryPolicy};
 pub use crate::scenario::{
     run_scenario, run_scenario_with_links, run_with_fallback, Breakdown, ScenarioBuilder,
     ScenarioConfig, ScenarioReport, Strategy,

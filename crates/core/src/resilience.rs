@@ -133,6 +133,22 @@ impl RetryPolicy {
     }
 }
 
+/// What one resilient scheduling attempt cost, beyond the transfer
+/// itself. The fleet layer feeds this into its per-server health records:
+/// retries penalize a server's bandwidth estimate, and `gave_up_at`
+/// sequences the next candidate's provisioning after a give-up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceOutcome {
+    /// The completed transfer, or `None` when the retry budget ran out.
+    pub transfer: Option<Transfer>,
+    /// Number of re-attempts made (instant [`EventKind::Retry`] markers
+    /// recorded).
+    pub retries: u32,
+    /// The virtual instant the loop stopped trying — the last failure
+    /// time when the budget exhausted, [`Transfer::finish`] on success.
+    pub gave_up_at: Duration,
+}
+
 /// Schedules `bytes` on `link` at virtual time `at`, retrying transient
 /// failures (outage-refused attempts, corrupted payloads) under `policy`.
 ///
@@ -164,11 +180,39 @@ pub fn schedule_resilient(
     anchor: Duration,
     bytes: u64,
 ) -> Result<Option<Transfer>, OffloadError> {
+    schedule_resilient_traced(link, tracer, policy, at, anchor, bytes)
+        .map(|outcome| outcome.transfer)
+}
+
+/// [`schedule_resilient`] with the full [`ResilienceOutcome`]: the same
+/// retry loop, but the caller also learns how many re-attempts were spent
+/// and when the loop stopped. The fleet layer uses both — retries feed
+/// per-server penalty observations, and `gave_up_at` anchors the handoff
+/// to the next candidate.
+///
+/// # Errors
+///
+/// Same conditions as [`schedule_resilient`].
+pub fn schedule_resilient_traced(
+    link: &mut Link,
+    tracer: &Tracer,
+    policy: Option<&RetryPolicy>,
+    at: Duration,
+    anchor: Duration,
+    bytes: u64,
+) -> Result<ResilienceOutcome, OffloadError> {
     let mut at = at;
     let mut attempt: u32 = 1;
+    let mut retries: u32 = 0;
     loop {
         let failure = match link.schedule(at, bytes) {
-            Ok(xfer) if !xfer.corrupted => return Ok(Some(xfer)),
+            Ok(xfer) if !xfer.corrupted => {
+                return Ok(ResilienceOutcome {
+                    gave_up_at: xfer.finish,
+                    transfer: Some(xfer),
+                    retries,
+                })
+            }
             Ok(xfer) => {
                 // The link was occupied for the full transfer; the receiver
                 // discards the payload and requests a retransmit.
@@ -185,22 +229,28 @@ pub fn schedule_resilient(
         let Some(policy) = policy else {
             return Err(failure);
         };
+        let gave_up = ResilienceOutcome {
+            transfer: None,
+            retries,
+            gave_up_at: at,
+        };
         if attempt >= policy.max_attempts {
-            return Ok(None);
+            return Ok(gave_up);
         }
         let mut resume = at + policy.backoff(attempt);
         match link.next_up_after(resume) {
             // Statically failed: no outage window ever closes.
-            None => return Ok(None),
+            None => return Ok(gave_up),
             Some(up) => resume = resume.max(up),
         }
         if resume > anchor + policy.deadline {
-            return Ok(None);
+            return Ok(gave_up);
         }
         tracer.record("backoff", Lane::Network, EventKind::Backoff, at, resume);
         tracer.record("retry", Lane::Network, EventKind::Retry, resume, resume);
         at = resume;
         attempt += 1;
+        retries += 1;
     }
 }
 
@@ -263,6 +313,38 @@ mod tests {
         )
         .unwrap();
         assert!(gave_up.is_none());
+    }
+
+    #[test]
+    fn traced_variant_reports_retries_and_give_up_time() {
+        // One outage → one retry that succeeds.
+        let mut link = Link::new(LinkConfig::mbps(8.0))
+            .with_fault_plan(FaultPlan::parse("down@0..2").unwrap());
+        let tracer = Tracer::new();
+        let policy = RetryPolicy::default();
+        let outcome = schedule_resilient_traced(
+            &mut link,
+            &tracer,
+            Some(&policy),
+            Duration::ZERO,
+            Duration::ZERO,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(outcome.retries, 1);
+        let xfer = outcome.transfer.expect("retry should succeed");
+        assert_eq!(outcome.gave_up_at, xfer.finish);
+
+        // A statically-down link gives up at the failure instant with no
+        // retries (there is no window edge to wait for).
+        let mut dead = Link::new(LinkConfig::mbps(8.0));
+        dead.set_down(true);
+        let at = Duration::from_secs(3);
+        let outcome =
+            schedule_resilient_traced(&mut dead, &tracer, Some(&policy), at, at, 1_000).unwrap();
+        assert!(outcome.transfer.is_none());
+        assert_eq!(outcome.retries, 0);
+        assert_eq!(outcome.gave_up_at, at);
     }
 
     #[test]

@@ -12,7 +12,8 @@ use crate::adaptive::{AdaptiveOffloader, AdaptivePolicy, Decision};
 use crate::apps;
 use crate::device::DeviceProfile;
 use crate::endpoint::Endpoint;
-use crate::resilience::{schedule_resilient, RetryPolicy};
+use crate::fleet::{ServerPool, ServerSpec};
+use crate::resilience::{classify, schedule_resilient_traced, FaultClass, RetryPolicy};
 use crate::OffloadError;
 use snapedge_dnn::{zoo, ExecMode, ModelBundle, ParamStore};
 use snapedge_net::{FaultPlan, Link, LinkConfig, SimClock};
@@ -49,12 +50,13 @@ pub struct ScenarioConfig {
     pub model: String,
     /// Execution strategy.
     pub strategy: Strategy,
-    /// Network between client and edge server (each direction gets one).
-    pub link: LinkConfig,
+    /// Ordered edge-fleet candidates, each with its own device, link and
+    /// fault plans. Index 0 is the *primary* — the server a fleet of one
+    /// talks to, reproducing the single-server behaviour exactly. The
+    /// runners reject an empty fleet with [`OffloadError::Config`].
+    pub servers: Vec<ServerSpec>,
     /// Client device model.
     pub client_device: DeviceProfile,
-    /// Server device model.
-    pub server_device: DeviceProfile,
     /// Real arithmetic (tiny models) or synthetic (paper-scale models).
     pub exec_mode: ExecMode,
     /// Seed for parameters and synthetic inputs.
@@ -67,14 +69,27 @@ pub struct ScenarioConfig {
     /// codec CPU time on both sides — an extension the paper does not
     /// evaluate (see the `compression` bench).
     pub compress: bool,
-    /// Fault-injection schedule for the client→server link: virtual-time
-    /// windows where the uplink is down, degraded, or corrupting.
-    pub up_faults: FaultPlan,
-    /// Fault-injection schedule for the server→client link.
-    pub down_faults: FaultPlan,
     /// Recovery policy for transient network faults. `None` keeps the
     /// strict fail-fast behaviour: the first fault surfaces as an error.
     pub retry: Option<RetryPolicy>,
+}
+
+impl ScenarioConfig {
+    /// The primary (index 0) fleet candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fleet is empty; the builders always seed one
+    /// server, and the runners reject empty fleets before reaching this.
+    pub fn primary(&self) -> &ServerSpec {
+        &self.servers[0]
+    }
+
+    /// Mutable access to the primary fleet candidate (see
+    /// [`ScenarioConfig::primary`]).
+    pub fn primary_mut(&mut self) -> &mut ServerSpec {
+        &mut self.servers[0]
+    }
 }
 
 impl ScenarioConfig {
@@ -98,16 +113,17 @@ impl ScenarioConfig {
             cfg: ScenarioConfig {
                 model: model.to_string(),
                 strategy: Strategy::OffloadAfterAck,
-                link: LinkConfig::wifi_30mbps(),
+                servers: vec![ServerSpec::new(
+                    "edge-server",
+                    crate::device::edge_server_x86(),
+                    LinkConfig::wifi_30mbps(),
+                )],
                 client_device: crate::device::odroid_xu4(),
-                server_device: crate::device::edge_server_x86(),
                 exec_mode: ExecMode::Synthetic { seed: 0xCAFE },
                 seed: 42,
                 image_bytes: 35_000,
                 snapshot: SnapshotOptions::default(),
                 compress: false,
-                up_faults: FaultPlan::none(),
-                down_faults: FaultPlan::none(),
                 retry: None,
             },
         }
@@ -120,16 +136,17 @@ impl ScenarioConfig {
             cfg: ScenarioConfig {
                 model: "tiny_cnn".to_string(),
                 strategy: Strategy::OffloadAfterAck,
-                link: LinkConfig::wifi_30mbps(),
+                servers: vec![ServerSpec::new(
+                    "edge-server",
+                    crate::device::edge_server_x86(),
+                    LinkConfig::wifi_30mbps(),
+                )],
                 client_device: crate::device::odroid_xu4(),
-                server_device: crate::device::edge_server_x86(),
                 exec_mode: ExecMode::Real,
                 seed: 7,
                 image_bytes: 2_000,
                 snapshot: SnapshotOptions::default(),
                 compress: false,
-                up_faults: FaultPlan::none(),
-                down_faults: FaultPlan::none(),
                 retry: None,
             },
         }
@@ -171,9 +188,9 @@ impl ScenarioBuilder {
         })
     }
 
-    /// Sets the link model used in both directions.
+    /// Sets the primary server's link model, used in both directions.
     pub fn link(mut self, link: LinkConfig) -> ScenarioBuilder {
-        self.cfg.link = link;
+        self.cfg.primary_mut().link = link;
         self
     }
 
@@ -183,9 +200,21 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Sets the server device model.
+    /// Sets the primary server's device model.
     pub fn server_device(mut self, device: DeviceProfile) -> ScenarioBuilder {
-        self.cfg.server_device = device;
+        self.cfg.primary_mut().device = device;
+        self
+    }
+
+    /// Replaces the whole edge fleet — ordered candidates, primary first.
+    pub fn servers(mut self, servers: Vec<ServerSpec>) -> ScenarioBuilder {
+        self.cfg.servers = servers;
+        self
+    }
+
+    /// Appends a failover candidate behind the current fleet.
+    pub fn add_server(mut self, server: ServerSpec) -> ScenarioBuilder {
+        self.cfg.servers.push(server);
         self
     }
 
@@ -219,15 +248,15 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Fault-injection schedule for the client→server link.
+    /// Fault-injection schedule for the primary client→server link.
     pub fn up_faults(mut self, plan: FaultPlan) -> ScenarioBuilder {
-        self.cfg.up_faults = plan;
+        self.cfg.primary_mut().up_faults = plan;
         self
     }
 
-    /// Fault-injection schedule for the server→client link.
+    /// Fault-injection schedule for the primary server→client link.
     pub fn down_faults(mut self, plan: FaultPlan) -> ScenarioBuilder {
-        self.cfg.down_faults = plan;
+        self.cfg.primary_mut().down_faults = plan;
         self
     }
 
@@ -332,8 +361,13 @@ pub struct ScenarioReport {
     /// The label shown on the client's screen at the end.
     pub result: String,
     /// Whether the run gave up on offloading (retry budget or deadline
-    /// exhausted, server unreachable) and completed the inference locally.
+    /// exhausted, every fleet candidate unreachable) and completed the
+    /// inference locally.
     pub fell_back: bool,
+    /// Name of the edge server that ultimately served the offloaded
+    /// inference; `None` when it ran locally (`ClientOnly`, `ServerOnly`,
+    /// or fallback).
+    pub server: Option<String>,
     /// Full event trace of the run: canonical phase events at depth 0,
     /// per-layer DNN execution and link-level transfer/queue events
     /// nested below. [`ScenarioReport::breakdown`] is derived from it.
@@ -361,6 +395,17 @@ impl ScenarioReport {
     pub fn fault_time(&self) -> Duration {
         self.trace.duration_of_kind(EventKind::Fault, None)
     }
+
+    /// Number of server handoffs the run performed (instant
+    /// [`EventKind::Handoff`] markers in the trace). Zero for a fleet of
+    /// one or a fault-free run.
+    pub fn handoff_count(&self) -> usize {
+        self.trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Handoff)
+            .count()
+    }
 }
 
 /// Runs a scenario to completion.
@@ -370,15 +415,30 @@ impl ScenarioReport {
 /// Returns [`OffloadError`] for unknown models/cuts, app failures, or
 /// network failures (when injected).
 pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioReport, OffloadError> {
+    check_fleet(cfg)?;
     match &cfg.strategy {
         Strategy::ClientOnly => run_local(cfg, /* on_server = */ false),
         Strategy::ServerOnly => run_local(cfg, /* on_server = */ true),
-        _ => run_offload(
-            cfg,
-            &mut Link::new(cfg.link.clone()).with_fault_plan(cfg.up_faults.clone()),
-            &mut Link::new(cfg.link.clone()).with_fault_plan(cfg.down_faults.clone()),
-        ),
+        _ => {
+            let primary = cfg.primary();
+            run_offload(
+                cfg,
+                &mut Link::new(primary.link.clone()).with_fault_plan(primary.up_faults.clone()),
+                &mut Link::new(primary.link.clone()).with_fault_plan(primary.down_faults.clone()),
+            )
+        }
     }
+}
+
+/// An empty fleet cannot serve any offload strategy (and `ServerOnly`
+/// needs the primary's device), so the runners reject it up front.
+fn check_fleet(cfg: &ScenarioConfig) -> Result<(), OffloadError> {
+    if cfg.servers.is_empty() {
+        return Err(OffloadError::Config(
+            "scenario needs at least one edge server in its fleet".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Runs a scenario with caller-provided links — the failure-injection
@@ -393,6 +453,7 @@ pub fn run_scenario_with_links(
     uplink: &mut Link,
     downlink: &mut Link,
 ) -> Result<ScenarioReport, OffloadError> {
+    check_fleet(cfg)?;
     match &cfg.strategy {
         Strategy::ClientOnly => run_local(cfg, false),
         Strategy::ServerOnly => run_local(cfg, true),
@@ -432,8 +493,10 @@ pub fn run_with_fallback(
 ///
 /// Transient link faults are retried under `cfg.retry` (the deadline is
 /// measured from `anchor`, the moment the user clicked); `Ok(None)` means
-/// the retry budget ran out and the caller should degrade to local
-/// execution.
+/// the retry budget ran out and the caller should hand off to the next
+/// fleet candidate or degrade to local execution. Retries and give-ups
+/// feed the pool's health record for `current`; completed transfers feed
+/// its bandwidth estimator.
 #[allow(clippy::too_many_arguments)]
 fn ship(
     cfg: &ScenarioConfig,
@@ -446,6 +509,8 @@ fn ship(
     link: &mut Link,
     clock: &SimClock,
     anchor: Duration,
+    pool: &mut ServerPool,
+    current: usize,
 ) -> Result<Option<u64>, OffloadError> {
     let (sender_lane, receiver_lane) = lanes;
     if !cfg.compress {
@@ -456,18 +521,21 @@ fn ship(
             clock.now(),
             Some(snapshot.size_bytes()),
         );
-        let Some(xfer) = schedule_resilient(
+        let outcome = schedule_resilient_traced(
             link,
             tracer,
             cfg.retry.as_ref(),
             clock.now(),
             anchor,
             snapshot.size_bytes(),
-        )?
-        else {
+        )?;
+        pool.observe_faults(current, outcome.retries as usize);
+        let Some(xfer) = outcome.transfer else {
+            pool.observe_faults(current, 1);
             tracer.end(span, clock.now());
             return Ok(None);
         };
+        pool.observe_transfer(current, &xfer);
         clock.advance_to(xfer.finish);
         tracer.end(span, xfer.finish);
         return Ok(Some(snapshot.size_bytes()));
@@ -490,18 +558,21 @@ fn ship(
         clock.now(),
         Some(packed.len() as u64),
     );
-    let Some(xfer) = schedule_resilient(
+    let outcome = schedule_resilient_traced(
         link,
         tracer,
         cfg.retry.as_ref(),
         clock.now(),
         anchor,
         packed.len() as u64,
-    )?
-    else {
+    )?;
+    pool.observe_faults(current, outcome.retries as usize);
+    let Some(xfer) = outcome.transfer else {
+        pool.observe_faults(current, 1);
         tracer.end(span, clock.now());
         return Ok(None);
     };
+    pool.observe_transfer(current, &xfer);
     clock.advance_to(xfer.finish);
     tracer.end(span, xfer.finish);
     let unpacked = snapedge_net::compress::decompress(&packed)?;
@@ -531,6 +602,7 @@ fn ship(
 #[allow(clippy::too_many_arguments)]
 fn finish_locally(
     cfg: &ScenarioConfig,
+    server_device: &DeviceProfile,
     net: &snapedge_dnn::Network,
     client: &mut Endpoint,
     tracer: &Tracer,
@@ -542,7 +614,7 @@ fn finish_locally(
     let plan = AdaptiveOffloader::new(
         net.clone(),
         cfg.client_device.clone(),
-        cfg.server_device.clone(),
+        server_device.clone(),
         model_upload_bytes,
         AdaptivePolicy::default(),
     )
@@ -572,6 +644,7 @@ fn finish_locally(
         snapshot_down_bytes: 0,
         result: client.browser.element_text("result")?.to_string(),
         fell_back: true,
+        server: None,
         trace,
     })
 }
@@ -600,7 +673,7 @@ fn run_local(cfg: &ScenarioConfig, on_server: bool) -> Result<ScenarioReport, Of
     let clock = SimClock::new();
     let tracer = Tracer::new();
     let (device, lane, exec_name) = if on_server {
-        (cfg.server_device.clone(), Lane::Server, "exec_server")
+        (cfg.primary().device.clone(), Lane::Server, "exec_server")
     } else {
         (cfg.client_device.clone(), Lane::Client, "exec_client")
     };
@@ -643,8 +716,195 @@ fn run_local(cfg: &ScenarioConfig, on_server: bool) -> Result<ScenarioReport, Of
         snapshot_down_bytes: 0,
         result: ep.browser.element_text("result")?.to_string(),
         fell_back: false,
+        server: None,
         trace,
     })
+}
+
+/// A server endpoint for one fleet candidate, named after its spec so
+/// trace consumers can tell which machine executed what.
+fn server_endpoint(spec: &ServerSpec, clock: &SimClock, tracer: &Tracer) -> Endpoint {
+    Endpoint::new(&spec.name, spec.device.clone(), clock.clone())
+        .with_tracer(tracer.clone(), Lane::Server)
+}
+
+/// Builds a fleet candidate's link pair. The primary (index 0) keeps the
+/// bare `"uplink"`/`"downlink"` trace labels the single-server path has
+/// always used; later candidates are suffixed with the server name so
+/// their link events stay distinguishable.
+fn fleet_links(spec: &ServerSpec, idx: usize, tracer: &Tracer) -> (Link, Link) {
+    let (up_label, down_label) = if idx == 0 {
+        ("uplink".to_string(), "downlink".to_string())
+    } else {
+        (
+            format!("uplink:{}", spec.name),
+            format!("downlink:{}", spec.name),
+        )
+    };
+    let up = Link::new(spec.link.clone())
+        .with_tracer(tracer.clone(), &up_label)
+        .with_fault_plan(spec.up_faults.clone());
+    let down = Link::new(spec.link.clone())
+        .with_tracer(tracer.clone(), &down_label)
+        .with_fault_plan(spec.down_faults.clone());
+    (up, down)
+}
+
+/// Installs the pre-sent (possibly rear-only) bundle on a server that
+/// just acknowledged it. Server-side parameters come from the received
+/// bundle: the server *cannot* run front layers of a partial split.
+fn install_server_model(
+    server: &mut Endpoint,
+    net: &snapedge_dnn::Network,
+    sent_bundle: &ModelBundle,
+    cfg: &ScenarioConfig,
+    cut: Option<snapedge_dnn::NodeId>,
+) -> Result<(), OffloadError> {
+    let server_params = match cfg.exec_mode {
+        ExecMode::Real => ParamStore::from_bundle(sent_bundle)?,
+        ExecMode::Synthetic { .. } => ParamStore::empty(net.name()),
+    };
+    server.install_model(net.clone(), server_params, cfg.exec_mode, cut, cfg.seed);
+    Ok(())
+}
+
+/// Outcome of one candidate's model pre-send.
+enum Presend {
+    /// The ack arrived at this virtual time.
+    Acked(Duration),
+    /// The retry budget ran out; the next candidate starts here.
+    GaveUp(Duration),
+}
+
+/// Pre-sends the model to one fleet candidate (Section III-B.1): the
+/// upload starts at `start` on the uplink's own timeline (the shared
+/// clock stays put — the pre-send overlaps with the app start), then a
+/// 64-byte ack returns on the downlink. Retries and completed transfers
+/// feed the pool's health record for `current`.
+#[allow(clippy::too_many_arguments)]
+fn presend_model(
+    policy: Option<&RetryPolicy>,
+    tracer: &Tracer,
+    uplink: &mut Link,
+    downlink: &mut Link,
+    start: Duration,
+    model_upload_bytes: u64,
+    pool: &mut ServerPool,
+    current: usize,
+) -> Result<Presend, OffloadError> {
+    let upload_span = tracer.begin_bytes(
+        "model_upload",
+        Lane::Network,
+        EventKind::ModelUpload,
+        start,
+        Some(model_upload_bytes),
+    );
+    let up = schedule_resilient_traced(uplink, tracer, policy, start, start, model_upload_bytes)?;
+    pool.observe_faults(current, up.retries as usize);
+    let Some(model_xfer) = up.transfer else {
+        pool.observe_faults(current, 1);
+        tracer.end(upload_span, up.gave_up_at);
+        return Ok(Presend::GaveUp(up.gave_up_at));
+    };
+    pool.observe_transfer(current, &model_xfer);
+    tracer.end(upload_span, model_xfer.finish);
+    let ack_span = tracer.begin_bytes(
+        "model_ack",
+        Lane::Network,
+        EventKind::Other,
+        model_xfer.finish,
+        Some(64),
+    );
+    let down = schedule_resilient_traced(downlink, tracer, policy, model_xfer.finish, start, 64)?;
+    pool.observe_faults(current, down.retries as usize);
+    let Some(ack_xfer) = down.transfer else {
+        pool.observe_faults(current, 1);
+        tracer.end(ack_span, down.gave_up_at);
+        return Ok(Presend::GaveUp(down.gave_up_at));
+    };
+    pool.observe_transfer(current, &ack_xfer);
+    tracer.end(ack_span, ack_xfer.finish);
+    pool.mark_model_ready(current);
+    Ok(Presend::Acked(ack_xfer.finish))
+}
+
+/// Hands the run off to the next-best fleet candidate after the current
+/// server's budget exhausted mid-round: marks the selection and handoff
+/// in the trace, rebuilds the server endpoint and links, and re-pre-sends
+/// the model (the client cannot ship its snapshot until the new ack
+/// lands, so the shared clock advances to it). Candidates that fail their
+/// pre-send are exhausted in turn; `Ok(false)` means the whole fleet is
+/// spent and the caller should degrade to local execution.
+#[allow(clippy::too_many_arguments)]
+fn scenario_failover(
+    cfg: &ScenarioConfig,
+    net: &snapedge_dnn::Network,
+    sent_bundle: &ModelBundle,
+    cut: Option<snapedge_dnn::NodeId>,
+    tracer: &Tracer,
+    clock: &SimClock,
+    pool: &mut ServerPool,
+    current: &mut usize,
+    server: &mut Endpoint,
+    owned: &mut Option<(Link, Link)>,
+    pending_bytes: u64,
+    model_upload_bytes: u64,
+) -> Result<bool, OffloadError> {
+    loop {
+        let Some(next) = pool.select(pending_bytes, model_upload_bytes) else {
+            return Ok(false);
+        };
+        let old_name = pool.spec(*current).map(|s| s.name.clone());
+        let Some(spec) = pool.spec(next).cloned() else {
+            return Ok(false);
+        };
+        let now = clock.now();
+        tracer.record(
+            &format!("server_select:{}", spec.name),
+            Lane::Client,
+            EventKind::ServerSelect,
+            now,
+            now,
+        );
+        if let Some(old) = old_name {
+            tracer.record(
+                &format!("handoff:{}->{}", old, spec.name),
+                Lane::Client,
+                EventKind::Handoff,
+                now,
+                now,
+            );
+        }
+        pool.mark_model_stale(*current);
+        *current = next;
+        pool.reset_estimator(next);
+        *server = server_endpoint(&spec, clock, tracer);
+        *owned = Some(fleet_links(&spec, next, tracer));
+        if let Some((up, down)) = owned.as_mut() {
+            match presend_model(
+                cfg.retry.as_ref(),
+                tracer,
+                up,
+                down,
+                now,
+                model_upload_bytes,
+                pool,
+                next,
+            ) {
+                Ok(Presend::Acked(at)) => {
+                    install_server_model(server, net, sent_bundle, cfg, cut)?;
+                    clock.advance_to(at);
+                    return Ok(true);
+                }
+                Ok(Presend::GaveUp(_)) => pool.mark_exhausted(next),
+                Err(e) if classify(&e) == FaultClass::Transient => {
+                    pool.observe_faults(next, 1);
+                    pool.mark_exhausted(next);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
 }
 
 fn run_offload(
@@ -657,8 +917,6 @@ fn run_offload(
     let tracer = Tracer::new();
     let mut client = Endpoint::new("client", cfg.client_device.clone(), clock.clone())
         .with_tracer(tracer.clone(), Lane::Client);
-    let mut server = Endpoint::new("edge-server", cfg.server_device.clone(), clock.clone())
-        .with_tracer(tracer.clone(), Lane::Server);
     uplink.set_tracer(tracer.clone(), "uplink");
     downlink.set_tracer(tracer.clone(), "downlink");
 
@@ -682,66 +940,103 @@ fn run_offload(
     };
     let model_upload_bytes = sent_bundle.total_bytes();
     let policy = cfg.retry.as_ref();
-    let upload_span = tracer.begin_bytes(
-        "model_upload",
-        Lane::Network,
-        EventKind::ModelUpload,
-        Duration::ZERO,
-        Some(model_upload_bytes),
-    );
-    // The pre-send overlaps with the app start: the link carries the time,
-    // the clock stays put. Transient faults are retried on the link's own
-    // timeline; `None` means the server never became reachable.
-    let ack_at = match schedule_resilient(
-        uplink,
-        &tracer,
-        policy,
-        Duration::ZERO,
-        Duration::ZERO,
-        model_upload_bytes,
-    )? {
-        Some(model_xfer) => {
-            tracer.end(upload_span, model_xfer.finish);
-            let ack_span = tracer.begin_bytes(
-                "model_ack",
-                Lane::Network,
-                EventKind::Other,
-                model_xfer.finish,
-                Some(64),
-            );
-            match schedule_resilient(
-                downlink,
-                &tracer,
-                policy,
-                model_xfer.finish,
+
+    // --- Fleet bring-up: pick the candidate with the cheapest predicted
+    // migration (all estimators are empty here, so this is the configured
+    // links' effective bandwidth) and pre-send the model to it. The
+    // caller-provided links belong to the primary; any other candidate
+    // gets its own pair.
+    let mut pool = ServerPool::new(cfg.servers.clone());
+    let mut current = pool
+        .select(cfg.image_bytes as u64, model_upload_bytes)
+        .unwrap_or_default();
+    if pool.len() > 1 {
+        if let Some(spec) = pool.spec(current) {
+            tracer.record(
+                &format!("server_select:{}", spec.name),
+                Lane::Client,
+                EventKind::ServerSelect,
                 Duration::ZERO,
-                64,
-            )? {
-                Some(ack_xfer) => {
-                    tracer.end(ack_span, ack_xfer.finish);
-                    Some(ack_xfer.finish)
-                }
-                None => {
-                    tracer.end(ack_span, clock.now());
-                    None
-                }
-            }
+                Duration::ZERO,
+            );
         }
-        None => {
-            tracer.end(upload_span, clock.now());
-            None
-        }
+    }
+    let mut server = match pool.spec(current) {
+        Some(spec) => server_endpoint(spec, &clock, &tracer),
+        None => Endpoint::new("edge-server", cfg.primary().device.clone(), clock.clone())
+            .with_tracer(tracer.clone(), Lane::Server),
+    };
+    let mut owned: Option<(Link, Link)> = match pool.spec(current) {
+        Some(spec) if current != 0 => Some(fleet_links(spec, current, &tracer)),
+        _ => None,
     };
 
-    // Server-side parameters come from the received bundle (rear-only for
-    // partial inference): the server *cannot* run front layers. An
-    // unreachable server never receives the model.
-    if ack_at.is_some() {
-        let server_params = match cfg.exec_mode {
-            ExecMode::Real => ParamStore::from_bundle(&sent_bundle)?,
-            ExecMode::Synthetic { .. } => ParamStore::empty(net.name()),
+    let mut presend_at = Duration::ZERO;
+    let mut ack_at: Option<Duration> = None;
+    loop {
+        let (up, down) = match owned.as_mut() {
+            Some((u, d)) => (u, d),
+            None => (&mut *uplink, &mut *downlink),
         };
-        server.install_model(net.clone(), server_params, cfg.exec_mode, cut, cfg.seed);
+        match presend_model(
+            policy,
+            &tracer,
+            up,
+            down,
+            presend_at,
+            model_upload_bytes,
+            &mut pool,
+            current,
+        ) {
+            Ok(Presend::Acked(at)) => {
+                ack_at = Some(at);
+                break;
+            }
+            Ok(Presend::GaveUp(at)) => {
+                pool.mark_exhausted(current);
+                presend_at = at;
+            }
+            // Fail-fast (no retry policy) against a fleet still tries the
+            // remaining candidates before surfacing a network error.
+            Err(e) if classify(&e) == FaultClass::Transient && pool.len() > 1 => {
+                pool.observe_faults(current, 1);
+                pool.mark_exhausted(current);
+            }
+            Err(e) => return Err(e),
+        }
+        let Some(next) = pool.select(cfg.image_bytes as u64, model_upload_bytes) else {
+            break;
+        };
+        let old_name = pool.spec(current).map(|s| s.name.clone());
+        let Some(spec) = pool.spec(next).cloned() else {
+            break;
+        };
+        tracer.record(
+            &format!("server_select:{}", spec.name),
+            Lane::Client,
+            EventKind::ServerSelect,
+            presend_at,
+            presend_at,
+        );
+        if let Some(old) = old_name {
+            tracer.record(
+                &format!("handoff:{}->{}", old, spec.name),
+                Lane::Client,
+                EventKind::Handoff,
+                presend_at,
+                presend_at,
+            );
+        }
+        pool.mark_model_stale(current);
+        current = next;
+        pool.reset_estimator(next);
+        server = server_endpoint(&spec, &clock, &tracer);
+        owned = Some(fleet_links(&spec, next, &tracer));
+    }
+
+    // An unreachable server never receives the model.
+    if ack_at.is_some() {
+        install_server_model(&mut server, &net, &sent_bundle, cfg, cut)?;
     }
     client.install_model(net.clone(), client_params, cfg.exec_mode, cut, cfg.seed);
 
@@ -768,9 +1063,15 @@ fn run_offload(
     }
 
     if ack_at.is_none() {
-        // The pre-send never got through: degrade before shipping anything.
+        // No candidate ever acknowledged the model: degrade before
+        // shipping anything.
+        let server_device = pool
+            .spec(current)
+            .map(|s| s.device.clone())
+            .unwrap_or_else(|| cfg.primary().device.clone());
         return finish_locally(
             cfg,
+            &server_device,
             &net,
             &mut client,
             &tracer,
@@ -781,71 +1082,138 @@ fn run_offload(
         );
     }
 
-    // --- Client-to-server migration. Capture/restore events come from the
-    // endpoints; transfer/codec events from `ship`.
+    // --- Migration, with failover. The snapshot is captured once (capture
+    // never mutates the client); when the budget against the current
+    // server exhausts mid-migration the run hands off and re-sends the
+    // same full snapshot to the next candidate.
     let (snap_up, _capture_client) = client.capture(&cfg.snapshot)?;
-    let Some(snapshot_up_bytes) = ship(
-        cfg,
-        &snap_up,
-        &client.device,
-        &server.device,
-        (Lane::Client, Lane::Server),
-        "up",
-        &tracer,
-        uplink,
-        &clock,
-        clicked_at,
-    )?
-    else {
-        return finish_locally(
-            cfg,
-            &net,
-            &mut client,
-            &tracer,
-            &clock,
-            clicked_at,
-            ack_at,
-            model_upload_bytes,
-        );
-    };
-    server.restore(&snap_up)?;
-    let exec_span = tracer.begin("exec_server", Lane::Server, EventKind::Exec, clock.now());
-    server.run()?;
-    tracer.end(exec_span, clock.now());
+    let pending_bytes = snap_up.size_bytes();
 
-    // --- Server-to-client migration of the updated state.
-    let (snap_down, _capture_server) = server.capture(&cfg.snapshot)?;
-    let Some(snapshot_down_bytes) = ship(
-        cfg,
-        &snap_down,
-        &server.device,
-        &client.device,
-        (Lane::Server, Lane::Client),
-        "down",
-        &tracer,
-        downlink,
-        &clock,
-        clicked_at,
-    )?
-    else {
-        // The result is stranded at the server; the client's state is
-        // untouched (it restores only after a successful downlink), so the
-        // inference can still complete locally.
-        return finish_locally(
+    let (snapshot_up_bytes, snapshot_down_bytes) = loop {
+        let up = match owned.as_mut() {
+            Some((u, _)) => u,
+            None => &mut *uplink,
+        };
+        let shipped_up = match ship(
             cfg,
-            &net,
-            &mut client,
+            &snap_up,
+            &client.device,
+            &server.device,
+            (Lane::Client, Lane::Server),
+            "up",
             &tracer,
+            up,
             &clock,
             clicked_at,
-            ack_at,
-            model_upload_bytes,
-        );
+            &mut pool,
+            current,
+        ) {
+            Ok(opt) => opt,
+            Err(e) if classify(&e) == FaultClass::Transient && pool.len() > 1 => None,
+            Err(e) => return Err(e),
+        };
+        let Some(up_bytes) = shipped_up else {
+            pool.mark_exhausted(current);
+            if scenario_failover(
+                cfg,
+                &net,
+                &sent_bundle,
+                cut,
+                &tracer,
+                &clock,
+                &mut pool,
+                &mut current,
+                &mut server,
+                &mut owned,
+                pending_bytes,
+                model_upload_bytes,
+            )? {
+                continue;
+            }
+            let server_device = server.device.clone();
+            return finish_locally(
+                cfg,
+                &server_device,
+                &net,
+                &mut client,
+                &tracer,
+                &clock,
+                clicked_at,
+                ack_at,
+                model_upload_bytes,
+            );
+        };
+        server.restore(&snap_up)?;
+        let exec_span = tracer.begin("exec_server", Lane::Server, EventKind::Exec, clock.now());
+        server.run()?;
+        tracer.end(exec_span, clock.now());
+
+        // --- Server-to-client migration of the updated state.
+        let (snap_down, _capture_server) = server.capture(&cfg.snapshot)?;
+        let down = match owned.as_mut() {
+            Some((_, d)) => d,
+            None => &mut *downlink,
+        };
+        let shipped_down = match ship(
+            cfg,
+            &snap_down,
+            &server.device,
+            &client.device,
+            (Lane::Server, Lane::Client),
+            "down",
+            &tracer,
+            down,
+            &clock,
+            clicked_at,
+            &mut pool,
+            current,
+        ) {
+            Ok(opt) => opt,
+            Err(e) if classify(&e) == FaultClass::Transient && pool.len() > 1 => None,
+            Err(e) => return Err(e),
+        };
+        let Some(down_bytes) = shipped_down else {
+            // The result is stranded at the current server; the client's
+            // state is untouched (it restores only after a successful
+            // downlink), so the round can move to another candidate — or
+            // complete locally once the fleet is spent.
+            pool.mark_exhausted(current);
+            if scenario_failover(
+                cfg,
+                &net,
+                &sent_bundle,
+                cut,
+                &tracer,
+                &clock,
+                &mut pool,
+                &mut current,
+                &mut server,
+                &mut owned,
+                pending_bytes,
+                model_upload_bytes,
+            )? {
+                continue;
+            }
+            let server_device = server.device.clone();
+            return finish_locally(
+                cfg,
+                &server_device,
+                &net,
+                &mut client,
+                &tracer,
+                &clock,
+                clicked_at,
+                ack_at,
+                model_upload_bytes,
+            );
+        };
+        client.restore(&snap_down)?;
+        break (up_bytes, down_bytes);
     };
-    client.restore(&snap_down)?;
     client.browser.set_offload_trigger(None);
     client.run()?;
 
+    let server_name = pool.spec(current).map(|s| s.name.clone());
     let trace = tracer.finish();
     Ok(ScenarioReport {
         model: cfg.model.clone(),
@@ -859,6 +1227,7 @@ fn run_offload(
         snapshot_down_bytes,
         result: client.browser.element_text("result")?.to_string(),
         fell_back: false,
+        server: server_name,
         trace,
     })
 }
@@ -948,7 +1317,7 @@ mod tests {
             cut: "1st_pool".into(),
         };
         let mut plain = ScenarioConfig::paper("googlenet", strategy.clone());
-        plain.link = crate::scenario::LinkConfig::mbps(5.0);
+        plain.primary_mut().link = crate::scenario::LinkConfig::mbps(5.0);
         let mut packed = plain.clone();
         packed.compress = true;
         let a = run_scenario(&plain).unwrap();

@@ -10,11 +10,22 @@
 //! (the roaming case) drops the agreement and transparently returns to a
 //! full snapshot, demonstrating that snapshots keep no dependence on the
 //! previous server.
+//!
+//! A session is configured with an **edge fleet** — an ordered set of
+//! [`ServerSpec`] candidates (see [`crate::fleet`]) — rather than exactly
+//! one server. The [`ServerPool`] scores candidates by predicted
+//! migration time, and when the retry budget against the current server
+//! exhausts mid-round, the session *automatically* hands off to the next
+//! best candidate (re-pre-send, full-snapshot resend, delta-epoch reset),
+//! falling back to local execution only once every candidate is
+//! exhausted. A fleet of size 1 behaves bit-for-bit like the original
+//! single-server session.
 
 use crate::apps;
 use crate::device::DeviceProfile;
 use crate::endpoint::Endpoint;
-use crate::resilience::{schedule_resilient, RetryPolicy};
+use crate::fleet::{ServerPool, ServerSpec};
+use crate::resilience::{classify, schedule_resilient_traced, FaultClass, RetryPolicy};
 use crate::OffloadError;
 use snapedge_dnn::{zoo, ExecMode, ModelBundle, Network, NodeId, ParamStore};
 use snapedge_net::{FaultPlan, Link, LinkConfig, NetError, SimClock};
@@ -29,12 +40,12 @@ pub struct SessionConfig {
     pub model: String,
     /// Partial-inference cut label, or `None` for full offloading.
     pub cut: Option<String>,
-    /// Network between client and edge server.
-    pub link: LinkConfig,
+    /// The edge fleet: ordered candidate servers, each with its own
+    /// device, link and fault schedules. The first entry is the primary.
+    /// Must not be empty.
+    pub servers: Vec<ServerSpec>,
     /// Client device model.
     pub client_device: DeviceProfile,
-    /// Server device model.
-    pub server_device: DeviceProfile,
     /// Real or synthetic layer execution.
     pub exec_mode: ExecMode,
     /// Seed for parameters and image generation.
@@ -46,16 +57,26 @@ pub struct SessionConfig {
     /// Use delta snapshots after the first offload (the future-work
     /// optimization); `false` sends a full snapshot every time.
     pub use_deltas: bool,
-    /// Fault-injection schedule for the client→server link.
-    pub up_faults: FaultPlan,
-    /// Fault-injection schedule for the server→client link.
-    pub down_faults: FaultPlan,
     /// Recovery policy for transient network faults. `None` keeps the
-    /// strict fail-fast behaviour: the first fault surfaces as an error.
+    /// strict fail-fast behaviour against a single server: the first
+    /// fault surfaces as an error. (With a multi-server fleet the pool
+    /// still tries the remaining candidates before giving up.)
     pub retry: Option<RetryPolicy>,
 }
 
 impl SessionConfig {
+    /// The primary (first) server spec. Builder-constructed configs are
+    /// never empty; [`OffloadSession::new`] rejects a hand-rolled empty
+    /// fleet before this is reachable.
+    pub fn primary(&self) -> &ServerSpec {
+        &self.servers[0]
+    }
+
+    /// Mutable access to the primary server spec — the target of the
+    /// single-server convenience setters on [`SessionBuilder`].
+    pub fn primary_mut(&mut self) -> &mut ServerSpec {
+        &mut self.servers[0]
+    }
     /// Builder seeded with the paper-scale configuration (synthetic
     /// execution).
     ///
@@ -72,16 +93,17 @@ impl SessionConfig {
             cfg: SessionConfig {
                 model: model.to_string(),
                 cut: None,
-                link: LinkConfig::wifi_30mbps(),
+                servers: vec![ServerSpec::new(
+                    "edge-server-1",
+                    crate::device::edge_server_x86(),
+                    LinkConfig::wifi_30mbps(),
+                )],
                 client_device: crate::device::odroid_xu4(),
-                server_device: crate::device::edge_server_x86(),
                 exec_mode: ExecMode::Synthetic { seed: 0xCAFE },
                 seed: 42,
                 image_bytes: 35_000,
                 snapshot: SnapshotOptions::default(),
                 use_deltas: true,
-                up_faults: FaultPlan::none(),
-                down_faults: FaultPlan::none(),
                 retry: None,
             },
         }
@@ -93,16 +115,17 @@ impl SessionConfig {
             cfg: SessionConfig {
                 model: "tiny_cnn".to_string(),
                 cut: None,
-                link: LinkConfig::wifi_30mbps(),
+                servers: vec![ServerSpec::new(
+                    "edge-server-1",
+                    crate::device::edge_server_x86(),
+                    LinkConfig::wifi_30mbps(),
+                )],
                 client_device: crate::device::odroid_xu4(),
-                server_device: crate::device::edge_server_x86(),
                 exec_mode: ExecMode::Real,
                 seed: 7,
                 image_bytes: 2_000,
                 snapshot: SnapshotOptions::default(),
                 use_deltas: true,
-                up_faults: FaultPlan::none(),
-                down_faults: FaultPlan::none(),
                 retry: None,
             },
         }
@@ -135,9 +158,9 @@ impl SessionBuilder {
         self
     }
 
-    /// Sets the link model used in both directions.
+    /// Sets the primary server's link model (both directions).
     pub fn link(mut self, link: LinkConfig) -> SessionBuilder {
-        self.cfg.link = link;
+        self.cfg.primary_mut().link = link;
         self
     }
 
@@ -147,9 +170,23 @@ impl SessionBuilder {
         self
     }
 
-    /// Sets the server device model.
+    /// Sets the primary server's device model.
     pub fn server_device(mut self, device: DeviceProfile) -> SessionBuilder {
-        self.cfg.server_device = device;
+        self.cfg.primary_mut().device = device;
+        self
+    }
+
+    /// Replaces the whole edge fleet (candidate order is preference
+    /// order; the first entry is the primary). An empty vector is
+    /// rejected later, by [`OffloadSession::new`].
+    pub fn servers(mut self, servers: Vec<ServerSpec>) -> SessionBuilder {
+        self.cfg.servers = servers;
+        self
+    }
+
+    /// Appends one failover candidate to the fleet.
+    pub fn add_server(mut self, server: ServerSpec) -> SessionBuilder {
+        self.cfg.servers.push(server);
         self
     }
 
@@ -183,15 +220,17 @@ impl SessionBuilder {
         self
     }
 
-    /// Fault-injection schedule for the client→server link.
+    /// Fault-injection schedule for the primary server's client→server
+    /// link.
     pub fn up_faults(mut self, plan: FaultPlan) -> SessionBuilder {
-        self.cfg.up_faults = plan;
+        self.cfg.primary_mut().up_faults = plan;
         self
     }
 
-    /// Fault-injection schedule for the server→client link.
+    /// Fault-injection schedule for the primary server's server→client
+    /// link.
     pub fn down_faults(mut self, plan: FaultPlan) -> SessionBuilder {
-        self.cfg.down_faults = plan;
+        self.cfg.primary_mut().down_faults = plan;
         self
     }
 
@@ -230,19 +269,28 @@ pub struct RoundReport {
     pub total: Duration,
     /// Label displayed on the client's screen.
     pub result: String,
-    /// Whether this round gave up on offloading (retry budget exhausted)
-    /// and completed the inference locally on the client.
+    /// Whether this round gave up on offloading (every fleet candidate
+    /// exhausted its retry budget) and completed the inference locally on
+    /// the client.
     pub fell_back: bool,
+    /// Name of the endpoint that executed the inference: the serving edge
+    /// server, or `"client"` when the round fell back to local execution.
+    pub server: String,
 }
 
-/// A persistent offloading relationship between one client and its current
-/// edge server.
+/// A persistent offloading relationship between one client and its edge
+/// fleet: one *current* server serves rounds, the [`ServerPool`] keeps
+/// health records for every candidate, and exhaustion of the retry budget
+/// triggers an automatic handoff to the next-best candidate.
 pub struct OffloadSession {
     cfg: SessionConfig,
     net: Network,
     cut: Option<NodeId>,
     clock: SimClock,
     client: Endpoint,
+    pool: ServerPool,
+    /// Index of the current server in the pool.
+    current: usize,
     server: Endpoint,
     uplink: Link,
     downlink: Link,
@@ -251,6 +299,13 @@ pub struct OffloadSession {
     /// When the current server acknowledged the model pre-send.
     ack_at: Duration,
     tracer: Tracer,
+    /// Bytes of the model bundle pre-sent to servers (fills in at the
+    /// first provisioning; feeds the pool's selection metric).
+    model_bytes: u64,
+    /// Size of the last full snapshot shipped — the pending-bytes input
+    /// of the selection metric (a handoff always re-sends a full
+    /// snapshot). Seeded from the configured image size.
+    last_full_bytes: u64,
 }
 
 impl std::fmt::Debug for OffloadSession {
@@ -263,6 +318,21 @@ impl std::fmt::Debug for OffloadSession {
     }
 }
 
+/// Trace labels for a server's links. The primary (index 0) keeps the
+/// historical bare `"uplink"`/`"downlink"` labels — a fleet of one
+/// produces byte-identical traces to the original single-server session —
+/// while failover candidates carry their server name.
+fn link_labels(idx: usize, spec: &ServerSpec) -> (String, String) {
+    if idx == 0 {
+        ("uplink".to_string(), "downlink".to_string())
+    } else {
+        (
+            format!("uplink:{}", spec.name),
+            format!("downlink:{}", spec.name),
+        )
+    }
+}
+
 impl OffloadSession {
     /// Starts a session: builds both endpoints, loads the app on the
     /// client, and pre-sends the model to the edge server.
@@ -271,6 +341,11 @@ impl OffloadSession {
     ///
     /// Returns [`OffloadError`] for unknown models/cuts or app failures.
     pub fn new(cfg: SessionConfig) -> Result<OffloadSession, OffloadError> {
+        if cfg.servers.is_empty() {
+            return Err(OffloadError::Config(
+                "session needs at least one edge server in its fleet".into(),
+            ));
+        }
         let net = zoo::by_name(&cfg.model)?;
         let cut = match &cfg.cut {
             Some(label) => Some(net.cut_point(label)?.id),
@@ -280,27 +355,59 @@ impl OffloadSession {
         let tracer = Tracer::new();
         let client = Endpoint::new("client", cfg.client_device.clone(), clock.clone())
             .with_tracer(tracer.clone(), Lane::Client);
+        let pool = ServerPool::new(cfg.servers.clone());
+        // Initial selection: no throughput history yet, so the metric
+        // ranks candidates by configured link quality. A fleet of one
+        // picks its only server without ceremony (and without events).
+        let first = pool.select(cfg.image_bytes as u64, 0).unwrap_or_default();
+        let spec = cfg.servers[first].clone();
+        if pool.len() > 1 {
+            tracer.record(
+                &format!("server_select:{}", spec.name),
+                Lane::Client,
+                EventKind::ServerSelect,
+                clock.now(),
+                clock.now(),
+            );
+        }
+        let (up_label, down_label) = link_labels(first, &spec);
+        let last_full_bytes = cfg.image_bytes as u64;
         let mut session = OffloadSession {
-            server: Endpoint::new("edge-server-1", cfg.server_device.clone(), clock.clone())
+            server: Endpoint::new(&spec.name, spec.device.clone(), clock.clone())
                 .with_tracer(tracer.clone(), Lane::Server),
-            uplink: Link::new(cfg.link.clone())
-                .with_tracer(tracer.clone(), "uplink")
-                .with_fault_plan(cfg.up_faults.clone()),
-            downlink: Link::new(cfg.link.clone())
-                .with_tracer(tracer.clone(), "downlink")
-                .with_fault_plan(cfg.down_faults.clone()),
+            uplink: Link::new(spec.link.clone())
+                .with_tracer(tracer.clone(), &up_label)
+                .with_fault_plan(spec.up_faults.clone()),
+            downlink: Link::new(spec.link.clone())
+                .with_tracer(tracer.clone(), &down_label)
+                .with_fault_plan(spec.down_faults.clone()),
             cfg,
             net,
             cut,
             clock,
             client,
+            pool,
+            current: first,
             agreed: None,
             round: 0,
             ack_at: Duration::ZERO,
             tracer,
+            model_bytes: 0,
+            last_full_bytes,
         };
         session.setup_client()?;
-        session.setup_server()?;
+        // Provision the chosen candidate; if its pre-send exhausts the
+        // retry budget and other candidates remain, try them before
+        // giving up (single-server fleets keep the strict error).
+        if let Err(e) = session.setup_server() {
+            if classify(&e) != FaultClass::Transient || session.pool.len() == 1 {
+                return Err(e);
+            }
+            session.pool.mark_exhausted(session.current);
+            if !session.failover()? {
+                return Err(e);
+            }
+        }
         Ok(session)
     }
 
@@ -346,6 +453,7 @@ impl OffloadSession {
             Some(cut) => bundle.split(&self.net, cut)?.1,
             None => bundle,
         };
+        self.model_bytes = sent.total_bytes();
         let upload_span = self.tracer.begin_bytes(
             "model_upload",
             Lane::Network,
@@ -356,20 +464,25 @@ impl OffloadSession {
         // The pre-send rides the link's own timeline (overlapping with
         // whatever the client is doing); transient faults are retried under
         // the session's policy. A server the retry budget cannot reach is
-        // reported as a down link — the caller may hand off again later.
+        // reported as a down link — the fleet layer hands off to the next
+        // candidate (or the caller may hand off by hand).
         let presend_at = self.clock.now();
-        let Some(xfer) = schedule_resilient(
+        let outcome = schedule_resilient_traced(
             &mut self.uplink,
             &self.tracer,
             self.cfg.retry.as_ref(),
             presend_at,
             presend_at,
             sent.total_bytes(),
-        )?
-        else {
+        )?;
+        self.pool
+            .observe_faults(self.current, outcome.retries as usize);
+        let Some(xfer) = outcome.transfer else {
+            self.pool.observe_faults(self.current, 1);
             self.tracer.end(upload_span, self.clock.now());
             return Err(OffloadError::Net(NetError::LinkDown));
         };
+        self.pool.observe_transfer(self.current, &xfer);
         self.tracer.end(upload_span, xfer.finish);
         let ack_span = self.tracer.begin_bytes(
             "model_ack",
@@ -378,20 +491,24 @@ impl OffloadSession {
             xfer.finish,
             Some(64),
         );
-        let Some(ack) = schedule_resilient(
+        let ack_outcome = schedule_resilient_traced(
             &mut self.downlink,
             &self.tracer,
             self.cfg.retry.as_ref(),
             xfer.finish,
             presend_at,
             64,
-        )?
-        else {
+        )?;
+        self.pool
+            .observe_faults(self.current, ack_outcome.retries as usize);
+        let Some(ack) = ack_outcome.transfer else {
+            self.pool.observe_faults(self.current, 1);
             self.tracer.end(ack_span, self.clock.now());
             return Err(OffloadError::Net(NetError::LinkDown));
         };
         self.tracer.end(ack_span, ack.finish);
         self.ack_at = ack.finish;
+        self.pool.mark_model_ready(self.current);
         let server_params = match self.cfg.exec_mode {
             ExecMode::Real => ParamStore::from_bundle(&sent)?,
             ExecMode::Synthetic { .. } => ParamStore::empty(self.net.name()),
@@ -422,35 +539,118 @@ impl OffloadSession {
         self.tracer.finish()
     }
 
-    /// Moves the client to a *new, fresh* edge server (the roaming case).
-    /// The delta agreement is dropped; the model is pre-sent to the new
-    /// server. No state from the previous server is needed — snapshots are
-    /// self-contained.
+    /// Moves the client to a *new, fresh* edge server with the current
+    /// server's spec (the roaming case). The delta agreement is dropped;
+    /// the model is pre-sent to the new server. No state from the
+    /// previous server is needed — snapshots are self-contained.
     ///
     /// # Errors
     ///
     /// Propagates setup failures.
     pub fn handoff(&mut self) -> Result<(), OffloadError> {
         let name = format!("edge-server-{}", self.round + 1);
-        self.server = Endpoint::new(&name, self.cfg.server_device.clone(), self.clock.clone())
-            .with_tracer(self.tracer.clone(), Lane::Server);
-        self.uplink = Link::new(self.cfg.link.clone())
-            .with_tracer(self.tracer.clone(), "uplink")
-            .with_fault_plan(self.cfg.up_faults.clone());
-        self.downlink = Link::new(self.cfg.link.clone())
-            .with_tracer(self.tracer.clone(), "downlink")
-            .with_fault_plan(self.cfg.down_faults.clone());
-        self.agreed = None;
+        let old = self.server.name().to_string();
+        let now = self.clock.now();
+        self.tracer.record(
+            &format!("handoff:{old}->{name}"),
+            Lane::Client,
+            EventKind::Handoff,
+            now,
+            now,
+        );
+        let mut spec = match self.pool.spec(self.current) {
+            Some(spec) => spec.clone(),
+            None => self.cfg.primary().clone(),
+        };
+        spec.name = name;
+        self.install_server(self.current, &spec);
         self.setup_server()
     }
 
-    /// Performs one offloaded inference on a fresh image.
+    /// Points the session at candidate `idx` described by `spec`: fresh
+    /// endpoint, fresh links, agreement dropped (delta-epoch reset),
+    /// estimator history of the new provisioning epoch cleared. The
+    /// previous server's model is marked stale — its endpoint is gone.
+    fn install_server(&mut self, idx: usize, spec: &ServerSpec) {
+        self.pool.mark_model_stale(self.current);
+        self.current = idx;
+        self.pool.reset_estimator(idx);
+        let (up_label, down_label) = link_labels(idx, spec);
+        self.server = Endpoint::new(&spec.name, spec.device.clone(), self.clock.clone())
+            .with_tracer(self.tracer.clone(), Lane::Server);
+        self.uplink = Link::new(spec.link.clone())
+            .with_tracer(self.tracer.clone(), &up_label)
+            .with_fault_plan(spec.up_faults.clone());
+        self.downlink = Link::new(spec.link.clone())
+            .with_tracer(self.tracer.clone(), &down_label)
+            .with_fault_plan(spec.down_faults.clone());
+        self.agreed = None;
+    }
+
+    /// Automatic failover: picks the best non-exhausted candidate by
+    /// predicted migration time, emits `server_select`/`handoff` events,
+    /// re-provisions (model re-pre-send) and waits for the new ACK.
+    /// Candidates whose provisioning also exhausts are marked and the
+    /// next one is tried. Returns `false` when every candidate is
+    /// exhausted — the round must finish locally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal (non-network) provisioning failures.
+    fn failover(&mut self) -> Result<bool, OffloadError> {
+        loop {
+            let Some(next) = self.pool.select(self.last_full_bytes, self.model_bytes) else {
+                return Ok(false);
+            };
+            let spec = match self.pool.spec(next) {
+                Some(spec) => spec.clone(),
+                None => return Ok(false),
+            };
+            let old = self.server.name().to_string();
+            let now = self.clock.now();
+            self.tracer.record(
+                &format!("server_select:{}", spec.name),
+                Lane::Client,
+                EventKind::ServerSelect,
+                now,
+                now,
+            );
+            self.tracer.record(
+                &format!("handoff:{old}->{}", spec.name),
+                Lane::Client,
+                EventKind::Handoff,
+                now,
+                now,
+            );
+            self.install_server(next, &spec);
+            match self.setup_server() {
+                Ok(()) => {
+                    // The client waits out the new server's provisioning
+                    // before re-attempting the migration.
+                    self.clock.advance_to(self.ack_at);
+                    return Ok(true);
+                }
+                Err(e) if classify(&e) == FaultClass::Transient => {
+                    self.pool.mark_exhausted(next);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Performs one offloaded inference on a fresh image. When the retry
+    /// budget against the current server exhausts, the session hands off
+    /// to the next-best fleet candidate (re-pre-send, full-snapshot
+    /// resend) and re-attempts; the round completes locally only once
+    /// every candidate is exhausted.
     ///
     /// # Errors
     ///
     /// Returns [`OffloadError`] for app, protocol or network failures.
     pub fn infer(&mut self, image_seed: u64) -> Result<RoundReport, OffloadError> {
         self.round += 1;
+        // Every candidate gets a fresh chance each round.
+        self.pool.begin_round();
         // Wait for the pre-send ACK before the first offload (the paper's
         // "after ACK" regime; `ScenarioConfig` covers the before-ACK case).
         self.clock.advance_to(self.ack_at);
@@ -485,9 +685,31 @@ impl OffloadSession {
             )));
         }
 
+        loop {
+            match self.try_offload(clicked_at) {
+                Ok(Some(report)) => return Ok(report),
+                // The retry budget against the current server ran out.
+                Ok(None) => {}
+                // Without a retry policy a transient fault is strict
+                // fail-fast against one server, but a fleet still tries
+                // its remaining candidates before surfacing an error.
+                Err(e) if classify(&e) == FaultClass::Transient && self.pool.len() > 1 => {}
+                Err(e) => return Err(e),
+            }
+            self.pool.mark_exhausted(self.current);
+            if !self.failover()? {
+                return self.finish_round_locally(clicked_at);
+            }
+        }
+    }
+
+    /// One offload attempt against the current server: uplink migration,
+    /// server execution, downlink migration. `Ok(None)` means the retry
+    /// budget against this server exhausted mid-migration.
+    fn try_offload(&mut self, clicked_at: Duration) -> Result<Option<RoundReport>, OffloadError> {
         // --- Uplink migration: delta when an agreement exists.
         let Some((up_bytes, delta_up)) = self.migrate_up(clicked_at)? else {
-            return self.finish_round_locally(clicked_at);
+            return Ok(None);
         };
 
         // The server runs the pending event.
@@ -505,7 +727,7 @@ impl OffloadSession {
         let Some((down_bytes, delta_down)) =
             self.migrate_down(&server_base, delta_up, clicked_at)?
         else {
-            return self.finish_round_locally(clicked_at);
+            return Ok(None);
         };
 
         self.client.browser.set_offload_trigger(None);
@@ -520,7 +742,7 @@ impl OffloadSession {
         // Client and server now agree on the client's state.
         self.agreed = Some(self.client.browser.state_base());
 
-        Ok(RoundReport {
+        Ok(Some(RoundReport {
             round: self.round,
             delta_up,
             delta_down,
@@ -529,7 +751,8 @@ impl OffloadSession {
             total: self.clock.now() - clicked_at,
             result: self.client.browser.element_text("result")?.to_string(),
             fell_back: false,
-        })
+            server: self.server.name().to_string(),
+        }))
     }
 
     /// Completes the round locally after the retry budget ran out: the
@@ -570,6 +793,7 @@ impl OffloadSession {
             total: self.clock.now() - clicked_at,
             result: self.client.browser.element_text("result")?.to_string(),
             fell_back: true,
+            server: "client".to_string(),
         })
     }
 
@@ -626,6 +850,10 @@ impl OffloadSession {
         }
         let (snapshot, _) = self.client.capture(&self.cfg.snapshot)?;
         let bytes = snapshot.size_bytes();
+        // Remember the last full-snapshot size: after a handoff the next
+        // server receives a fresh full snapshot, so this is what the pool's
+        // selection metric prices as pending migration state.
+        self.last_full_bytes = bytes;
         if self.transfer("up", bytes, anchor)?.is_none() {
             return Ok(None);
         }
@@ -711,18 +939,23 @@ impl OffloadSession {
             self.clock.now(),
             Some(bytes),
         );
-        let Some(xfer) = schedule_resilient(
+        let outcome = schedule_resilient_traced(
             link,
             &self.tracer,
             self.cfg.retry.as_ref(),
             self.clock.now(),
             anchor,
             bytes,
-        )?
-        else {
+        )?;
+        self.pool
+            .observe_faults(self.current, outcome.retries as usize);
+        let Some(xfer) = outcome.transfer else {
+            // Giving up is itself a fault observation against this server.
+            self.pool.observe_faults(self.current, 1);
             self.tracer.end(span, self.clock.now());
             return Ok(None);
         };
+        self.pool.observe_transfer(self.current, &xfer);
         self.clock.advance_to(xfer.finish);
         self.tracer.end(span, xfer.finish);
         Ok(Some(()))

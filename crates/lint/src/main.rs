@@ -55,7 +55,8 @@ const HASH_SENSITIVE: [&str; 5] = [
 
 /// Files on the capture → transfer → restore → retry path, where a panic
 /// would bypass the typed-error resilience machinery.
-const HOT_PATH: [&str; 12] = [
+const HOT_PATH: [&str; 13] = [
+    "crates/core/src/fleet.rs",
     "crates/webapp/src/interp.rs",
     "crates/webapp/src/snapshot.rs",
     "crates/webapp/src/delta.rs",

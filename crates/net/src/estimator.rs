@@ -8,12 +8,17 @@
 use crate::{LinkConfig, Transfer};
 use std::time::Duration;
 
+/// Fraction of the current estimate that survives one
+/// [`BandwidthEstimator::penalize`] call.
+const PENALTY_FACTOR: f64 = 0.5;
+
 /// Exponentially-weighted moving-average bandwidth estimator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BandwidthEstimator {
     alpha: f64,
     estimate_bps: Option<f64>,
     samples: usize,
+    penalties: usize,
 }
 
 impl Default for BandwidthEstimator {
@@ -30,7 +35,37 @@ impl BandwidthEstimator {
             alpha: alpha.clamp(0.01, 1.0),
             estimate_bps: None,
             samples: 0,
+            penalties: 0,
         }
+    }
+
+    /// Forgets every sample and penalty, returning the estimator to its
+    /// freshly-constructed state (same `alpha`). Called on a server
+    /// handoff so estimates never mix throughput observed against
+    /// different servers.
+    pub fn reset(&mut self) {
+        self.estimate_bps = None;
+        self.samples = 0;
+        self.penalties = 0;
+    }
+
+    /// Records a negative observation — a refused or repeatedly-retried
+    /// transfer carries real information about the path even though no
+    /// bytes got through. The current estimate is halved (EWMA-style
+    /// decay toward zero), steering the fleet's selection metric away
+    /// from the faulty server. A no-op before the first throughput
+    /// sample: with no estimate there is nothing to decay, and inventing
+    /// one would poison the first real observation.
+    pub fn penalize(&mut self) {
+        if let Some(prev) = self.estimate_bps {
+            self.estimate_bps = Some(prev * PENALTY_FACTOR);
+            self.penalties += 1;
+        }
+    }
+
+    /// Number of penalty observations absorbed since the last reset.
+    pub fn penalties(&self) -> usize {
+        self.penalties
     }
 
     /// Feeds one completed transfer (payload bytes over elapsed time).
@@ -128,6 +163,42 @@ mod tests {
         assert!((cfg.bandwidth_bps - 30.0e6).abs() < 1.0);
         // The config is usable for transfer-time prediction.
         assert!(cfg.transfer_time(3_750_000).unwrap().as_secs_f64() > 0.9);
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let mut e = BandwidthEstimator::new(0.3);
+        for _ in 0..5 {
+            e.observe(3_750_000, Duration::from_secs(1));
+        }
+        e.penalize();
+        assert!(e.estimate_bps().is_some());
+        e.reset();
+        assert_eq!(e.estimate_bps(), None);
+        assert_eq!(e.samples(), 0);
+        assert_eq!(e.penalties(), 0);
+        // Still usable after the reset — and the first post-reset sample
+        // sets the estimate outright, untainted by pre-reset history.
+        e.observe(1_000_000, Duration::from_secs(1));
+        assert_eq!(e.estimate_bps(), Some(8.0e6));
+        assert_eq!(e.samples(), 1);
+    }
+
+    #[test]
+    fn penalties_halve_the_estimate_and_are_counted() {
+        let mut e = BandwidthEstimator::new(0.5);
+        // Before any sample a penalty is a no-op.
+        e.penalize();
+        assert_eq!(e.estimate_bps(), None);
+        assert_eq!(e.penalties(), 0);
+        e.observe(1_000_000, Duration::from_secs(1)); // 8 Mbps
+        e.penalize();
+        assert_eq!(e.estimate_bps(), Some(4.0e6));
+        e.penalize();
+        assert_eq!(e.estimate_bps(), Some(2.0e6));
+        assert_eq!(e.penalties(), 2);
+        // Penalties decay the estimate; they are not throughput samples.
+        assert_eq!(e.samples(), 1);
     }
 
     #[test]

@@ -260,6 +260,29 @@ impl FaultPlan {
         Ok(plan)
     }
 
+    /// Formats the plan back into the spec syntax accepted by
+    /// [`FaultPlan::parse`] (`down@2..5,degrade@7..9x0.25,corrupt@10..11`).
+    /// Times are printed as shortest-round-tripping seconds, so
+    /// `FaultPlan::parse(&plan.to_spec())` reproduces `plan` exactly; an
+    /// empty plan formats as the empty string.
+    pub fn to_spec(&self) -> String {
+        let secs = |d: Duration| d.as_secs_f64().to_string();
+        self.windows
+            .iter()
+            .map(|w| match w.kind {
+                FaultKind::Down => format!("down@{}..{}", secs(w.start), secs(w.end)),
+                FaultKind::Degraded { bandwidth_factor } => format!(
+                    "degrade@{}..{}x{}",
+                    secs(w.start),
+                    secs(w.end),
+                    bandwidth_factor
+                ),
+                FaultKind::Corrupt => format!("corrupt@{}..{}", secs(w.start), secs(w.end)),
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
     /// A seeded pseudo-random plan over `[0, horizon)` — the chaos-suite
     /// generator. The same seed always yields the same plan; different
     /// seeds scatter 1–3 non-overlapping windows of mixed kinds.
@@ -382,6 +405,24 @@ mod tests {
             "down@-1..2",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn to_spec_roundtrips_through_parse() {
+        let plan = FaultPlan::parse("down@2..5,degrade@7..9x0.25,corrupt@10..11").unwrap();
+        assert_eq!(plan.to_spec(), "down@2..5,degrade@7..9x0.25,corrupt@10..11");
+        assert_eq!(FaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+        assert_eq!(FaultPlan::none().to_spec(), "");
+        // Chaos plans carry awkward fractional times; the shortest
+        // round-tripping float form must still reproduce them exactly.
+        for seed in 0..10u64 {
+            let plan = FaultPlan::chaos(seed, Duration::from_secs(60));
+            assert_eq!(
+                FaultPlan::parse(&plan.to_spec()).unwrap(),
+                plan,
+                "seed {seed}"
+            );
         }
     }
 

@@ -74,6 +74,15 @@ pub enum EventKind {
     /// verification rejects the migration without touching the retry
     /// budget.
     Verify,
+    /// The fleet picked an edge server (instant marker; the event name
+    /// carries the chosen server, e.g. `"server_select:edge-b"`).
+    ServerSelect,
+    /// An automatic migration to another edge server after the retry
+    /// budget against the current one exhausted (instant marker; the
+    /// event name carries old and new server, e.g.
+    /// `"handoff:edge-a->edge-b"`). The delta agreement is dropped and
+    /// the model is re-pre-sent as part of the handoff.
+    Handoff,
     /// Anything else (markers, app phases, custom spans).
     Other,
 }
@@ -95,6 +104,8 @@ impl EventKind {
             EventKind::Backoff => "backoff",
             EventKind::Fallback => "fallback",
             EventKind::Verify => "verify",
+            EventKind::ServerSelect => "server_select",
+            EventKind::Handoff => "handoff",
             EventKind::Other => "other",
         }
     }
@@ -115,6 +126,8 @@ impl EventKind {
             "backoff" => Some(EventKind::Backoff),
             "fallback" => Some(EventKind::Fallback),
             "verify" => Some(EventKind::Verify),
+            "server_select" => Some(EventKind::ServerSelect),
+            "handoff" => Some(EventKind::Handoff),
             "other" => Some(EventKind::Other),
             _ => None,
         }
@@ -173,6 +186,8 @@ mod tests {
             EventKind::Backoff,
             EventKind::Fallback,
             EventKind::Verify,
+            EventKind::ServerSelect,
+            EventKind::Handoff,
             EventKind::Other,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));

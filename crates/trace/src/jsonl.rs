@@ -307,6 +307,38 @@ mod tests {
     }
 
     #[test]
+    fn failover_events_export_and_reimport() {
+        // The fleet layer's instant markers survive the JSONL round-trip
+        // with their stable kind names.
+        let trace = Trace::from_events(vec![
+            Event {
+                name: "server_select:edge-b".into(),
+                lane: Lane::Client,
+                kind: EventKind::ServerSelect,
+                start: ms(3),
+                end: ms(3),
+                bytes: None,
+                depth: 0,
+            },
+            Event {
+                name: "handoff:edge-a->edge-b".into(),
+                lane: Lane::Client,
+                kind: EventKind::Handoff,
+                start: ms(3),
+                end: ms(3),
+                bytes: None,
+                depth: 0,
+            },
+        ]);
+        let text = trace.to_jsonl();
+        assert!(text.contains("\"kind\":\"server_select\""));
+        assert!(text.contains("\"kind\":\"handoff\""));
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.events()[1].kind, EventKind::Handoff);
+    }
+
+    #[test]
     fn blank_lines_are_skipped() {
         let text = format!("\n{}\n\n", sample_trace().to_jsonl());
         assert_eq!(Trace::from_jsonl(&text).unwrap().len(), 3);

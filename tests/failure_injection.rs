@@ -64,7 +64,7 @@ fn config_errors_are_not_masked_by_fallback() {
 fn very_slow_links_still_complete_correctly() {
     // Degraded network: 0.5 Mbps. Everything still works, just slowly.
     let mut cfg = ScenarioConfig::tiny(Strategy::OffloadAfterAck);
-    cfg.link = LinkConfig::mbps(0.5);
+    cfg.primary_mut().link = LinkConfig::mbps(0.5);
     let report = run_scenario(&cfg).unwrap();
     let fast = run_scenario(&ScenarioConfig::tiny(Strategy::OffloadAfterAck)).unwrap();
     assert_eq!(report.result, fast.result);
@@ -74,7 +74,7 @@ fn very_slow_links_still_complete_correctly() {
 #[test]
 fn zero_bandwidth_link_fails_cleanly() {
     let mut cfg = ScenarioConfig::tiny(Strategy::OffloadAfterAck);
-    cfg.link = LinkConfig {
+    cfg.primary_mut().link = LinkConfig {
         bandwidth_bps: 0.0,
         ..LinkConfig::wifi_30mbps()
     };

@@ -27,11 +27,13 @@ fn trace_breakdown_matches_hand_computed_phase_costs() {
     );
     assert_eq!(
         b.restore_server,
-        cfg.server_device.restore_time(report.snapshot_up_bytes)
+        cfg.primary().device.restore_time(report.snapshot_up_bytes)
     );
     assert_eq!(
         b.capture_server,
-        cfg.server_device.capture_time(report.snapshot_down_bytes)
+        cfg.primary()
+            .device
+            .capture_time(report.snapshot_down_bytes)
     );
     assert_eq!(
         b.restore_client,
@@ -41,7 +43,7 @@ fn trace_breakdown_matches_hand_computed_phase_costs() {
     // After the ACK both links are idle, so each transfer costs exactly
     // what a fresh link would charge for the same payload.
     let idle_cost = |bytes: u64| {
-        let mut link = Link::new(cfg.link.clone());
+        let mut link = Link::new(cfg.primary().link.clone());
         let xfer = link.schedule(Duration::ZERO, bytes).unwrap();
         xfer.finish
     };
@@ -52,7 +54,7 @@ fn trace_breakdown_matches_hand_computed_phase_costs() {
     let net = zoo::by_name(&cfg.model).unwrap();
     assert_eq!(
         b.exec_server,
-        cfg.server_device.full_exec_time(&net.profile())
+        cfg.primary().device.full_exec_time(&net.profile())
     );
 
     // And the eight phases tile the whole click-to-result interval.
