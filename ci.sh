@@ -27,6 +27,9 @@ cargo test --offline -q -p snapedge-integration --test chaos
 echo "== failover suite (edge-fleet handoff and fleet-of-one bit-compat)"
 cargo test --offline -q -p snapedge-integration --test failover
 
+echo "== prediction suite (proactive link health, predict-off bit-compat)"
+cargo test --offline -q -p snapedge-integration --test prediction
+
 echo "== determinism lint (wall-clock, hash-iter, unwrap-hot-path)"
 cargo run --offline --release -p snapedge-lint
 

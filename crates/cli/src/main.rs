@@ -72,9 +72,11 @@ const USAGE: &str = "usage:
   snapedge run     --model <name> --strategy <client|server|before-ack|after-ack|partial>
                    [--cut <label>] [--mbps <rate>] [--timeline true] [--trace <file.jsonl>]
                    [--fault-plan <spec>] [--retry <spec>] [--servers <spec>]
+                   [--predict true]
   snapedge sweep   --model <name> [--mbps <rate>]
   snapedge session --model <name> [--rounds <n>] [--no-deltas true]
                    [--fault-plan <spec>] [--retry <spec>] [--servers <spec>]
+                   [--predict true]
   snapedge install --model <name> [--mbps <rate>]
   snapedge models
   snapedge analyze [--all-apps true | --model <name> [--cut <label>]]
@@ -91,7 +93,11 @@ const USAGE: &str = "usage:
     ';'-separated entries, each 'name[,key=value...]' inheriting the primary
     link; keys: mbps, bps, latency (s), overhead (B), loss, and fault plans
     up/down/faults ('+' separates windows). Carries its own fault plans, so
-    it cannot be combined with --fault-plan.";
+    it cannot be combined with --fault-plan.
+  --predict true consults the link-health predictor before each migration:
+    when the measured fault rate and bandwidth trend say the offload loses
+    after its expected retry backoff, the inference completes locally
+    before any retry budget burns. Off by default (bit-identical replay).";
 
 fn main() -> ExitCode {
     match real_main() {
@@ -192,6 +198,15 @@ fn apply_fleet_flags(args: &Args, servers: &mut Vec<ServerSpec>) -> Result<(), S
     Ok(())
 }
 
+fn parse_predict_flag(args: &Args) -> Result<bool, String> {
+    match args.flag("predict") {
+        None => Ok(false),
+        Some("true") | Some("on") => Ok(true),
+        Some("false") | Some("off") => Ok(false),
+        Some(other) => Err(format!("bad --predict {other:?} (use true/false)")),
+    }
+}
+
 fn parse_retry_flag(args: &Args) -> Result<Option<RetryPolicy>, String> {
     match args.flag("retry") {
         None => Ok(None),
@@ -207,6 +222,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     cfg.primary_mut().link = LinkConfig::mbps(args.mbps()?);
     apply_fleet_flags(args, &mut cfg.servers)?;
     cfg.retry = parse_retry_flag(args)?;
+    cfg.predict = parse_predict_flag(args)?;
     let report = run_scenario(&cfg).map_err(|e| e.to_string())?;
     println!("model:      {}", report.model);
     println!("strategy:   {:?}", report.strategy);
@@ -243,6 +259,16 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             report.snapshot_up_bytes,
             report.snapshot_down_bytes
         );
+    }
+    if let Some(decision) = &report.prediction {
+        if report.proactive {
+            println!(
+                "predict:    {} (completed locally before any retry)",
+                decision.label()
+            );
+        } else {
+            println!("predict:    {}", decision.label());
+        }
     }
     if report.fell_back {
         println!("fallback:   offload gave up; the inference completed locally");
@@ -308,29 +334,60 @@ fn cmd_session(args: &Args) -> Result<(), String> {
     }
     apply_fleet_flags(args, &mut cfg.servers)?;
     cfg.retry = parse_retry_flag(args)?;
+    let predict = parse_predict_flag(args)?;
+    cfg.predict = predict;
     let mut session = OffloadSession::new(cfg).map_err(|e| e.to_string())?;
-    println!(
-        "{:>6} {:>8} {:>12} {:>12} {:>10} {:>15}",
-        "round", "mode", "up bytes", "down bytes", "total", "server"
-    );
+    if predict {
+        println!(
+            "{:>6} {:>8} {:>12} {:>12} {:>10} {:>15} {:>14}",
+            "round", "mode", "up bytes", "down bytes", "total", "server", "predict"
+        );
+    } else {
+        println!(
+            "{:>6} {:>8} {:>12} {:>12} {:>10} {:>15}",
+            "round", "mode", "up bytes", "down bytes", "total", "server"
+        );
+    }
     for round in 1..=rounds {
         let r = session.infer(round).map_err(|e| e.to_string())?;
-        println!(
-            "{:>6} {:>8} {:>12} {:>12} {:>9.2}s {:>15}   {}",
-            r.round,
-            if r.fell_back {
-                "local"
-            } else if r.delta_up {
-                "delta"
-            } else {
-                "full"
-            },
-            r.up_bytes,
-            r.down_bytes,
-            r.total.as_secs_f64(),
-            r.server,
-            r.result
-        );
+        let mode = if r.proactive {
+            "predict"
+        } else if r.fell_back {
+            "local"
+        } else if r.delta_up {
+            "delta"
+        } else {
+            "full"
+        };
+        if predict {
+            let predicted = r
+                .prediction
+                .as_ref()
+                .map(|d| d.label())
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "{:>6} {:>8} {:>12} {:>12} {:>9.2}s {:>15} {:>14}   {}",
+                r.round,
+                mode,
+                r.up_bytes,
+                r.down_bytes,
+                r.total.as_secs_f64(),
+                r.server,
+                predicted,
+                r.result
+            );
+        } else {
+            println!(
+                "{:>6} {:>8} {:>12} {:>12} {:>9.2}s {:>15}   {}",
+                r.round,
+                mode,
+                r.up_bytes,
+                r.down_bytes,
+                r.total.as_secs_f64(),
+                r.server,
+                r.result
+            );
+        }
     }
     Ok(())
 }
@@ -687,6 +744,15 @@ mod tests {
         assert_eq!(cfg.servers.len(), 1);
         assert_eq!(cfg.servers[0].up_faults.windows().len(), 1);
         assert!(cfg.servers[0].down_faults.is_empty());
+    }
+
+    #[test]
+    fn predict_flag_parses_and_defaults_off() {
+        assert!(!parse_predict_flag(&args(&["run"])).unwrap());
+        assert!(parse_predict_flag(&args(&["run", "--predict", "true"])).unwrap());
+        assert!(parse_predict_flag(&args(&["run", "--predict", "on"])).unwrap());
+        assert!(!parse_predict_flag(&args(&["run", "--predict", "false"])).unwrap());
+        assert!(parse_predict_flag(&args(&["run", "--predict", "maybe"])).is_err());
     }
 
     #[test]

@@ -11,9 +11,10 @@
 
 use crate::device::DeviceProfile;
 use crate::partition::PartitionOptimizer;
+use crate::resilience::RetryPolicy;
 use crate::OffloadError;
 use snapedge_dnn::{Network, NetworkProfile};
-use snapedge_net::LinkConfig;
+use snapedge_net::{LinkConfig, LinkPrediction};
 use std::time::Duration;
 
 /// What the controller chose for one inference.
@@ -30,6 +31,18 @@ pub enum Decision {
     },
 }
 
+impl Decision {
+    /// Short stable label for traces and CLI columns: `local`, `full`,
+    /// or `partial:<cut>`.
+    pub fn label(&self) -> String {
+        match self {
+            Decision::Local => "local".to_string(),
+            Decision::FullOffload => "full".to_string(),
+            Decision::Partial { cut } => format!("partial:{cut}"),
+        }
+    }
+}
+
 /// A decision plus its predicted cost.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
@@ -40,6 +53,10 @@ pub struct Plan {
     /// Predicted time of pure local execution (the baseline the decision
     /// beat or fell back to).
     pub local_time: Duration,
+    /// Predicted failed-attempt penalty (backoff sleeps under the active
+    /// retry policy) folded into the offload side of the comparison.
+    /// Zero for the non-predictive entry points.
+    pub penalty: Duration,
 }
 
 /// Policy knobs for [`AdaptiveOffloader`].
@@ -95,6 +112,56 @@ impl AdaptiveOffloader {
     ///
     /// Propagates optimizer failures (cannot occur for zoo networks).
     pub fn decide(&self, link: &LinkConfig, model_ready: bool) -> Result<Plan, OffloadError> {
+        self.plan_with(link, model_ready, 0, Duration::ZERO)
+    }
+
+    /// Like [`AdaptiveOffloader::decide`], but charges only the model
+    /// bytes *not yet acknowledged*: `model_bytes_acked` is how much of
+    /// the pre-send has already landed (plumbed from the session's
+    /// upload progress). `decide` is exactly this call with zero
+    /// progress.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer failures (cannot occur for zoo networks).
+    pub fn decide_with_progress(
+        &self,
+        link: &LinkConfig,
+        model_ready: bool,
+        model_bytes_acked: u64,
+    ) -> Result<Plan, OffloadError> {
+        self.plan_with(link, model_ready, model_bytes_acked, Duration::ZERO)
+    }
+
+    /// The health-aware variant: on top of
+    /// [`AdaptiveOffloader::decide_with_progress`], inflates the
+    /// predicted offload time by the expected failed-attempt penalty —
+    /// the backoff sleeps `policy` would charge for the retries
+    /// `prediction` expects — so a degrading link tips the comparison
+    /// toward Local (or a cheaper cut) *before* any retry budget burns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer failures (cannot occur for zoo networks).
+    pub fn decide_predictive(
+        &self,
+        link: &LinkConfig,
+        model_ready: bool,
+        model_bytes_acked: u64,
+        prediction: &LinkPrediction,
+        policy: &RetryPolicy,
+    ) -> Result<Plan, OffloadError> {
+        let penalty = policy.cumulative_backoff(prediction.predicted_retries);
+        self.plan_with(link, model_ready, model_bytes_acked, penalty)
+    }
+
+    fn plan_with(
+        &self,
+        link: &LinkConfig,
+        model_ready: bool,
+        model_bytes_acked: u64,
+        penalty: Duration,
+    ) -> Result<Plan, OffloadError> {
         let local_time = self.local_time();
         let optimizer = PartitionOptimizer::new(
             &self.net,
@@ -105,9 +172,11 @@ impl AdaptiveOffloader {
         let best = optimizer.best(self.policy.require_privacy)?;
         let mut offload_time = best.times.total();
         if !model_ready {
-            // The snapshot queues behind the model upload.
-            offload_time += link.transfer_time(self.model_bytes)?;
+            // The snapshot queues behind the (remaining) model upload.
+            let remaining = self.model_bytes.saturating_sub(model_bytes_acked);
+            offload_time += link.transfer_time(remaining)?;
         }
+        offload_time = offload_time.saturating_add(penalty);
         if offload_time < local_time {
             let decision = if best.cut.id.index() == 0 {
                 Decision::FullOffload
@@ -120,12 +189,14 @@ impl AdaptiveOffloader {
                 decision,
                 predicted: offload_time,
                 local_time,
+                penalty,
             })
         } else {
             Ok(Plan {
                 decision: Decision::Local,
                 predicted: local_time,
                 local_time,
+                penalty,
             })
         }
     }
@@ -141,6 +212,7 @@ impl AdaptiveOffloader {
             decision: Decision::Local,
             predicted: local_time,
             local_time,
+            penalty: Duration::ZERO,
         }
     }
 }
@@ -202,6 +274,42 @@ mod tests {
             .decide(&LinkConfig::wifi_30mbps(), false)
             .unwrap();
         assert_ne!(plan.decision, Decision::Local);
+    }
+
+    #[test]
+    fn mostly_uploaded_model_flips_the_decision_back_to_offload() {
+        // Regression: the controller used to charge the *full* model size
+        // whenever the ACK had not arrived, even when nearly all of the
+        // pre-send had already landed — so a 90%-uploaded AgeNet still
+        // "lost" to local execution. Only the remaining bytes queue behind
+        // the snapshot; charging just those flips the decision back.
+        let net = zoo::by_name("agenet").unwrap();
+        let bytes = ModelBundle::from_network(&net).total_bytes();
+        let off = offloader("agenet", false);
+        let link = LinkConfig::wifi_30mbps();
+
+        // Nothing acknowledged yet: the full charge makes AgeNet lose
+        // (Fig. 6's before-ACK observation; `decide` is this exact call).
+        let cold = off.decide_with_progress(&link, false, 0).unwrap();
+        assert_eq!(cold.decision, Decision::Local);
+        assert_eq!(cold, off.decide(&link, false).unwrap());
+
+        // 90% of the pre-send already landed: only the tail still queues,
+        // and offloading wins again — strictly cheaper than the cold plan.
+        let hot = off
+            .decide_with_progress(&link, false, bytes * 9 / 10)
+            .unwrap();
+        assert_ne!(hot.decision, Decision::Local);
+        assert!(hot.predicted < cold.predicted);
+
+        // Fully acknowledged progress converges to the model-ready
+        // decision; only the zero-payload handshake (latency + framing)
+        // still separates the predicted times.
+        let done = off.decide_with_progress(&link, false, bytes).unwrap();
+        let ready = off.decide(&link, true).unwrap();
+        assert_eq!(done.decision, ready.decision);
+        let slack = done.predicted.saturating_sub(ready.predicted);
+        assert!(slack < Duration::from_millis(10), "slack {slack:?}");
     }
 
     #[test]

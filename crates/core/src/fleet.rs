@@ -18,7 +18,9 @@
 //! server — the property the bit-for-bit chaos suite leans on.
 
 use crate::device::DeviceProfile;
-use snapedge_net::{BandwidthEstimator, FaultPlan, LinkConfig, Transfer};
+use snapedge_net::{
+    BandwidthEstimator, FaultPlan, LinkConfig, LinkHealth, LinkPrediction, Transfer,
+};
 use std::time::Duration;
 
 /// Static description of one candidate edge server: who it is, how fast
@@ -84,7 +86,7 @@ impl ServerSpec {
 /// candidate from its own traffic.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerHealth {
-    estimator: BandwidthEstimator,
+    link: LinkHealth,
     model_ready: bool,
     exhausted: bool,
     faults: usize,
@@ -93,7 +95,7 @@ pub struct ServerHealth {
 impl ServerHealth {
     fn new() -> ServerHealth {
         ServerHealth {
-            estimator: BandwidthEstimator::default(),
+            link: LinkHealth::default(),
             model_ready: false,
             exhausted: false,
             faults: 0,
@@ -102,7 +104,20 @@ impl ServerHealth {
 
     /// The bandwidth estimator fed by this server's transfers.
     pub fn estimator(&self) -> &BandwidthEstimator {
-        &self.estimator
+        self.link.estimator()
+    }
+
+    /// The windowed link-health tracker (fault rate, bandwidth trend,
+    /// time since last success) layered on the estimator; the input to
+    /// the adaptive offloader's proactive prediction.
+    pub fn link_health(&self) -> &LinkHealth {
+        &self.link
+    }
+
+    /// Condenses this server's windowed health into a [`LinkPrediction`]
+    /// as of virtual time `now`.
+    pub fn predict(&self, now: Duration) -> LinkPrediction {
+        self.link.predict(now)
     }
 
     /// Whether the model has been pre-sent to (and acknowledged by) this
@@ -162,25 +177,25 @@ impl ServerPool {
     }
 
     /// Feeds one completed transfer against candidate `idx` into its
-    /// bandwidth estimator.
+    /// bandwidth estimator and windowed health record.
     pub fn observe_transfer(&mut self, idx: usize, transfer: &Transfer) {
         if let Some((_, health)) = self.servers.get_mut(idx) {
-            health.estimator.observe_transfer(transfer);
+            health.link.observe_transfer(transfer);
         }
     }
 
     /// Records `count` fault/backoff observations against candidate
-    /// `idx`: each one penalizes the bandwidth estimate, steering future
-    /// selection away from the unhealthy path.
-    pub fn observe_faults(&mut self, idx: usize, count: usize) {
+    /// `idx` at virtual time `at`: each one penalizes the bandwidth
+    /// estimate (steering future selection away from the unhealthy path)
+    /// and lands in the windowed health record the proactive predictor
+    /// reads.
+    pub fn observe_faults(&mut self, idx: usize, count: usize, at: Duration) {
         if count == 0 {
             return;
         }
         if let Some((_, health)) = self.servers.get_mut(idx) {
             health.faults += count;
-            for _ in 0..count {
-                health.estimator.penalize();
-            }
+            health.link.observe_faults(count, at);
         }
     }
 
@@ -219,13 +234,13 @@ impl ServerPool {
         }
     }
 
-    /// Resets candidate `idx`'s bandwidth estimator (and fault tally).
-    /// Called when a handoff re-provisions a server so post-handoff
-    /// estimates never mix samples observed against a different epoch of
-    /// the same path.
+    /// Resets candidate `idx`'s bandwidth estimator, windowed health
+    /// history and fault tally. Called when a handoff re-provisions a
+    /// server so post-handoff estimates never mix samples observed
+    /// against a different epoch of the same path.
     pub fn reset_estimator(&mut self, idx: usize) {
         if let Some((_, health)) = self.servers.get_mut(idx) {
-            health.estimator.reset();
+            health.link.reset();
             health.faults = 0;
         }
     }
@@ -234,8 +249,11 @@ impl ServerPool {
     /// candidate `idx`, using the estimator's learned bandwidth when it
     /// has samples (the configured link rate otherwise), plus the model
     /// pre-send cost (`model_bytes`) when this server is not yet
-    /// model-ready, plus link latency. Unusable paths (zero or non-finite
-    /// bandwidth) predict `Duration::MAX`.
+    /// model-ready, plus link latency. Per-transfer overhead is charged
+    /// once per constituent transfer — the model pre-send and the
+    /// snapshot are separate wire transfers, so a not-yet-provisioned
+    /// server pays the overhead twice. Unusable paths (zero or
+    /// non-finite bandwidth) predict `Duration::MAX`.
     pub fn predicted_migration(
         &self,
         idx: usize,
@@ -246,17 +264,20 @@ impl ServerPool {
             return Duration::MAX;
         };
         let bw = health
-            .estimator
+            .estimator()
             .estimate_bps()
             .unwrap_or_else(|| spec.link.effective_bandwidth_bps());
         if !(bw.is_finite() && bw > 0.0) {
             return Duration::MAX;
         }
         let mut bytes = pending_bytes;
-        if !health.model_ready {
+        let mut transfers: u64 = 1;
+        if !health.model_ready && model_bytes > 0 {
             bytes = bytes.saturating_add(model_bytes);
+            transfers = 2;
         }
-        let secs = (bytes.saturating_add(spec.link.overhead_bytes)) as f64 * 8.0 / bw;
+        let overhead = spec.link.overhead_bytes.saturating_mul(transfers);
+        let secs = bytes.saturating_add(overhead) as f64 * 8.0 / bw;
         match Duration::try_from_secs_f64(secs) {
             Ok(wire) => spec.link.latency.saturating_add(wire),
             Err(_) => Duration::MAX,
@@ -461,9 +482,109 @@ mod tests {
         );
         assert_eq!(pool.select(1_000_000, 0), Some(0));
         // ...then a string of faults halves its estimate below b's rate.
-        pool.observe_faults(0, 2);
+        pool.observe_faults(0, 2, Duration::from_secs(2));
         assert_eq!(pool.health(0).map(|h| h.faults()), Some(2));
         assert_eq!(pool.select(1_000_000, 0), Some(1));
+    }
+
+    #[test]
+    fn health_records_feed_the_link_predictor() {
+        let mut pool = ServerPool::new(vec![spec("a", 30.0)]);
+        assert!(pool.health(0).unwrap().predict(Duration::ZERO).healthy());
+        pool.observe_transfer(
+            0,
+            &Transfer {
+                start: Duration::ZERO,
+                finish: Duration::from_secs(1),
+                bytes: 3_750_000,
+                corrupted: false,
+            },
+        );
+        pool.observe_faults(0, 3, Duration::from_secs(2));
+        let health = pool.health(0).unwrap();
+        let prediction = health.predict(Duration::from_secs(2));
+        assert!(!prediction.healthy());
+        assert!((prediction.fault_rate - 0.75).abs() < 1e-12);
+        assert_eq!(
+            health.link_health().last_success(),
+            Some(Duration::from_secs(1))
+        );
+        // Resetting the estimator also clears the windowed history.
+        pool.reset_estimator(0);
+        assert!(pool
+            .health(0)
+            .unwrap()
+            .predict(Duration::from_secs(3))
+            .healthy());
+    }
+
+    #[test]
+    fn overhead_is_charged_once_per_constituent_transfer() {
+        // One server, a link where per-transfer overhead dominates.
+        let heavy = ServerSpec::new(
+            "heavy",
+            edge_server_x86(),
+            LinkConfig {
+                bandwidth_bps: 8.0e6, // 1 byte/µs: easy arithmetic
+                latency: Duration::ZERO,
+                overhead_bytes: 1_000_000,
+                loss: 0.0,
+            },
+        );
+        let mut pool = ServerPool::new(vec![heavy]);
+        // Not model-ready with a real model: pre-send + snapshot are two
+        // wire transfers, so the overhead is paid twice.
+        let cold = pool.predicted_migration(0, 1_000_000, 2_000_000);
+        assert_eq!(cold, Duration::from_secs(5), "1M + 2M + 2×1M overhead");
+        // Model-ready (or nothing to pre-send): a single transfer, a
+        // single overhead charge.
+        assert_eq!(
+            pool.predicted_migration(0, 1_000_000, 0),
+            Duration::from_secs(2),
+            "1M + 1×1M overhead"
+        );
+        pool.mark_model_ready(0);
+        assert_eq!(
+            pool.predicted_migration(0, 1_000_000, 2_000_000),
+            Duration::from_secs(2),
+            "ready servers pre-send nothing"
+        );
+    }
+
+    #[test]
+    fn per_transfer_overhead_unbiases_ranking_against_provisioned_servers() {
+        // "cold" has the nominally faster link but needs a model
+        // pre-send; "warm" already holds the model. With overhead
+        // charged only once, cold's extra wire transfer looked free and
+        // the ranking flipped toward the not-yet-provisioned server.
+        let link = |mbps: f64| LinkConfig {
+            bandwidth_bps: mbps * 1.0e6,
+            latency: Duration::ZERO,
+            overhead_bytes: 600_000,
+            loss: 0.0,
+        };
+        let cold = ServerSpec::new("cold", edge_server_x86(), link(8.4));
+        let warm = ServerSpec::new("warm", edge_server_x86(), link(8.0));
+        let mut pool = ServerPool::new(vec![cold, warm]);
+        pool.mark_model_ready(1);
+        // pending 1 MB, model 1 MB:
+        //   cold: (1M + 1M + 2×0.6M)·8 / 8.4M ≈ 3.05 s
+        //   warm: (1M + 1×0.6M)·8 / 8.0M = 1.6 s
+        // Pre-fix, cold was charged a single overhead (≈2.48 s) — still
+        // more than warm here, so sharpen the gap: make the snapshot
+        // tiny relative to the overhead.
+        let cold_t = pool.predicted_migration(0, 10_000, 1_000_000);
+        let warm_t = pool.predicted_migration(1, 10_000, 1_000_000);
+        // cold: (0.01M + 1M + 1.2M)·8 / 8.4M ≈ 2.10 s
+        // warm: (0.01M + 0.6M)·8 / 8.0M ≈ 0.61 s
+        assert!(warm_t < cold_t);
+        assert_eq!(pool.select(10_000, 1_000_000), Some(1));
+        // The exact cold prediction pins the double charge: pre-fix the
+        // single-overhead figure was (0.01M + 1M + 0.6M)·8/8.4M ≈ 1.53 s.
+        assert!(
+            cold_t > Duration::from_secs_f64(2.0),
+            "double overhead must be visible in the metric, got {cold_t:?}"
+        );
     }
 
     #[test]
@@ -500,7 +621,7 @@ mod tests {
                 corrupted: false,
             },
         );
-        pool.observe_faults(0, 3);
+        pool.observe_faults(0, 3, Duration::from_secs(1));
         pool.reset_estimator(0);
         let health = pool.health(0).unwrap();
         assert_eq!(health.estimator().samples(), 0);

@@ -28,5 +28,6 @@ pub use crate::session::{OffloadSession, RoundReport, SessionBuilder, SessionCon
 pub use crate::timeline;
 pub use snapedge_dnn::{zoo, ExecMode};
 pub use snapedge_net::{FaultKind, FaultPlan, FaultWindow, Link, LinkConfig};
+pub use snapedge_net::{LinkHealth, LinkPrediction};
 pub use snapedge_trace::{Event, EventKind, Lane, Summary, Trace, Tracer};
 pub use snapedge_webapp::SnapshotOptions;

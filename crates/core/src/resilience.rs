@@ -86,6 +86,16 @@ impl RetryPolicy {
         raw.min(self.backoff_max)
     }
 
+    /// Total backoff sleep charged by `retries` failed attempts: the sum
+    /// of [`RetryPolicy::backoff`] over attempts `1..=retries`. This is
+    /// the failed-attempt penalty the predictive offloader folds into
+    /// its offload-time estimate.
+    pub fn cumulative_backoff(&self, retries: u32) -> Duration {
+        (1..=retries).fold(Duration::ZERO, |acc, attempt| {
+            acc.saturating_add(self.backoff(attempt))
+        })
+    }
+
     /// Parses a `key=value` spec, e.g. `attempts=5,deadline=30,backoff=0.2`
     /// (`deadline`/`backoff`/`backoff-max` in seconds). Unspecified keys
     /// keep their [`RetryPolicy::default`] values.
@@ -382,6 +392,19 @@ mod tests {
         assert_eq!(p.backoff(2), Duration::from_millis(200));
         assert_eq!(p.backoff(3), Duration::from_millis(350), "capped");
         assert_eq!(p.backoff(30), Duration::from_millis(350));
+    }
+
+    #[test]
+    fn cumulative_backoff_sums_the_schedule() {
+        let p = RetryPolicy {
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_millis(350),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.cumulative_backoff(0), Duration::ZERO);
+        assert_eq!(p.cumulative_backoff(1), Duration::from_millis(100));
+        // 100 + 200 + 350 (capped)
+        assert_eq!(p.cumulative_backoff(3), Duration::from_millis(650));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! hand-waved: the bytes that cross the link are the bytes of the snapshot
 //! HTML the client actually captured.
 
-use crate::adaptive::{AdaptiveOffloader, AdaptivePolicy, Decision};
+use crate::adaptive::{AdaptiveOffloader, AdaptivePolicy, Decision, Plan};
 use crate::apps;
 use crate::device::DeviceProfile;
 use crate::endpoint::Endpoint;
@@ -72,6 +72,12 @@ pub struct ScenarioConfig {
     /// Recovery policy for transient network faults. `None` keeps the
     /// strict fail-fast behaviour: the first fault surfaces as an error.
     pub retry: Option<RetryPolicy>,
+    /// Consult the link-health predictor before migrating: when the
+    /// windowed fault rate and bandwidth trend say the offload would lose
+    /// after its expected retry penalty, complete the inference locally
+    /// *before* burning any retry budget. Off by default — a disabled
+    /// predictor replays the reactive path bit for bit.
+    pub predict: bool,
 }
 
 impl ScenarioConfig {
@@ -125,6 +131,7 @@ impl ScenarioConfig {
                 snapshot: SnapshotOptions::default(),
                 compress: false,
                 retry: None,
+                predict: false,
             },
         }
     }
@@ -148,6 +155,7 @@ impl ScenarioConfig {
                 snapshot: SnapshotOptions::default(),
                 compress: false,
                 retry: None,
+                predict: false,
             },
         }
     }
@@ -271,6 +279,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enables (or disables) the proactive link-health predictor.
+    pub fn predict(mut self, on: bool) -> ScenarioBuilder {
+        self.cfg.predict = on;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> ScenarioConfig {
         self.cfg
@@ -368,6 +382,15 @@ pub struct ScenarioReport {
     /// inference; `None` when it ran locally (`ClientOnly`, `ServerOnly`,
     /// or fallback).
     pub server: Option<String>,
+    /// What the link-health predictor recommended at migration time, when
+    /// the predictor was enabled *and* had an estimate to work from.
+    /// `None` otherwise (including every run with `predict` off).
+    pub prediction: Option<Decision>,
+    /// Whether the run completed locally *because the predictor said so*
+    /// — before any retry budget was spent. Always `false` with `predict`
+    /// off; disjoint from [`ScenarioReport::fell_back`], the reactive
+    /// exhaustion path.
+    pub proactive: bool,
     /// Full event trace of the run: canonical phase events at depth 0,
     /// per-layer DNN execution and link-level transfer/queue events
     /// nested below. [`ScenarioReport::breakdown`] is derived from it.
@@ -529,9 +552,9 @@ fn ship(
             anchor,
             snapshot.size_bytes(),
         )?;
-        pool.observe_faults(current, outcome.retries as usize);
+        pool.observe_faults(current, outcome.retries as usize, outcome.gave_up_at);
         let Some(xfer) = outcome.transfer else {
-            pool.observe_faults(current, 1);
+            pool.observe_faults(current, 1, outcome.gave_up_at);
             tracer.end(span, clock.now());
             return Ok(None);
         };
@@ -566,9 +589,9 @@ fn ship(
         anchor,
         packed.len() as u64,
     )?;
-    pool.observe_faults(current, outcome.retries as usize);
+    pool.observe_faults(current, outcome.retries as usize, outcome.gave_up_at);
     let Some(xfer) = outcome.transfer else {
-        pool.observe_faults(current, 1);
+        pool.observe_faults(current, 1, outcome.gave_up_at);
         tracer.end(span, clock.now());
         return Ok(None);
     };
@@ -592,13 +615,19 @@ fn ship(
     Ok(Some(packed.len() as u64))
 }
 
-/// Completes the inference locally after an offload attempt exhausted its
-/// retry budget: the armed trigger event is still at the front of the
-/// client's queue (snapshot capture never mutates the client), so
-/// disarming it and resuming executes the inference handler on the client
-/// itself. The [`AdaptiveOffloader`]'s unreachable-server decision is
-/// consulted first — the controller decides, the runtime obeys — and the
-/// moment is marked with an instant [`EventKind::Fallback`] event.
+/// Completes the inference locally without migrating: the armed trigger
+/// event is still at the front of the client's queue (snapshot capture
+/// never mutates the client), so disarming it and resuming executes the
+/// inference handler on the client itself. Two callers share this exit:
+///
+/// * the *reactive* path, after an offload attempt exhausted its retry
+///   budget — the [`AdaptiveOffloader`]'s unreachable-server decision is
+///   consulted first (the controller decides, the runtime obeys) and the
+///   moment is marked with an instant [`EventKind::Fallback`] event;
+/// * the *proactive* path, when the link-health predictor already chose
+///   [`Decision::Local`] — marked with an instant
+///   [`EventKind::ProactiveLocal`] event instead, and not counted as a
+///   fallback (no budget was spent).
 #[allow(clippy::too_many_arguments)]
 fn finish_locally(
     cfg: &ScenarioConfig,
@@ -610,23 +639,35 @@ fn finish_locally(
     clicked_at: Duration,
     ack_at: Option<Duration>,
     model_upload_bytes: u64,
+    prediction: Option<Decision>,
+    proactive: bool,
 ) -> Result<ScenarioReport, OffloadError> {
-    let plan = AdaptiveOffloader::new(
-        net.clone(),
-        cfg.client_device.clone(),
-        server_device.clone(),
-        model_upload_bytes,
-        AdaptivePolicy::default(),
-    )
-    .decide_unreachable();
-    debug_assert_eq!(plan.decision, Decision::Local);
-    tracer.record(
-        "fallback_local",
-        Lane::Client,
-        EventKind::Fallback,
-        clock.now(),
-        clock.now(),
-    );
+    if proactive {
+        tracer.record(
+            "proactive_local",
+            Lane::Client,
+            EventKind::ProactiveLocal,
+            clock.now(),
+            clock.now(),
+        );
+    } else {
+        let plan = AdaptiveOffloader::new(
+            net.clone(),
+            cfg.client_device.clone(),
+            server_device.clone(),
+            model_upload_bytes,
+            AdaptivePolicy::default(),
+        )
+        .decide_unreachable();
+        debug_assert_eq!(plan.decision, Decision::Local);
+        tracer.record(
+            "fallback_local",
+            Lane::Client,
+            EventKind::Fallback,
+            clock.now(),
+            clock.now(),
+        );
+    }
     client.browser.set_offload_trigger(None);
     let exec_span = tracer.begin("exec_client", Lane::Client, EventKind::Exec, clock.now());
     client.run()?;
@@ -643,10 +684,48 @@ fn finish_locally(
         snapshot_up_bytes: 0,
         snapshot_down_bytes: 0,
         result: client.browser.element_text("result")?.to_string(),
-        fell_back: true,
+        fell_back: !proactive,
         server: None,
+        prediction,
+        proactive,
         trace,
     })
+}
+
+/// Consults the current candidate's link-health record for a predictive
+/// plan. `Ok(None)` when the estimator has no sample yet — nothing has
+/// been measured, so there is nothing to predict and the configured-link
+/// decision the strategy already made stands.
+fn predict_plan(
+    cfg: &ScenarioConfig,
+    net: &snapedge_dnn::Network,
+    pool: &ServerPool,
+    current: usize,
+    model_upload_bytes: u64,
+    model_ready: bool,
+    now: Duration,
+) -> Result<Option<Plan>, OffloadError> {
+    let (Some(spec), Some(health)) = (pool.spec(current), pool.health(current)) else {
+        return Ok(None);
+    };
+    let Some(link) = health.estimator().as_link_config(&spec.link) else {
+        return Ok(None);
+    };
+    let prediction = health.predict(now);
+    let offloader = AdaptiveOffloader::new(
+        net.clone(),
+        cfg.client_device.clone(),
+        spec.device.clone(),
+        model_upload_bytes,
+        AdaptivePolicy::default(),
+    );
+    let policy = cfg.retry.clone().unwrap_or_default();
+    // Before the ACK no model bytes have been confirmed; after it, all of
+    // them have (the pre-send is a single acknowledged upload).
+    let acked = if model_ready { model_upload_bytes } else { 0 };
+    offloader
+        .decide_predictive(&link, model_ready, acked, &prediction, &policy)
+        .map(Some)
 }
 
 fn app_html(cfg: &ScenarioConfig) -> String {
@@ -717,6 +796,8 @@ fn run_local(cfg: &ScenarioConfig, on_server: bool) -> Result<ScenarioReport, Of
         result: ep.browser.element_text("result")?.to_string(),
         fell_back: false,
         server: None,
+        prediction: None,
+        proactive: false,
         trace,
     })
 }
@@ -800,9 +881,9 @@ fn presend_model(
         Some(model_upload_bytes),
     );
     let up = schedule_resilient_traced(uplink, tracer, policy, start, start, model_upload_bytes)?;
-    pool.observe_faults(current, up.retries as usize);
+    pool.observe_faults(current, up.retries as usize, up.gave_up_at);
     let Some(model_xfer) = up.transfer else {
-        pool.observe_faults(current, 1);
+        pool.observe_faults(current, 1, up.gave_up_at);
         tracer.end(upload_span, up.gave_up_at);
         return Ok(Presend::GaveUp(up.gave_up_at));
     };
@@ -816,9 +897,9 @@ fn presend_model(
         Some(64),
     );
     let down = schedule_resilient_traced(downlink, tracer, policy, model_xfer.finish, start, 64)?;
-    pool.observe_faults(current, down.retries as usize);
+    pool.observe_faults(current, down.retries as usize, down.gave_up_at);
     let Some(ack_xfer) = down.transfer else {
-        pool.observe_faults(current, 1);
+        pool.observe_faults(current, 1, down.gave_up_at);
         tracer.end(ack_span, down.gave_up_at);
         return Ok(Presend::GaveUp(down.gave_up_at));
     };
@@ -898,7 +979,7 @@ fn scenario_failover(
                 }
                 Ok(Presend::GaveUp(_)) => pool.mark_exhausted(next),
                 Err(e) if classify(&e) == FaultClass::Transient => {
-                    pool.observe_faults(next, 1);
+                    pool.observe_faults(next, 1, now);
                     pool.mark_exhausted(next);
                 }
                 Err(e) => return Err(e),
@@ -999,7 +1080,7 @@ fn run_offload(
             // Fail-fast (no retry policy) against a fleet still tries the
             // remaining candidates before surfacing a network error.
             Err(e) if classify(&e) == FaultClass::Transient && pool.len() > 1 => {
-                pool.observe_faults(current, 1);
+                pool.observe_faults(current, 1, presend_at);
                 pool.mark_exhausted(current);
             }
             Err(e) => return Err(e),
@@ -1079,7 +1160,55 @@ fn run_offload(
             clicked_at,
             ack_at,
             model_upload_bytes,
+            None,
+            false,
         );
+    }
+
+    // --- Proactive link-health gate (enabled by `cfg.predict`): consult
+    // the predictor *before* committing bytes to the wire. When the
+    // windowed fault rate and bandwidth trend say the offload loses after
+    // its expected backoff penalty, complete locally now — no retry
+    // budget burns. The Predict marker is instant, so a run whose
+    // predictor agrees with the offload stays bit-identical in timing.
+    let mut prediction: Option<Decision> = None;
+    if cfg.predict {
+        let model_ready = ack_at.is_some_and(|at| clock.now() >= at);
+        if let Some(plan) = predict_plan(
+            cfg,
+            &net,
+            &pool,
+            current,
+            model_upload_bytes,
+            model_ready,
+            clock.now(),
+        )? {
+            tracer.record(
+                &format!("predict:{}", plan.decision.label()),
+                Lane::Client,
+                EventKind::Predict,
+                clock.now(),
+                clock.now(),
+            );
+            let go_local = plan.decision == Decision::Local;
+            prediction = Some(plan.decision);
+            if go_local {
+                let server_device = server.device.clone();
+                return finish_locally(
+                    cfg,
+                    &server_device,
+                    &net,
+                    &mut client,
+                    &tracer,
+                    &clock,
+                    clicked_at,
+                    ack_at,
+                    model_upload_bytes,
+                    prediction,
+                    true,
+                );
+            }
+        }
     }
 
     // --- Migration, with failover. The snapshot is captured once (capture
@@ -1141,6 +1270,8 @@ fn run_offload(
                 clicked_at,
                 ack_at,
                 model_upload_bytes,
+                prediction.clone(),
+                false,
             );
         };
         server.restore(&snap_up)?;
@@ -1205,6 +1336,8 @@ fn run_offload(
                 clicked_at,
                 ack_at,
                 model_upload_bytes,
+                prediction.clone(),
+                false,
             );
         };
         client.restore(&snap_down)?;
@@ -1228,6 +1361,8 @@ fn run_offload(
         result: client.browser.element_text("result")?.to_string(),
         fell_back: false,
         server: server_name,
+        prediction,
+        proactive: false,
         trace,
     })
 }

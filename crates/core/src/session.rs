@@ -21,6 +21,7 @@
 //! exhausted. A fleet of size 1 behaves bit-for-bit like the original
 //! single-server session.
 
+use crate::adaptive::{AdaptiveOffloader, AdaptivePolicy, Decision, Plan};
 use crate::apps;
 use crate::device::DeviceProfile;
 use crate::endpoint::Endpoint;
@@ -62,6 +63,12 @@ pub struct SessionConfig {
     /// fault surfaces as an error. (With a multi-server fleet the pool
     /// still tries the remaining candidates before giving up.)
     pub retry: Option<RetryPolicy>,
+    /// Consult the proactive link-health predictor before each round's
+    /// offload: when the predicted failed-attempt penalty tips the plan
+    /// to Local, the round runs locally *without* burning a retry
+    /// budget. `false` (the default) replays the reactive-only path bit
+    /// for bit.
+    pub predict: bool,
 }
 
 impl SessionConfig {
@@ -105,6 +112,7 @@ impl SessionConfig {
                 snapshot: SnapshotOptions::default(),
                 use_deltas: true,
                 retry: None,
+                predict: false,
             },
         }
     }
@@ -127,6 +135,7 @@ impl SessionConfig {
                 snapshot: SnapshotOptions::default(),
                 use_deltas: true,
                 retry: None,
+                predict: false,
             },
         }
     }
@@ -245,6 +254,12 @@ impl SessionBuilder {
         self
     }
 
+    /// Toggles the proactive link-health predictor (off by default).
+    pub fn predict(mut self, on: bool) -> SessionBuilder {
+        self.cfg.predict = on;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> SessionConfig {
         self.cfg
@@ -276,6 +291,14 @@ pub struct RoundReport {
     /// Name of the endpoint that executed the inference: the serving edge
     /// server, or `"client"` when the round fell back to local execution.
     pub server: String,
+    /// What the link-health predictor advised for this round, when the
+    /// session runs with [`SessionConfig::predict`] enabled (and the
+    /// estimator had at least one sample). `None` otherwise.
+    pub prediction: Option<Decision>,
+    /// Whether this round ran locally *proactively* — the predictor
+    /// expected the offload to lose, so no retry budget was spent.
+    /// Contrast with [`RoundReport::fell_back`], the reactive path.
+    pub proactive: bool,
 }
 
 /// A persistent offloading relationship between one client and its edge
@@ -476,9 +499,10 @@ impl OffloadSession {
             sent.total_bytes(),
         )?;
         self.pool
-            .observe_faults(self.current, outcome.retries as usize);
+            .observe_faults(self.current, outcome.retries as usize, outcome.gave_up_at);
         let Some(xfer) = outcome.transfer else {
-            self.pool.observe_faults(self.current, 1);
+            self.pool
+                .observe_faults(self.current, 1, outcome.gave_up_at);
             self.tracer.end(upload_span, self.clock.now());
             return Err(OffloadError::Net(NetError::LinkDown));
         };
@@ -499,10 +523,14 @@ impl OffloadSession {
             presend_at,
             64,
         )?;
-        self.pool
-            .observe_faults(self.current, ack_outcome.retries as usize);
+        self.pool.observe_faults(
+            self.current,
+            ack_outcome.retries as usize,
+            ack_outcome.gave_up_at,
+        );
         let Some(ack) = ack_outcome.transfer else {
-            self.pool.observe_faults(self.current, 1);
+            self.pool
+                .observe_faults(self.current, 1, ack_outcome.gave_up_at);
             self.tracer.end(ack_span, self.clock.now());
             return Err(OffloadError::Net(NetError::LinkDown));
         };
@@ -685,9 +713,47 @@ impl OffloadSession {
             )));
         }
 
+        // Proactive link-health gate: consult the predictor before
+        // committing any bytes to the wire. A Local verdict completes the
+        // round on the client with zero retries spent; any other verdict
+        // is recorded and the offload proceeds as usual.
+        let mut prediction: Option<Decision> = None;
+        if self.cfg.predict {
+            if let Some(plan) = self.predict_plan()? {
+                let now = self.clock.now();
+                self.tracer.record(
+                    &format!("predict:{}", plan.decision.label()),
+                    Lane::Client,
+                    EventKind::Predict,
+                    now,
+                    now,
+                );
+                if plan.decision == Decision::Local {
+                    self.tracer.record(
+                        "proactive_local",
+                        Lane::Client,
+                        EventKind::ProactiveLocal,
+                        now,
+                        now,
+                    );
+                    // The server was never touched this round, so the
+                    // delta agreement stays valid — deltas resume as soon
+                    // as the link recovers.
+                    let mut report = self.complete_locally(clicked_at, false)?;
+                    report.prediction = Some(plan.decision);
+                    report.proactive = true;
+                    return Ok(report);
+                }
+                prediction = Some(plan.decision);
+            }
+        }
+
         loop {
             match self.try_offload(clicked_at) {
-                Ok(Some(report)) => return Ok(report),
+                Ok(Some(mut report)) => {
+                    report.prediction = prediction.clone();
+                    return Ok(report);
+                }
                 // The retry budget against the current server ran out.
                 Ok(None) => {}
                 // Without a retry policy a transient fault is strict
@@ -698,9 +764,39 @@ impl OffloadSession {
             }
             self.pool.mark_exhausted(self.current);
             if !self.failover()? {
-                return self.finish_round_locally(clicked_at);
+                let mut report = self.finish_round_locally(clicked_at)?;
+                report.prediction = prediction.clone();
+                return Ok(report);
             }
         }
+    }
+
+    /// Consults the current server's windowed link health and returns the
+    /// health-aware plan, or `None` before the estimator has a sample to
+    /// plan against.
+    fn predict_plan(&self) -> Result<Option<Plan>, OffloadError> {
+        let (Some(spec), Some(health)) =
+            (self.pool.spec(self.current), self.pool.health(self.current))
+        else {
+            return Ok(None);
+        };
+        let Some(link) = health.estimator().as_link_config(&spec.link) else {
+            return Ok(None);
+        };
+        let prediction = health.predict(self.clock.now());
+        let offloader = AdaptiveOffloader::new(
+            self.net.clone(),
+            self.cfg.client_device.clone(),
+            spec.device.clone(),
+            self.model_bytes,
+            AdaptivePolicy::default(),
+        );
+        let policy = self.cfg.retry.clone().unwrap_or_default();
+        // The current server is provisioned by the time a round runs
+        // (infer waits out the ACK), so no model bytes remain to charge.
+        offloader
+            .decide_predictive(&link, true, self.model_bytes, &prediction, &policy)
+            .map(Some)
     }
 
     /// One offload attempt against the current server: uplink migration,
@@ -752,14 +848,14 @@ impl OffloadSession {
             result: self.client.browser.element_text("result")?.to_string(),
             fell_back: false,
             server: self.server.name().to_string(),
+            prediction: None,
+            proactive: false,
         }))
     }
 
     /// Completes the round locally after the retry budget ran out: the
-    /// armed trigger event is still queued on the client (captures never
-    /// mutate it), so disarming the trigger and resuming executes the
-    /// inference handler there. The server's view of the client state is
-    /// now stale, so the delta agreement is dropped — the next round
+    /// server's view of the client state is now stale (bytes may have
+    /// died mid-wire), so the delta agreement is dropped — the next round
     /// re-sends a full snapshot.
     fn finish_round_locally(&mut self, clicked_at: Duration) -> Result<RoundReport, OffloadError> {
         self.tracer.record(
@@ -769,6 +865,20 @@ impl OffloadSession {
             self.clock.now(),
             self.clock.now(),
         );
+        self.agreed = None;
+        self.complete_locally(clicked_at, true)
+    }
+
+    /// Runs the armed inference handler on the client: the trigger event
+    /// is still queued (captures never mutate it), so disarming the
+    /// trigger and resuming executes the inference locally. Shared by the
+    /// reactive fallback (after exhaustion) and the proactive path (the
+    /// predictor declined to offload).
+    fn complete_locally(
+        &mut self,
+        clicked_at: Duration,
+        fell_back: bool,
+    ) -> Result<RoundReport, OffloadError> {
         self.client.browser.set_offload_trigger(None);
         let span = self.tracer.begin(
             "exec_client",
@@ -783,7 +893,6 @@ impl OffloadSession {
             None => apps::FULL_OFFLOAD_EVENT,
         };
         self.client.browser.set_offload_trigger(Some(trigger));
-        self.agreed = None;
         Ok(RoundReport {
             round: self.round,
             delta_up: false,
@@ -792,8 +901,10 @@ impl OffloadSession {
             down_bytes: 0,
             total: self.clock.now() - clicked_at,
             result: self.client.browser.element_text("result")?.to_string(),
-            fell_back: true,
+            fell_back,
             server: "client".to_string(),
+            prediction: None,
+            proactive: false,
         })
     }
 
@@ -948,10 +1059,11 @@ impl OffloadSession {
             bytes,
         )?;
         self.pool
-            .observe_faults(self.current, outcome.retries as usize);
+            .observe_faults(self.current, outcome.retries as usize, outcome.gave_up_at);
         let Some(xfer) = outcome.transfer else {
             // Giving up is itself a fault observation against this server.
-            self.pool.observe_faults(self.current, 1);
+            self.pool
+                .observe_faults(self.current, 1, outcome.gave_up_at);
             self.tracer.end(span, self.clock.now());
             return Ok(None);
         };

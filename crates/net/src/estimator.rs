@@ -12,6 +12,12 @@ use std::time::Duration;
 /// [`BandwidthEstimator::penalize`] call.
 const PENALTY_FACTOR: f64 = 0.5;
 
+/// Penalties never decay the estimate below this floor (one byte per
+/// second). Keeps a penalized-to-death estimator yielding finite,
+/// well-ordered transfer-time predictions instead of drifting into
+/// denormals.
+const PENALTY_FLOOR_BPS: f64 = 8.0;
+
 /// Exponentially-weighted moving-average bandwidth estimator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BandwidthEstimator {
@@ -55,10 +61,16 @@ impl BandwidthEstimator {
     /// decay toward zero), steering the fleet's selection metric away
     /// from the faulty server. A no-op before the first throughput
     /// sample: with no estimate there is nothing to decay, and inventing
-    /// one would poison the first real observation.
+    /// one would poison the first real observation. Decay stops at a
+    /// small floor ([`PENALTY_FLOOR_BPS`]) so an arbitrarily-penalized
+    /// estimator still yields finite, monotone transfer-time predictions.
     pub fn penalize(&mut self) {
         if let Some(prev) = self.estimate_bps {
-            self.estimate_bps = Some(prev * PENALTY_FACTOR);
+            self.estimate_bps = Some(if prev <= PENALTY_FLOOR_BPS {
+                prev
+            } else {
+                (prev * PENALTY_FACTOR).max(PENALTY_FLOOR_BPS)
+            });
             self.penalties += 1;
         }
     }
@@ -100,12 +112,16 @@ impl BandwidthEstimator {
 
     /// Builds a [`LinkConfig`] from the estimate for feeding a planner
     /// (e.g. the adaptive offloader). Returns `None` before any sample.
-    pub fn as_link_config(&self, latency: Duration) -> Option<LinkConfig> {
+    ///
+    /// Only the bandwidth is estimated; latency, loss and per-transfer
+    /// overhead are inherited from `template` — the configured link the
+    /// observations were made against. (Fabricating `loss: 0` /
+    /// `overhead_bytes: 0` here made every estimator-fed plan optimistic
+    /// on lossy or overhead-heavy paths.)
+    pub fn as_link_config(&self, template: &LinkConfig) -> Option<LinkConfig> {
         self.estimate_bps.map(|bps| LinkConfig {
             bandwidth_bps: bps,
-            latency,
-            overhead_bytes: 0,
-            loss: 0.0,
+            ..template.clone()
         })
     }
 }
@@ -156,13 +172,45 @@ mod tests {
 
     #[test]
     fn link_config_roundtrip() {
+        // A lossy, overhead-heavy template: the estimate replaces only
+        // the bandwidth, everything else is inherited verbatim.
+        let template = LinkConfig {
+            bandwidth_bps: 100.0e6,
+            latency: Duration::from_millis(5),
+            overhead_bytes: 512,
+            loss: 0.2,
+        };
         let mut e = BandwidthEstimator::default();
-        assert!(e.as_link_config(Duration::from_millis(5)).is_none());
+        assert!(e.as_link_config(&template).is_none());
         e.observe(3_750_000, Duration::from_secs(1));
-        let cfg = e.as_link_config(Duration::from_millis(5)).unwrap();
+        let cfg = e.as_link_config(&template).unwrap();
         assert!((cfg.bandwidth_bps - 30.0e6).abs() < 1.0);
-        // The config is usable for transfer-time prediction.
-        assert!(cfg.transfer_time(3_750_000).unwrap().as_secs_f64() > 0.9);
+        assert_eq!(cfg.latency, template.latency);
+        assert_eq!(cfg.overhead_bytes, template.overhead_bytes);
+        assert_eq!(cfg.loss, template.loss);
+        // The config is usable for transfer-time prediction, and the
+        // inherited loss makes it slower than a fabricated lossless one.
+        let lossy = cfg.transfer_time(3_750_000).unwrap();
+        assert!(lossy.as_secs_f64() > 0.9);
+        let lossless = LinkConfig { loss: 0.0, ..cfg }
+            .transfer_time(3_750_000)
+            .unwrap();
+        assert!(lossy > lossless, "loss must survive the round-trip");
+    }
+
+    #[test]
+    fn penalties_decay_to_a_floor_not_to_zero() {
+        let mut e = BandwidthEstimator::default();
+        e.observe(3_750_000, Duration::from_secs(1)); // 30 Mbps
+        for _ in 0..500 {
+            e.penalize();
+        }
+        let est = e.estimate_bps().unwrap();
+        assert_eq!(est, PENALTY_FLOOR_BPS);
+        assert_eq!(e.penalties(), 500);
+        // The floored estimate still yields a finite link config.
+        let cfg = e.as_link_config(&LinkConfig::wifi_30mbps()).unwrap();
+        assert!(cfg.transfer_time(1024).is_ok());
     }
 
     #[test]

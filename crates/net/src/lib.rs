@@ -33,11 +33,13 @@ mod clock;
 pub mod compress;
 mod estimator;
 mod fault;
+mod health;
 mod link;
 mod queue;
 
 pub use clock::SimClock;
 pub use estimator::BandwidthEstimator;
 pub use fault::{FaultKind, FaultPlan, FaultWindow, LinkState};
+pub use health::{LinkHealth, LinkPrediction};
 pub use link::{Link, LinkConfig, NetError, Transfer};
 pub use queue::EventQueue;

@@ -83,6 +83,15 @@ pub enum EventKind {
     /// `"handoff:edge-a->edge-b"`). The delta agreement is dropped and
     /// the model is re-pre-sent as part of the handoff.
     Handoff,
+    /// A proactive link-health prediction consulted before committing
+    /// bytes to the wire (instant marker; the event name carries the
+    /// predicted decision, e.g. `"predict:local"`).
+    Predict,
+    /// The runtime chose local execution *proactively* — the health
+    /// predictor expected the offload to lose before any retry budget
+    /// was spent (instant marker; contrast with [`EventKind::Fallback`],
+    /// the reactive path taken after exhaustion).
+    ProactiveLocal,
     /// Anything else (markers, app phases, custom spans).
     Other,
 }
@@ -106,6 +115,8 @@ impl EventKind {
             EventKind::Verify => "verify",
             EventKind::ServerSelect => "server_select",
             EventKind::Handoff => "handoff",
+            EventKind::Predict => "predict",
+            EventKind::ProactiveLocal => "proactive_local",
             EventKind::Other => "other",
         }
     }
@@ -128,6 +139,8 @@ impl EventKind {
             "verify" => Some(EventKind::Verify),
             "server_select" => Some(EventKind::ServerSelect),
             "handoff" => Some(EventKind::Handoff),
+            "predict" => Some(EventKind::Predict),
+            "proactive_local" => Some(EventKind::ProactiveLocal),
             "other" => Some(EventKind::Other),
             _ => None,
         }
@@ -188,6 +201,8 @@ mod tests {
             EventKind::Verify,
             EventKind::ServerSelect,
             EventKind::Handoff,
+            EventKind::Predict,
+            EventKind::ProactiveLocal,
             EventKind::Other,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));

@@ -339,6 +339,39 @@ mod tests {
     }
 
     #[test]
+    fn prediction_events_export_and_reimport() {
+        // The proactive predictor's instant markers survive the JSONL
+        // round-trip with their stable kind names.
+        let trace = Trace::from_events(vec![
+            Event {
+                name: "predict:local".into(),
+                lane: Lane::Client,
+                kind: EventKind::Predict,
+                start: ms(7),
+                end: ms(7),
+                bytes: None,
+                depth: 0,
+            },
+            Event {
+                name: "proactive_local".into(),
+                lane: Lane::Client,
+                kind: EventKind::ProactiveLocal,
+                start: ms(7),
+                end: ms(7),
+                bytes: None,
+                depth: 0,
+            },
+        ]);
+        let text = trace.to_jsonl();
+        assert!(text.contains("\"kind\":\"predict\""));
+        assert!(text.contains("\"kind\":\"proactive_local\""));
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.events()[0].kind, EventKind::Predict);
+        assert_eq!(back.events()[1].kind, EventKind::ProactiveLocal);
+    }
+
+    #[test]
     fn blank_lines_are_skipped() {
         let text = format!("\n{}\n\n", sample_trace().to_jsonl());
         assert_eq!(Trace::from_jsonl(&text).unwrap().len(), 3);

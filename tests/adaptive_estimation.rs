@@ -33,7 +33,7 @@ fn measured_config(true_link: &LinkConfig, probes: usize) -> LinkConfig {
         estimator.observe_transfer(&transfer);
         now = transfer.finish + Duration::from_millis(200);
     }
-    estimator.as_link_config(true_link.latency).unwrap()
+    estimator.as_link_config(true_link).unwrap()
 }
 
 #[test]
@@ -76,7 +76,7 @@ fn estimator_tracks_degradation_and_flips_the_decision() {
         estimator.observe_transfer(&t);
         now = t.finish;
     }
-    let degraded = estimator.as_link_config(Duration::from_millis(5)).unwrap();
+    let degraded = estimator.as_link_config(&LinkConfig::mbps(0.05)).unwrap();
     assert_eq!(
         ctl.decide(&degraded, true).unwrap().decision,
         Decision::Local,
