@@ -30,6 +30,12 @@ cargo test --offline -q -p snapedge-integration --test failover
 echo "== prediction suite (proactive link health, predict-off bit-compat)"
 cargo test --offline -q -p snapedge-integration --test prediction
 
+echo "== engine suite (fleet scheduler determinism, legacy-loop bit-compat)"
+cargo test --offline -q -p snapedge-integration --test engine
+
+echo "== fleet scale smoke (10k clients under a wall-clock budget)"
+cargo run --offline --release -p snapedge-bench --bin fleet_scale
+
 echo "== determinism lint (wall-clock, hash-iter, unwrap-hot-path)"
 cargo run --offline --release -p snapedge-lint
 

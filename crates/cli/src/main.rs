@@ -4,6 +4,7 @@
 //! snapedge run     --model googlenet --strategy after-ack [--mbps 30] [--cut 1st_pool]
 //! snapedge sweep   --model agenet                 # Fig. 8 partition sweep
 //! snapedge session --model googlenet --rounds 5   # repeated offloads w/ deltas
+//! snapedge fleet   --clients 10000 --arrival poisson:500 --duration 60
 //! snapedge install --model agenet                 # VM-synthesis cost
 //! snapedge models                                 # list zoo models & cuts
 //! snapedge analyze --all-apps true                # static snapshot verification
@@ -11,8 +12,8 @@
 
 use snapedge_analyze::{analyze_html, analyze_script, AnalysisOptions, AnalysisReport};
 use snapedge_core::{
-    apps, parse_servers, run_scenario, vm_install, OffloadSession, RetryPolicy, ScenarioConfig,
-    ServerSpec, SessionConfig, Strategy,
+    apps, parse_servers, run_scenario, vm_install, ArrivalProcess, Engine, FleetReport,
+    OffloadSession, RetryPolicy, ScenarioConfig, ServerSpec, SessionConfig, Strategy, Workload,
 };
 use snapedge_dnn::{zoo, ModelBundle};
 use snapedge_net::{FaultPlan, LinkConfig};
@@ -77,6 +78,9 @@ const USAGE: &str = "usage:
   snapedge session --model <name> [--rounds <n>] [--no-deltas true]
                    [--fault-plan <spec>] [--retry <spec>] [--servers <spec>]
                    [--predict true]
+  snapedge fleet   --model <name> [--clients <n>] [--arrival <spec>]
+                   [--duration <s>] [--rounds <n>] [--servers <spec>]
+                   [--mbps <rate>] [--seed <n>] [--retry <spec>] [--real true]
   snapedge install --model <name> [--mbps <rate>]
   snapedge models
   snapedge analyze [--all-apps true | --model <name> [--cut <label>]]
@@ -97,7 +101,15 @@ const USAGE: &str = "usage:
   --predict true consults the link-health predictor before each migration:
     when the measured fault rate and bandwidth trend say the offload loses
     after its expected retry backoff, the inference completes locally
-    before any retry budget burns. Off by default (bit-identical replay).";
+    before any retry budget burns. Off by default (bit-identical replay).
+  --arrival shapes fleet traffic (snapedge fleet):
+      'closed[:think_s]'               closed loop, per-client think time
+      'poisson:rate_hz'                open-loop Poisson, fleet-wide rate
+      'diurnal:base_hz:peak_hz:period_s'  raised-cosine rate curve
+    Open-loop arrivals landing on a busy client queue client-side. By
+    default the fleet runs the calibrated analytic workload (tens of
+    thousands of clients in milliseconds); --real true builds one real
+    browser session per client instead.";
 
 fn main() -> ExitCode {
     match real_main() {
@@ -116,6 +128,7 @@ fn real_main() -> Result<(), String> {
         Some("run") => cmd_run(&args),
         Some("sweep") => cmd_sweep(&args),
         Some("session") => cmd_session(&args),
+        Some("fleet") => cmd_fleet(&args),
         Some("install") => cmd_install(&args),
         Some("models") => cmd_models(),
         Some("analyze") => cmd_analyze(&args),
@@ -392,6 +405,128 @@ fn cmd_session(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses an `--arrival` spec: `closed[:think_s]`, `poisson:rate_hz`, or
+/// `diurnal:base_hz:peak_hz:period_s`.
+fn parse_arrival(spec: &str) -> Result<ArrivalProcess, String> {
+    let mut parts = spec.split(':');
+    let shape = parts.next().unwrap_or_default();
+    let rest: Vec<&str> = parts.collect();
+    let num = |s: &str, what: &str| -> Result<f64, String> {
+        s.parse::<f64>()
+            .map_err(|e| format!("bad --arrival {what} {s:?}: {e}"))
+    };
+    match (shape, rest.as_slice()) {
+        ("closed", []) => Ok(ArrivalProcess::ClosedLoop {
+            think: Duration::from_secs(2),
+        }),
+        ("closed", [think]) => Ok(ArrivalProcess::ClosedLoop {
+            think: Duration::from_secs_f64(num(think, "think time")?),
+        }),
+        ("poisson", [rate]) => Ok(ArrivalProcess::Poisson {
+            rate_hz: num(rate, "rate")?,
+        }),
+        ("diurnal", [base, peak, period]) => Ok(ArrivalProcess::Diurnal {
+            base_hz: num(base, "base rate")?,
+            peak_hz: num(peak, "peak rate")?,
+            period: Duration::from_secs_f64(num(period, "period")?),
+        }),
+        _ => Err(format!(
+            "bad --arrival {spec:?} (use closed[:think_s], poisson:rate_hz, \
+             or diurnal:base_hz:peak_hz:period_s)"
+        )),
+    }
+}
+
+/// Shapes an engine from the shared fleet flags and runs it to completion.
+fn run_fleet<W: Workload>(
+    mut engine: Engine<W>,
+    arrival: ArrivalProcess,
+    duration: Duration,
+    max_rounds: Option<usize>,
+) -> Result<FleetReport, String> {
+    engine = engine.arrival(arrival).duration(duration);
+    if let Some(cap) = max_rounds {
+        engine = engine.max_rounds(cap);
+    }
+    engine.run().map_err(|e| e.to_string())
+}
+
+fn cmd_fleet(args: &Args) -> Result<(), String> {
+    let clients: usize = match args.flag("clients") {
+        Some(v) => v.parse().map_err(|e| format!("bad --clients: {e}"))?,
+        None => 100,
+    };
+    let arrival = parse_arrival(args.flag("arrival").unwrap_or("closed"))?;
+    let duration = Duration::from_secs_f64(match args.flag("duration") {
+        Some(v) => v.parse().map_err(|e| format!("bad --duration: {e}"))?,
+        None => 60.0,
+    });
+    let max_rounds: Option<usize> = match args.flag("rounds") {
+        Some(v) => Some(v.parse().map_err(|e| format!("bad --rounds: {e}"))?),
+        None => None,
+    };
+    let real = match args.flag("real") {
+        None | Some("false") | Some("off") => false,
+        Some("true") | Some("on") => true,
+        Some(other) => return Err(format!("bad --real {other:?} (use true/false)")),
+    };
+    let mut cfg = SessionConfig::paper(&args.model());
+    cfg.primary_mut().link = LinkConfig::mbps(args.mbps()?);
+    apply_fleet_flags(args, &mut cfg.servers)?;
+    cfg.retry = parse_retry_flag(args)?;
+    cfg.predict = parse_predict_flag(args)?;
+    if let Some(seed) = args.flag("seed") {
+        cfg.seed = seed.parse().map_err(|e| format!("bad --seed: {e}"))?;
+    }
+    println!(
+        "fleet:      {} server(s), {} client(s), arrival {:?}, horizon {:.0}s, {} workload",
+        cfg.servers.len(),
+        clients,
+        arrival,
+        duration.as_secs_f64(),
+        if real { "real-session" } else { "modeled" }
+    );
+    let report = if real {
+        let engine = Engine::sessions(cfg, clients).map_err(|e| e.to_string())?;
+        run_fleet(engine, arrival, duration, max_rounds)?
+    } else {
+        let engine = Engine::modeled(cfg, clients).map_err(|e| e.to_string())?;
+        run_fleet(engine, arrival, duration, max_rounds)?
+    };
+    println!(
+        "completed:  {} round(s) ({} fallback(s)) | makespan {:.3}s | throughput {:.1}/s",
+        report.completed,
+        report.fallbacks,
+        report.makespan.as_secs_f64(),
+        report.throughput_rps
+    );
+    println!(
+        "latency:    p50 {:.3}s | p95 {:.3}s | p99 {:.3}s (mean {:.3}s, max {:.3}s)",
+        report.latency.p50.as_secs_f64(),
+        report.latency.p95.as_secs_f64(),
+        report.latency.p99.as_secs_f64(),
+        report.latency.mean.as_secs_f64(),
+        report.latency.max.as_secs_f64()
+    );
+    println!(
+        "queue wait: p50 {:.3}s | p95 {:.3}s | p99 {:.3}s (max {:.3}s)",
+        report.queue_wait.p50.as_secs_f64(),
+        report.queue_wait.p95.as_secs_f64(),
+        report.queue_wait.p99.as_secs_f64(),
+        report.queue_wait.max.as_secs_f64()
+    );
+    for server in &report.servers {
+        println!(
+            "server:     {:<16} {:>8} round(s) | busy {:.3}s | utilization {:.1}%",
+            server.name,
+            server.rounds,
+            server.busy.as_secs_f64(),
+            server.utilization * 100.0
+        );
+    }
+    Ok(())
+}
+
 fn cmd_install(args: &Args) -> Result<(), String> {
     let model = args.model();
     let net = zoo::by_name(&model).map_err(|e| e.to_string())?;
@@ -552,6 +687,48 @@ mod tests {
 
     fn args(parts: &[&str]) -> Args {
         Args::from_vec(parts.iter().map(|s| s.to_string()).collect()).unwrap()
+    }
+
+    #[test]
+    fn parses_arrival_specs() {
+        assert_eq!(
+            parse_arrival("closed").unwrap(),
+            ArrivalProcess::ClosedLoop {
+                think: Duration::from_secs(2)
+            }
+        );
+        assert_eq!(
+            parse_arrival("closed:0.5").unwrap(),
+            ArrivalProcess::ClosedLoop {
+                think: Duration::from_millis(500)
+            }
+        );
+        assert_eq!(
+            parse_arrival("poisson:120").unwrap(),
+            ArrivalProcess::Poisson { rate_hz: 120.0 }
+        );
+        assert_eq!(
+            parse_arrival("diurnal:5:80:3600").unwrap(),
+            ArrivalProcess::Diurnal {
+                base_hz: 5.0,
+                peak_hz: 80.0,
+                period: Duration::from_secs(3600)
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_arrival_specs() {
+        for bad in [
+            "",
+            "uniform:3",
+            "poisson",
+            "poisson:fast",
+            "diurnal:5:80",
+            "closed:1:2",
+        ] {
+            assert!(parse_arrival(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,918 @@
+//! The megascale discrete-event fleet engine.
+//!
+//! Everything else in this crate advances one client's private
+//! [`SimClock`](snapedge_net::SimClock) in a closed loop — the regime the
+//! paper measures. This module is the regime the ROADMAP's north star
+//! cares about: **thousands of concurrent clients** sharing an edge
+//! fleet, where queueing at the server CPU (not link bandwidth alone)
+//! decides whether offloading pays.
+//!
+//! # How it works
+//!
+//! One global virtual clock drives a binary-heap event queue
+//! ([`snapedge_net::EventQueue`], ordered by `(time, seq)` so ties break
+//! deterministically by push order). Each client runs a resumable round
+//! state machine (a [`Workload`]) that *yields* at the moment it needs
+//! the one shared resource — the server CPU — and the engine interleaves
+//! those yields:
+//!
+//! * [`Ev::Arrive`]: a request reaches a client (open-loop arrivals may
+//!   find the client busy and queue client-side).
+//! * [`Ev::Admit`]: a client's uplinked snapshot asks for server CPU.
+//!   The engine grants it at `max(request, busy_until[server])` — the
+//!   difference **is** the queueing delay, recorded by the session as
+//!   `enqueue`/`queue_wait`/`dequeue` trace events. Contention emerges
+//!   from overlapping requests instead of an analytic approximation
+//!   (contrast [`crate::contention`], which this engine supersedes for
+//!   fleet-level questions).
+//! * [`Ev::Release`]: the server CPU frees; the round's downlink and
+//!   completion run on the client's private timeline.
+//!
+//! Links, captures and restores are per-client resources and ride each
+//! session's private clock; only the server CPU serializes across
+//! clients. (Snapshot restore/capture on the server ride the session's
+//! pipeline too — the busy window the engine serializes is the inference
+//! execution, the dominant term for DNN work.)
+//!
+//! Two workloads share the engine through one API: [`SessionWorkload`]
+//! drives real [`OffloadSession`]s (real browsers, snapshots, deltas,
+//! faults, failover — bit-identical to the legacy loop for one client)
+//! and [`ModeledWorkload`] uses the calibrated analytic timings so 10k+
+//! clients simulate in milliseconds. Both accept any config convertible
+//! into a [`SessionConfig`] — including a bare
+//! [`OffloadConfig`](crate::OffloadConfig).
+
+use crate::session::{OffloadSession, RoundReport, RoundStep, SessionConfig};
+use crate::OffloadError;
+use snapedge_dnn::zoo;
+use snapedge_net::EventQueue;
+use snapedge_rng::{splitmix64, Rng};
+use snapedge_trace::{Summary, Trace};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Snapshot size the analytic workload prices per request: the same
+/// calibrated full-offload app state [`crate::contention`] uses.
+const MODELED_SNAPSHOT_BYTES: u64 = 70 * 1024;
+
+/// The per-round image seed both the engine and any legacy comparison
+/// loop must use: a splitmix64 hash of `(engine_seed, client, round)`,
+/// so every client/round pair gets an independent, reproducible image.
+/// `round` is 1-based, matching [`RoundReport::round`].
+pub fn round_image_seed(engine_seed: u64, client: u64, round: u64) -> u64 {
+    let mut state = engine_seed
+        .wrapping_add(client.wrapping_mul(0xA24B_AED4_963E_E407))
+        .wrapping_add(round.wrapping_mul(0x9FB2_1C65_1E98_DF25));
+    splitmix64(&mut state)
+}
+
+/// How requests reach the fleet over virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Closed loop: every client issues at t=0 and re-issues `think`
+    /// after each completion — the paper's interactive-user model (and
+    /// the regime [`crate::contention`] simulated).
+    ClosedLoop {
+        /// Think time between a result and the next request.
+        think: Duration,
+    },
+    /// Open-loop Poisson bursts: exponential interarrivals at `rate_hz`
+    /// requests/second fleet-wide, each assigned to a uniformly random
+    /// client. Requests landing on a busy client queue client-side.
+    Poisson {
+        /// Fleet-wide mean arrival rate, in requests per second.
+        rate_hz: f64,
+    },
+    /// A diurnal curve: a raised-cosine rate swinging between `base_hz`
+    /// (trough) and `peak_hz` (crest) once per `period`, sampled by
+    /// thinning a Poisson stream at the crest rate.
+    Diurnal {
+        /// Trough arrival rate, in requests per second.
+        base_hz: f64,
+        /// Crest arrival rate, in requests per second.
+        peak_hz: f64,
+        /// Length of one full trough→crest→trough cycle.
+        period: Duration,
+    },
+}
+
+impl ArrivalProcess {
+    /// Instantaneous arrival rate at virtual time `t` (open-loop shapes
+    /// only; a closed loop has no free-running rate).
+    fn rate_at(&self, t: Duration) -> f64 {
+        match self {
+            ArrivalProcess::ClosedLoop { .. } => 0.0,
+            ArrivalProcess::Poisson { rate_hz } => *rate_hz,
+            ArrivalProcess::Diurnal {
+                base_hz,
+                peak_hz,
+                period,
+            } => {
+                let phase = if period.is_zero() {
+                    0.0
+                } else {
+                    t.as_secs_f64() / period.as_secs_f64()
+                };
+                let swing = 0.5 * (1.0 - (2.0 * std::f64::consts::PI * phase).cos());
+                base_hz + (peak_hz - base_hz) * swing
+            }
+        }
+    }
+
+    /// Upper bound of [`ArrivalProcess::rate_at`] over all `t` — the
+    /// thinning envelope.
+    fn peak_rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::ClosedLoop { .. } => 0.0,
+            ArrivalProcess::Poisson { rate_hz } => *rate_hz,
+            ArrivalProcess::Diurnal {
+                base_hz, peak_hz, ..
+            } => base_hz.max(*peak_hz),
+        }
+    }
+}
+
+/// What one completed round looked like from the fleet's point of view —
+/// the workload-agnostic record [`FleetReport`] aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// Which client completed the round.
+    pub client: usize,
+    /// The client's 1-based round number.
+    pub round: usize,
+    /// Global virtual time the result landed on the client's screen.
+    pub finished_at: Duration,
+    /// Click-to-result time as the client experienced it.
+    pub total: Duration,
+    /// Whether the round gave up on offloading and completed locally.
+    pub fell_back: bool,
+    /// Name of the endpoint that executed the inference (`"client"`
+    /// for a fallback round).
+    pub server: String,
+}
+
+/// Where a client's round state machine paused — what a [`Workload`]
+/// hands back to the engine.
+#[derive(Debug)]
+pub enum EngineStep {
+    /// The round needs the server CPU of fleet candidate `server`, whose
+    /// uplinked request is ready at global time `at`.
+    NeedCompute {
+        /// Fleet candidate index whose CPU is requested.
+        server: usize,
+        /// Global virtual time the request is ready to execute.
+        at: Duration,
+    },
+    /// The round completed without (further) server CPU.
+    Done(RoundOutcome),
+}
+
+/// A set of concurrent clients the engine can interleave: each client is
+/// a resumable round state machine yielding at its server-CPU boundary.
+///
+/// The engine calls, per round and per client:
+/// `begin_round` → (`compute` → `continue_round`)*, where the loop
+/// repeats when a failover mid-round re-drives the uplink against a
+/// different server.
+pub trait Workload {
+    /// Number of clients (fixed for the engine run).
+    fn clients(&self) -> usize;
+
+    /// Starts a round for `client`: its request was issued at global
+    /// time `at` (never earlier than the client's own timeline), and the
+    /// round's input image derives from `image_seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates app/protocol/network failures from the round.
+    fn begin_round(
+        &mut self,
+        client: usize,
+        at: Duration,
+        image_seed: u64,
+    ) -> Result<EngineStep, OffloadError>;
+
+    /// Grants the server CPU the client asked for, admitted at global
+    /// time `admitted_at` (later than requested when the CPU was busy —
+    /// the queueing delay). Returns the time the CPU frees.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server-side execution failures.
+    fn compute(&mut self, client: usize, admitted_at: Duration) -> Result<Duration, OffloadError>;
+
+    /// Resumes the round after its compute grant: downlink, completion —
+    /// or another [`EngineStep::NeedCompute`] when a mid-round failover
+    /// re-drove the uplink against a different server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates app/protocol/network failures from the round.
+    fn continue_round(&mut self, client: usize) -> Result<EngineStep, OffloadError>;
+}
+
+/// The full-fidelity workload: one real [`OffloadSession`] per client —
+/// real browsers, snapshots, deltas, faults, fleet failover. Each
+/// client's session is seeded `cfg.seed + client`, so client 0 of a
+/// 1-client fleet replays the legacy loop bit for bit.
+pub struct SessionWorkload {
+    sessions: Vec<OffloadSession>,
+    reports: Vec<RoundReport>,
+}
+
+impl SessionWorkload {
+    /// Builds `clients` sessions from one config (anything convertible
+    /// into a [`SessionConfig`], including a bare
+    /// [`OffloadConfig`](crate::OffloadConfig)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates session construction failures (unknown model, empty
+    /// fleet, unreachable servers).
+    pub fn new(
+        cfg: impl Into<SessionConfig>,
+        clients: usize,
+    ) -> Result<SessionWorkload, OffloadError> {
+        let cfg: SessionConfig = cfg.into();
+        let mut sessions = Vec::with_capacity(clients);
+        for client in 0..clients {
+            let mut per_client = cfg.clone();
+            per_client.seed = cfg.seed.wrapping_add(client as u64);
+            sessions.push(OffloadSession::new(per_client)?);
+        }
+        Ok(SessionWorkload {
+            sessions,
+            reports: Vec::new(),
+        })
+    }
+
+    /// Every completed [`RoundReport`], in completion order.
+    pub fn reports(&self) -> &[RoundReport] {
+        &self.reports
+    }
+
+    /// The event trace of one client's session (all its rounds).
+    pub fn trace(&self, client: usize) -> Option<Trace> {
+        self.sessions.get(client).map(OffloadSession::trace)
+    }
+
+    fn session(&mut self, client: usize) -> Result<&mut OffloadSession, OffloadError> {
+        self.sessions
+            .get_mut(client)
+            .ok_or_else(|| OffloadError::Config(format!("workload has no client {client}")))
+    }
+
+    fn step_of(&mut self, client: usize, step: RoundStep) -> EngineStep {
+        match step {
+            RoundStep::NeedCompute => {
+                let (server, at) = match self.sessions.get(client) {
+                    Some(s) => (s.current_server(), s.now()),
+                    None => (0, Duration::ZERO),
+                };
+                EngineStep::NeedCompute { server, at }
+            }
+            RoundStep::Done(report) => {
+                let finished_at = self
+                    .sessions
+                    .get(client)
+                    .map(|s| s.now())
+                    .unwrap_or_default();
+                let outcome = RoundOutcome {
+                    client,
+                    round: report.round,
+                    finished_at,
+                    total: report.total,
+                    fell_back: report.fell_back,
+                    server: report.server.clone(),
+                };
+                self.reports.push(report);
+                EngineStep::Done(outcome)
+            }
+        }
+    }
+}
+
+impl Workload for SessionWorkload {
+    fn clients(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn begin_round(
+        &mut self,
+        client: usize,
+        at: Duration,
+        image_seed: u64,
+    ) -> Result<EngineStep, OffloadError> {
+        let session = self.session(client)?;
+        session.advance_clock_to(at);
+        let step = session.round_start(image_seed)?;
+        Ok(self.step_of(client, step))
+    }
+
+    fn compute(&mut self, client: usize, admitted_at: Duration) -> Result<Duration, OffloadError> {
+        let session = self.session(client)?;
+        session.round_compute(admitted_at)?;
+        Ok(session.now())
+    }
+
+    fn continue_round(&mut self, client: usize) -> Result<EngineStep, OffloadError> {
+        let step = self.session(client)?.round_finish()?;
+        Ok(self.step_of(client, step))
+    }
+}
+
+/// One client's in-flight modeled round.
+#[derive(Debug, Clone, Copy)]
+struct ModeledRound {
+    clicked: Duration,
+    server: usize,
+    released: Duration,
+}
+
+/// The megascale workload: per-round timings derived from the same
+/// calibrated device/link models the scenarios use (restore + full
+/// execution + capture at the server; capture/transfer/restore on the
+/// client side), with clients rotating round-robin over the fleet. No
+/// browsers are built, so tens of thousands of clients simulate in
+/// milliseconds — the fidelity trade [`crate::contention`] made, now
+/// behind the same [`Workload`] API as real sessions.
+pub struct ModeledWorkload {
+    names: Vec<String>,
+    service: Vec<Duration>,
+    up: Vec<Duration>,
+    down: Vec<Duration>,
+    capture: Duration,
+    restore: Duration,
+    clients: usize,
+    rounds: Vec<usize>,
+    pending: Vec<Option<ModeledRound>>,
+}
+
+impl ModeledWorkload {
+    /// Derives analytic timings for `clients` clients from one config
+    /// (anything convertible into a [`SessionConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OffloadError`] for unknown models or an empty fleet.
+    pub fn new(
+        cfg: impl Into<SessionConfig>,
+        clients: usize,
+    ) -> Result<ModeledWorkload, OffloadError> {
+        let cfg: SessionConfig = cfg.into();
+        if cfg.servers.is_empty() {
+            return Err(OffloadError::Config(
+                "modeled workload needs at least one edge server in its fleet".into(),
+            ));
+        }
+        let net = zoo::by_name(&cfg.model)?;
+        let profile = net.profile();
+        let bytes = MODELED_SNAPSHOT_BYTES;
+        let mut names = Vec::with_capacity(cfg.servers.len());
+        let mut service = Vec::with_capacity(cfg.servers.len());
+        let mut up = Vec::with_capacity(cfg.servers.len());
+        let mut down = Vec::with_capacity(cfg.servers.len());
+        for spec in &cfg.servers {
+            names.push(spec.name.clone());
+            service.push(
+                spec.device.restore_time(bytes)
+                    + spec.device.full_exec_time(&profile)
+                    + spec.device.capture_time(bytes),
+            );
+            up.push(spec.link.transfer_time(bytes)?);
+            down.push(spec.link.transfer_time(bytes)?);
+        }
+        Ok(ModeledWorkload {
+            names,
+            service,
+            up,
+            down,
+            capture: cfg.client_device.capture_time(bytes),
+            restore: cfg.client_device.restore_time(bytes),
+            clients,
+            rounds: vec![0; clients],
+            pending: vec![None; clients],
+        })
+    }
+
+    fn slot(&mut self, client: usize) -> Result<&mut Option<ModeledRound>, OffloadError> {
+        self.pending
+            .get_mut(client)
+            .ok_or_else(|| OffloadError::Config(format!("workload has no client {client}")))
+    }
+}
+
+impl Workload for ModeledWorkload {
+    fn clients(&self) -> usize {
+        self.clients
+    }
+
+    fn begin_round(
+        &mut self,
+        client: usize,
+        at: Duration,
+        _image_seed: u64,
+    ) -> Result<EngineStep, OffloadError> {
+        let fleet = self.names.len();
+        let round = match self.rounds.get_mut(client) {
+            Some(r) => {
+                *r += 1;
+                *r
+            }
+            None => {
+                return Err(OffloadError::Config(format!(
+                    "workload has no client {client}"
+                )))
+            }
+        };
+        // Round-robin server choice, offset by client so a cold fleet
+        // spreads load instead of stampeding candidate 0.
+        let server = (client + round - 1) % fleet;
+        let ready = at + self.capture + self.up[server % fleet];
+        *self.slot(client)? = Some(ModeledRound {
+            clicked: at,
+            server,
+            released: ready,
+        });
+        Ok(EngineStep::NeedCompute { server, at: ready })
+    }
+
+    fn compute(&mut self, client: usize, admitted_at: Duration) -> Result<Duration, OffloadError> {
+        let service = &self.service;
+        let pending = self
+            .pending
+            .get_mut(client)
+            .ok_or_else(|| OffloadError::Config(format!("workload has no client {client}")))?;
+        match pending.as_mut() {
+            Some(round) => {
+                round.released = admitted_at + service[round.server % service.len()];
+                Ok(round.released)
+            }
+            None => Err(OffloadError::Protocol(
+                "compute granted with no modeled round in flight".into(),
+            )),
+        }
+    }
+
+    fn continue_round(&mut self, client: usize) -> Result<EngineStep, OffloadError> {
+        let round = match self.slot(client)?.take() {
+            Some(round) => round,
+            None => {
+                return Err(OffloadError::Protocol(
+                    "round continued with no modeled round in flight".into(),
+                ))
+            }
+        };
+        let fleet = self.names.len();
+        let finished = round.released + self.down[round.server % fleet] + self.restore;
+        Ok(EngineStep::Done(RoundOutcome {
+            client,
+            round: self.rounds.get(client).copied().unwrap_or_default(),
+            finished_at: finished,
+            total: finished - round.clicked,
+            fell_back: false,
+            server: self.names[round.server % fleet].clone(),
+        }))
+    }
+}
+
+/// Load statistics of one fleet candidate over an engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerLoad {
+    /// Server name (from its [`ServerSpec`](crate::ServerSpec)).
+    pub name: String,
+    /// Compute grants this server's CPU served.
+    pub rounds: usize,
+    /// Total virtual time its CPU spent executing.
+    pub busy: Duration,
+    /// `busy / makespan` — the duty cycle over the run.
+    pub utilization: f64,
+}
+
+/// What a fleet run produced: throughput, latency percentiles (sojourn
+/// time: request arrival → result on screen), queueing-delay
+/// percentiles, and per-server load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Number of clients simulated.
+    pub clients: usize,
+    /// Rounds completed across all clients.
+    pub completed: usize,
+    /// Rounds that gave up on offloading and completed locally.
+    pub fallbacks: usize,
+    /// Virtual time of the last completion.
+    pub makespan: Duration,
+    /// Completed rounds per virtual second (`completed / makespan`).
+    pub throughput_rps: f64,
+    /// Sojourn-time statistics (p50/p90/p95/p99 are nearest-rank).
+    pub latency: Summary,
+    /// Server-CPU queueing-delay statistics, one sample per compute
+    /// grant (zero when the CPU was free).
+    pub queue_wait: Summary,
+    /// Per-candidate load, in fleet order.
+    pub servers: Vec<ServerLoad>,
+}
+
+/// A global event on the engine's virtual clock.
+#[derive(Debug)]
+enum Ev {
+    /// A request arrives at a client. A busy client parks it in its
+    /// client-side backlog; an idle client starts a round.
+    Arrive { client: usize },
+    /// A client actually starts a round — immediately after an arrival
+    /// found it idle, or once a backlogged request reached the front.
+    /// `issued` is the request's original arrival time (the sojourn
+    /// clock starts there, not at the round start).
+    Begin { client: usize, issued: Duration },
+    /// A client's uplinked request asks for a server CPU.
+    Admit { client: usize, server: usize },
+    /// A server CPU frees; the client's round resumes.
+    Release { client: usize },
+}
+
+/// The scheduler: one global `(time, seq)`-ordered event queue
+/// interleaving every client of a [`Workload`] against the shared fleet
+/// CPUs. Construct with [`Engine::sessions`] (real sessions),
+/// [`Engine::modeled`] (analytic megascale) or [`Engine::with_workload`]
+/// (anything implementing [`Workload`]), shape the traffic with the
+/// builder setters, then [`Engine::run`].
+pub struct Engine<W> {
+    workload: W,
+    server_names: Vec<String>,
+    arrival: ArrivalProcess,
+    duration: Duration,
+    max_rounds: Option<usize>,
+    seed: u64,
+    event_log: Vec<String>,
+}
+
+impl Engine<SessionWorkload> {
+    /// An engine over `clients` real [`OffloadSession`]s (see
+    /// [`SessionWorkload`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates session construction failures.
+    pub fn sessions(
+        cfg: impl Into<SessionConfig>,
+        clients: usize,
+    ) -> Result<Engine<SessionWorkload>, OffloadError> {
+        let cfg: SessionConfig = cfg.into();
+        let names = cfg.servers.iter().map(|s| s.name.clone()).collect();
+        let seed = cfg.seed;
+        Ok(Engine::with_workload(SessionWorkload::new(cfg, clients)?, names).seed(seed))
+    }
+}
+
+impl Engine<ModeledWorkload> {
+    /// An engine over `clients` analytic clients (see
+    /// [`ModeledWorkload`]) — the megascale entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OffloadError`] for unknown models or an empty fleet.
+    pub fn modeled(
+        cfg: impl Into<SessionConfig>,
+        clients: usize,
+    ) -> Result<Engine<ModeledWorkload>, OffloadError> {
+        let cfg: SessionConfig = cfg.into();
+        let names = cfg.servers.iter().map(|s| s.name.clone()).collect();
+        let seed = cfg.seed;
+        Ok(Engine::with_workload(ModeledWorkload::new(cfg, clients)?, names).seed(seed))
+    }
+}
+
+impl<W: Workload> Engine<W> {
+    /// An engine over a caller-built workload. `server_names` labels the
+    /// fleet candidates (by index) in the report.
+    pub fn with_workload(workload: W, server_names: Vec<String>) -> Engine<W> {
+        Engine {
+            workload,
+            server_names,
+            arrival: ArrivalProcess::ClosedLoop {
+                think: Duration::from_secs(2),
+            },
+            duration: Duration::from_secs(60),
+            max_rounds: None,
+            seed: 42,
+            event_log: Vec::new(),
+        }
+    }
+
+    /// Sets the arrival process (default: closed loop, 2 s think time).
+    pub fn arrival(mut self, arrival: ArrivalProcess) -> Engine<W> {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets the traffic horizon: open-loop arrivals are generated in
+    /// `[0, duration)`, closed-loop clients stop re-issuing at it. Work
+    /// in flight at the horizon always drains (default: 60 s).
+    pub fn duration(mut self, duration: Duration) -> Engine<W> {
+        self.duration = duration;
+        self
+    }
+
+    /// Caps rounds per client (closed-loop traffic only; open-loop
+    /// arrivals are horizon-bounded instead). Default: no cap.
+    pub fn max_rounds(mut self, rounds: usize) -> Engine<W> {
+        self.max_rounds = Some(rounds);
+        self
+    }
+
+    /// Seeds arrival sampling and per-round image generation (the
+    /// session/modeled constructors default this to the config's seed).
+    pub fn seed(mut self, seed: u64) -> Engine<W> {
+        self.seed = seed;
+        self
+    }
+
+    /// The workload, for post-run inspection (reports, traces).
+    pub fn workload(&self) -> &W {
+        &self.workload
+    }
+
+    /// Every event the last [`Engine::run`] processed, in schedule
+    /// order — the determinism witness (`t=…: kind client=… …` lines).
+    pub fn event_log(&self) -> &[String] {
+        &self.event_log
+    }
+
+    /// Pre-samples the open-loop arrival stream over `[0, duration)`.
+    fn open_loop_arrivals(&self, clients: usize) -> Result<Vec<(Duration, usize)>, OffloadError> {
+        let peak = self.arrival.peak_rate();
+        if peak <= 0.0 || !peak.is_finite() {
+            return Err(OffloadError::Config(format!(
+                "open-loop arrival process needs a positive finite rate, got {peak}"
+            )));
+        }
+        let mut rng = Rng::seed_from_u64(self.seed ^ 0xA221_5EED_0DDB_A115);
+        let mut arrivals = Vec::new();
+        let mut t = 0.0_f64;
+        let horizon = self.duration.as_secs_f64();
+        loop {
+            // Exponential interarrival at the envelope rate...
+            let u = rng.next_f64();
+            t += -(1.0 - u).ln() / peak;
+            if t >= horizon {
+                break;
+            }
+            // ...thinned down to the instantaneous rate (a no-op for a
+            // flat Poisson process, where rate_at == peak always).
+            let at = Duration::from_secs_f64(t);
+            let keep = rng.next_f64() < self.arrival.rate_at(at) / peak;
+            let client = rng.gen_range_usize(0, clients);
+            if keep {
+                arrivals.push((at, client));
+            }
+        }
+        Ok(arrivals)
+    }
+
+    /// Runs the fleet to completion: seeds the arrival stream, then
+    /// drains the global event queue deterministically.
+    ///
+    /// Run an engine once; a second `run` on the same engine continues
+    /// the workload's accumulated state (sessions keep their deltas and
+    /// round counters) rather than replaying.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OffloadError::Config`] for zero clients or a
+    /// degenerate arrival process, and propagates workload failures.
+    pub fn run(&mut self) -> Result<FleetReport, OffloadError> {
+        let clients = self.workload.clients();
+        if clients == 0 {
+            return Err(OffloadError::Config(
+                "fleet engine needs at least one client".into(),
+            ));
+        }
+        let fleet = self.server_names.len().max(1);
+        self.event_log.clear();
+
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut backlog: Vec<VecDeque<Duration>> = vec![VecDeque::new(); clients];
+        let mut busy: Vec<bool> = vec![false; clients];
+        let mut issued: Vec<Duration> = vec![Duration::ZERO; clients];
+        let mut rounds_done: Vec<usize> = vec![0; clients];
+        let mut busy_until: Vec<Duration> = vec![Duration::ZERO; fleet];
+        let mut busy_total: Vec<Duration> = vec![Duration::ZERO; fleet];
+        let mut grants: Vec<usize> = vec![0; fleet];
+        let mut latencies: Vec<Duration> = Vec::new();
+        let mut waits: Vec<Duration> = Vec::new();
+        let mut completed = 0usize;
+        let mut fallbacks = 0usize;
+        let mut makespan = Duration::ZERO;
+
+        match self.arrival {
+            ArrivalProcess::ClosedLoop { .. } => {
+                for client in 0..clients {
+                    queue.push(Duration::ZERO, Ev::Arrive { client });
+                }
+            }
+            _ => {
+                for (at, client) in self.open_loop_arrivals(clients)? {
+                    queue.push(at, Ev::Arrive { client });
+                }
+            }
+        }
+
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                Ev::Arrive { client } => {
+                    self.event_log
+                        .push(format!("t={now:?}: arrive client={client}"));
+                    if busy[client] {
+                        backlog[client].push_back(now);
+                        continue;
+                    }
+                    busy[client] = true;
+                    queue.push(
+                        now,
+                        Ev::Begin {
+                            client,
+                            issued: now,
+                        },
+                    );
+                }
+                Ev::Begin { client, issued: at } => {
+                    self.event_log
+                        .push(format!("t={now:?}: begin client={client} issued={at:?}"));
+                    issued[client] = at;
+                    rounds_done[client] += 1;
+                    let seed =
+                        round_image_seed(self.seed, client as u64, rounds_done[client] as u64);
+                    let step = self.workload.begin_round(client, now, seed)?;
+                    Self::dispatch(
+                        &mut queue,
+                        &mut self.event_log,
+                        client,
+                        step,
+                        &mut DrainState {
+                            arrival: &self.arrival,
+                            duration: self.duration,
+                            max_rounds: self.max_rounds,
+                            backlog: &mut backlog,
+                            busy: &mut busy,
+                            issued: &mut issued,
+                            rounds_done: &mut rounds_done,
+                            latencies: &mut latencies,
+                            completed: &mut completed,
+                            fallbacks: &mut fallbacks,
+                            makespan: &mut makespan,
+                        },
+                    );
+                }
+                Ev::Admit { client, server } => {
+                    let idx = server % fleet;
+                    let start = now.max(busy_until[idx]);
+                    waits.push(start - now);
+                    self.event_log.push(format!(
+                        "t={now:?}: admit client={client} server={idx} start={start:?}"
+                    ));
+                    let released = self.workload.compute(client, start)?;
+                    busy_until[idx] = released;
+                    busy_total[idx] += released.saturating_sub(start);
+                    grants[idx] += 1;
+                    queue.push(released, Ev::Release { client });
+                }
+                Ev::Release { client } => {
+                    self.event_log
+                        .push(format!("t={now:?}: release client={client}"));
+                    let step = self.workload.continue_round(client)?;
+                    Self::dispatch(
+                        &mut queue,
+                        &mut self.event_log,
+                        client,
+                        step,
+                        &mut DrainState {
+                            arrival: &self.arrival,
+                            duration: self.duration,
+                            max_rounds: self.max_rounds,
+                            backlog: &mut backlog,
+                            busy: &mut busy,
+                            issued: &mut issued,
+                            rounds_done: &mut rounds_done,
+                            latencies: &mut latencies,
+                            completed: &mut completed,
+                            fallbacks: &mut fallbacks,
+                            makespan: &mut makespan,
+                        },
+                    );
+                }
+            }
+        }
+
+        let throughput_rps = if makespan.is_zero() {
+            0.0
+        } else {
+            completed as f64 / makespan.as_secs_f64()
+        };
+        let servers = self
+            .server_names
+            .iter()
+            .enumerate()
+            .map(|(idx, name)| ServerLoad {
+                name: name.clone(),
+                rounds: grants.get(idx).copied().unwrap_or_default(),
+                busy: busy_total.get(idx).copied().unwrap_or_default(),
+                utilization: if makespan.is_zero() {
+                    0.0
+                } else {
+                    (busy_total
+                        .get(idx)
+                        .copied()
+                        .unwrap_or_default()
+                        .as_secs_f64()
+                        / makespan.as_secs_f64())
+                    .min(1.0)
+                },
+            })
+            .collect();
+        Ok(FleetReport {
+            clients,
+            completed,
+            fallbacks,
+            makespan,
+            throughput_rps,
+            latency: Summary::of(&latencies),
+            queue_wait: Summary::of(&waits),
+            servers,
+        })
+    }
+
+    /// Routes a workload step: a compute request re-enters the queue, a
+    /// completion books statistics and schedules the client's next round
+    /// (closed-loop think, or the oldest backlogged open-loop arrival).
+    fn dispatch(
+        queue: &mut EventQueue<Ev>,
+        event_log: &mut Vec<String>,
+        client: usize,
+        step: EngineStep,
+        state: &mut DrainState<'_>,
+    ) {
+        match step {
+            EngineStep::NeedCompute { server, at } => {
+                queue.push(at, Ev::Admit { client, server });
+            }
+            EngineStep::Done(outcome) => {
+                event_log.push(format!(
+                    "t={:?}: done client={client} round={} server={}",
+                    outcome.finished_at, outcome.round, outcome.server
+                ));
+                *state.completed += 1;
+                if outcome.fell_back {
+                    *state.fallbacks += 1;
+                }
+                state
+                    .latencies
+                    .push(outcome.finished_at.saturating_sub(state.issued[client]));
+                *state.makespan = (*state.makespan).max(outcome.finished_at);
+                state.busy[client] = false;
+                match state.arrival {
+                    ArrivalProcess::ClosedLoop { think } => {
+                        let capped = state
+                            .max_rounds
+                            .is_some_and(|cap| state.rounds_done[client] >= cap);
+                        let next = outcome.finished_at + *think;
+                        if !capped && next < state.duration {
+                            queue.push(next, Ev::Arrive { client });
+                        }
+                    }
+                    _ => {
+                        if let Some(arrived) = state.backlog[client].pop_front() {
+                            // The request waited client-side; it starts
+                            // the moment the client frees, but its
+                            // sojourn clock started at arrival.
+                            state.busy[client] = true;
+                            queue.push(
+                                arrived.max(outcome.finished_at),
+                                Ev::Begin {
+                                    client,
+                                    issued: arrived,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The mutable run-loop state [`Engine::dispatch`] books completions
+/// into (split out so the borrow of `self.workload` and the borrow of
+/// the statistics can coexist).
+struct DrainState<'a> {
+    arrival: &'a ArrivalProcess,
+    duration: Duration,
+    max_rounds: Option<usize>,
+    backlog: &'a mut Vec<VecDeque<Duration>>,
+    busy: &'a mut Vec<bool>,
+    issued: &'a mut Vec<Duration>,
+    rounds_done: &'a mut Vec<usize>,
+    latencies: &'a mut Vec<Duration>,
+    completed: &'a mut usize,
+    fallbacks: &'a mut usize,
+    makespan: &'a mut Duration,
+}

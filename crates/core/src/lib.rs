@@ -17,6 +17,8 @@
 //!
 //! | concern | module |
 //! |---|---|
+//! | shared offloading config core + builder | [`config`] |
+//! | megascale event-queue fleet engine (concurrent clients) | [`engine`] |
 //! | client/server device latency models (Odroid-XU4 vs x86) | [`device`] |
 //! | the Caffe.js `model` host object apps call | [`mlhost`] |
 //! | the two benchmark apps (paper Figs. 2 & 5) | [`apps`] |
@@ -49,10 +51,12 @@
 
 pub mod adaptive;
 pub mod apps;
+pub mod config;
 pub mod contention;
 pub mod device;
 mod endpoint;
 pub mod energy;
+pub mod engine;
 mod error;
 pub mod fleet;
 pub mod install;
@@ -67,10 +71,15 @@ mod session;
 pub mod timeline;
 
 pub use adaptive::{AdaptiveOffloader, AdaptivePolicy, Decision, Plan};
+pub use config::{ConfigBuilder, OffloadConfig};
 pub use contention::{simulate_contention, ContentionConfig, ContentionReport};
 pub use device::{edge_server_x86, odroid_xu4, DeviceProfile};
 pub use endpoint::Endpoint;
 pub use energy::{client_energy, odroid_xu4_energy, EnergyProfile, EnergyReport};
+pub use engine::{
+    round_image_seed, ArrivalProcess, Engine, FleetReport, ModeledWorkload, RoundOutcome,
+    ServerLoad, SessionWorkload, Workload,
+};
 pub use error::OffloadError;
 pub use fleet::{format_servers, parse_servers, ServerHealth, ServerPool, ServerSpec};
 pub use install::{vm_install, InstallReport};

@@ -15,7 +15,12 @@
 //! by ([`LinkConfig`], [`ExecMode`], [`SnapshotOptions`], the trace
 //! types), so examples and tests need a single `use`.
 
+pub use crate::config::{ConfigBuilder, OffloadConfig};
 pub use crate::device::{edge_server_x86, odroid_xu4, DeviceProfile};
+pub use crate::engine::{
+    round_image_seed, ArrivalProcess, Engine, FleetReport, ModeledWorkload, RoundOutcome,
+    ServerLoad, SessionWorkload, Workload,
+};
 pub use crate::error::OffloadError;
 pub use crate::fleet::{format_servers, parse_servers, ServerHealth, ServerPool, ServerSpec};
 pub use crate::install::{vm_install, InstallReport};

@@ -1,24 +1,28 @@
 //! End-to-end inference scenarios — the experiment driver behind the
 //! paper's Figs. 6, 7 and 8.
 //!
-//! A scenario builds *real* browsers for the client board and the edge
-//! server, loads the actual benchmark web app, arms the offload trigger,
-//! and migrates *real snapshots* over the simulated 30 Mbps link while a
-//! shared virtual clock accumulates device and network time. Nothing is
-//! hand-waved: the bytes that cross the link are the bytes of the snapshot
-//! HTML the client actually captured.
+//! A scenario builds *real* browsers for the client board and its edge
+//! fleet's serving candidate, loads the actual benchmark web app, arms the
+//! offload trigger, and migrates *real snapshots* over the simulated link
+//! (30 Mbps Wi-Fi in the paper configuration) while a shared virtual clock
+//! accumulates device and network time. Nothing is hand-waved: the bytes
+//! that cross the link are the bytes of the snapshot HTML the client
+//! actually captured. A fleet of one reproduces the paper's single-server
+//! runs exactly; more candidates add estimator-driven failover
+//! (see [`crate::fleet`]).
 
 use crate::adaptive::{AdaptiveOffloader, AdaptivePolicy, Decision, Plan};
 use crate::apps;
+use crate::config::{ConfigBuilder, OffloadConfig};
 use crate::device::DeviceProfile;
 use crate::endpoint::Endpoint;
 use crate::fleet::{ServerPool, ServerSpec};
 use crate::resilience::{classify, schedule_resilient_traced, FaultClass, RetryPolicy};
 use crate::OffloadError;
 use snapedge_dnn::{zoo, ExecMode, ModelBundle, ParamStore};
-use snapedge_net::{FaultPlan, Link, LinkConfig, SimClock};
+use snapedge_net::{Link, SimClock};
 use snapedge_trace::{EventKind, Lane, Trace, Tracer};
-use snapedge_webapp::{RunOutcome, SnapshotOptions};
+use snapedge_webapp::RunOutcome;
 use std::time::Duration;
 
 /// Where (and when) the inference runs.
@@ -43,58 +47,53 @@ pub enum Strategy {
     },
 }
 
-/// Full description of a scenario run.
+/// Full description of a scenario run: the shared [`OffloadConfig`] core
+/// (model, edge **fleet**, client device, seeds, resilience/prediction
+/// knobs — see [`crate::config`]) plus the two knobs only one-shot
+/// scenarios have. Derefs to [`OffloadConfig`], so every core field
+/// reads and writes as a direct field (`cfg.seed`, `cfg.primary_mut()`).
+///
+/// The fleet (`servers`) is an ordered candidate list: index 0 is the
+/// *primary* — the server a fleet of one talks to, reproducing the
+/// original single-server behaviour exactly. `primary()`/`primary_mut()`
+/// (on the core) panic with a message naming the misuse if the fleet was
+/// hand-rolled empty; the runners reject an empty fleet with
+/// [`OffloadError::Config`] before that can be reached.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
-    /// Model name from the zoo (`"googlenet"`, `"agenet"`, ...).
-    pub model: String,
+    /// The shared offloading core (fleet, devices, seeds, retry,
+    /// predict). Usually accessed through `Deref` rather than by name.
+    pub core: OffloadConfig,
     /// Execution strategy.
     pub strategy: Strategy,
-    /// Ordered edge-fleet candidates, each with its own device, link and
-    /// fault plans. Index 0 is the *primary* — the server a fleet of one
-    /// talks to, reproducing the single-server behaviour exactly. The
-    /// runners reject an empty fleet with [`OffloadError::Config`].
-    pub servers: Vec<ServerSpec>,
-    /// Client device model.
-    pub client_device: DeviceProfile,
-    /// Real arithmetic (tiny models) or synthetic (paper-scale models).
-    pub exec_mode: ExecMode,
-    /// Seed for parameters and synthetic inputs.
-    pub seed: u64,
-    /// Size of the encoded input image carried by the app, in bytes.
-    pub image_bytes: usize,
-    /// Snapshot generation options.
-    pub snapshot: SnapshotOptions,
     /// Compress snapshots (LZ77+Huffman) before transmission, paying
     /// codec CPU time on both sides — an extension the paper does not
     /// evaluate (see the `compression` bench).
     pub compress: bool,
-    /// Recovery policy for transient network faults. `None` keeps the
-    /// strict fail-fast behaviour: the first fault surfaces as an error.
-    pub retry: Option<RetryPolicy>,
-    /// Consult the link-health predictor before migrating: when the
-    /// windowed fault rate and bandwidth trend say the offload would lose
-    /// after its expected retry penalty, complete the inference locally
-    /// *before* burning any retry budget. Off by default — a disabled
-    /// predictor replays the reactive path bit for bit.
-    pub predict: bool,
 }
 
-impl ScenarioConfig {
-    /// The primary (index 0) fleet candidate.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the fleet is empty; the builders always seed one
-    /// server, and the runners reject empty fleets before reaching this.
-    pub fn primary(&self) -> &ServerSpec {
-        &self.servers[0]
+impl std::ops::Deref for ScenarioConfig {
+    type Target = OffloadConfig;
+    fn deref(&self) -> &OffloadConfig {
+        &self.core
     }
+}
 
-    /// Mutable access to the primary fleet candidate (see
-    /// [`ScenarioConfig::primary`]).
-    pub fn primary_mut(&mut self) -> &mut ServerSpec {
-        &mut self.servers[0]
+impl std::ops::DerefMut for ScenarioConfig {
+    fn deref_mut(&mut self) -> &mut OffloadConfig {
+        &mut self.core
+    }
+}
+
+impl From<OffloadConfig> for ScenarioConfig {
+    /// Wraps a bare core with the scenario defaults (offload after ACK,
+    /// no compression).
+    fn from(core: OffloadConfig) -> ScenarioConfig {
+        ScenarioConfig {
+            core,
+            strategy: Strategy::OffloadAfterAck,
+            compress: false,
+        }
     }
 }
 
@@ -116,23 +115,7 @@ impl ScenarioConfig {
     /// ```
     pub fn paper_builder(model: &str) -> ScenarioBuilder {
         ScenarioBuilder {
-            cfg: ScenarioConfig {
-                model: model.to_string(),
-                strategy: Strategy::OffloadAfterAck,
-                servers: vec![ServerSpec::new(
-                    "edge-server",
-                    crate::device::edge_server_x86(),
-                    LinkConfig::wifi_30mbps(),
-                )],
-                client_device: crate::device::odroid_xu4(),
-                exec_mode: ExecMode::Synthetic { seed: 0xCAFE },
-                seed: 42,
-                image_bytes: 35_000,
-                snapshot: SnapshotOptions::default(),
-                compress: false,
-                retry: None,
-                predict: false,
-            },
+            cfg: ScenarioConfig::from(OffloadConfig::paper(model, "edge-server")),
         }
     }
 
@@ -140,23 +123,7 @@ impl ScenarioConfig {
     /// configuration used by tests and the quickstart example.
     pub fn tiny_builder() -> ScenarioBuilder {
         ScenarioBuilder {
-            cfg: ScenarioConfig {
-                model: "tiny_cnn".to_string(),
-                strategy: Strategy::OffloadAfterAck,
-                servers: vec![ServerSpec::new(
-                    "edge-server",
-                    crate::device::edge_server_x86(),
-                    LinkConfig::wifi_30mbps(),
-                )],
-                client_device: crate::device::odroid_xu4(),
-                exec_mode: ExecMode::Real,
-                seed: 7,
-                image_bytes: 2_000,
-                snapshot: SnapshotOptions::default(),
-                compress: false,
-                retry: None,
-                predict: false,
-            },
+            cfg: ScenarioConfig::from(OffloadConfig::tiny("edge-server")),
         }
     }
 
@@ -175,13 +142,12 @@ impl ScenarioConfig {
 
 /// Builder for [`ScenarioConfig`] — start from
 /// [`ScenarioConfig::paper_builder`] or [`ScenarioConfig::tiny_builder`]
-/// and override the fields that differ.
-#[derive(Debug, Clone)]
-pub struct ScenarioBuilder {
-    cfg: ScenarioConfig,
-}
+/// and override the fields that differ. The fleet/device/resilience
+/// setters are the shared [`ConfigBuilder`] surface; only the
+/// scenario-specific `strategy`, `cut` and `compress` live here.
+pub type ScenarioBuilder = ConfigBuilder<ScenarioConfig>;
 
-impl ScenarioBuilder {
+impl ConfigBuilder<ScenarioConfig> {
     /// Sets the execution strategy.
     pub fn strategy(mut self, strategy: Strategy) -> ScenarioBuilder {
         self.cfg.strategy = strategy;
@@ -196,98 +162,10 @@ impl ScenarioBuilder {
         })
     }
 
-    /// Sets the primary server's link model, used in both directions.
-    pub fn link(mut self, link: LinkConfig) -> ScenarioBuilder {
-        self.cfg.primary_mut().link = link;
-        self
-    }
-
-    /// Sets the client device model.
-    pub fn client_device(mut self, device: DeviceProfile) -> ScenarioBuilder {
-        self.cfg.client_device = device;
-        self
-    }
-
-    /// Sets the primary server's device model.
-    pub fn server_device(mut self, device: DeviceProfile) -> ScenarioBuilder {
-        self.cfg.primary_mut().device = device;
-        self
-    }
-
-    /// Replaces the whole edge fleet — ordered candidates, primary first.
-    pub fn servers(mut self, servers: Vec<ServerSpec>) -> ScenarioBuilder {
-        self.cfg.servers = servers;
-        self
-    }
-
-    /// Appends a failover candidate behind the current fleet.
-    pub fn add_server(mut self, server: ServerSpec) -> ScenarioBuilder {
-        self.cfg.servers.push(server);
-        self
-    }
-
-    /// Real or synthetic layer execution.
-    pub fn exec_mode(mut self, mode: ExecMode) -> ScenarioBuilder {
-        self.cfg.exec_mode = mode;
-        self
-    }
-
-    /// Seed for parameters and synthetic inputs.
-    pub fn seed(mut self, seed: u64) -> ScenarioBuilder {
-        self.cfg.seed = seed;
-        self
-    }
-
-    /// Encoded input image size in bytes.
-    pub fn image_bytes(mut self, bytes: usize) -> ScenarioBuilder {
-        self.cfg.image_bytes = bytes;
-        self
-    }
-
-    /// Snapshot generation options.
-    pub fn snapshot(mut self, options: SnapshotOptions) -> ScenarioBuilder {
-        self.cfg.snapshot = options;
-        self
-    }
-
     /// Compress snapshots before transmission.
     pub fn compress(mut self, on: bool) -> ScenarioBuilder {
         self.cfg.compress = on;
         self
-    }
-
-    /// Fault-injection schedule for the primary client→server link.
-    pub fn up_faults(mut self, plan: FaultPlan) -> ScenarioBuilder {
-        self.cfg.primary_mut().up_faults = plan;
-        self
-    }
-
-    /// Fault-injection schedule for the primary server→client link.
-    pub fn down_faults(mut self, plan: FaultPlan) -> ScenarioBuilder {
-        self.cfg.primary_mut().down_faults = plan;
-        self
-    }
-
-    /// The same fault-injection schedule on both links.
-    pub fn faults(self, plan: FaultPlan) -> ScenarioBuilder {
-        self.up_faults(plan.clone()).down_faults(plan)
-    }
-
-    /// Recovery policy for transient network faults.
-    pub fn retry(mut self, policy: RetryPolicy) -> ScenarioBuilder {
-        self.cfg.retry = Some(policy);
-        self
-    }
-
-    /// Enables (or disables) the proactive link-health predictor.
-    pub fn predict(mut self, on: bool) -> ScenarioBuilder {
-        self.cfg.predict = on;
-        self
-    }
-
-    /// Finalizes the configuration.
-    pub fn build(self) -> ScenarioConfig {
-        self.cfg
     }
 }
 
@@ -524,8 +402,8 @@ pub fn run_with_fallback(
 fn ship(
     cfg: &ScenarioConfig,
     snapshot: &snapedge_webapp::Snapshot,
-    sender: &crate::device::DeviceProfile,
-    receiver: &crate::device::DeviceProfile,
+    sender: &DeviceProfile,
+    receiver: &DeviceProfile,
     lanes: (Lane, Lane),
     dir: &str,
     tracer: &Tracer,
@@ -1452,7 +1330,7 @@ mod tests {
             cut: "1st_pool".into(),
         };
         let mut plain = ScenarioConfig::paper("googlenet", strategy.clone());
-        plain.primary_mut().link = crate::scenario::LinkConfig::mbps(5.0);
+        plain.primary_mut().link = snapedge_net::LinkConfig::mbps(5.0);
         let mut packed = plain.clone();
         packed.compress = true;
         let a = run_scenario(&plain).unwrap();

@@ -1,5 +1,5 @@
-//! Long-lived offloading sessions — repeated inferences against the same
-//! edge server, implementing the paper's **future work**: *"how to simplify
+//! Long-lived offloading sessions — repeated inferences against an edge
+//! fleet, implementing the paper's **future work**: *"how to simplify
 //! the snapshot creation/transmission/restoration for future offloading
 //! using the data and code left at the server from the first offloading"*.
 //!
@@ -23,67 +23,62 @@
 
 use crate::adaptive::{AdaptiveOffloader, AdaptivePolicy, Decision, Plan};
 use crate::apps;
-use crate::device::DeviceProfile;
+use crate::config::{ConfigBuilder, OffloadConfig};
 use crate::endpoint::Endpoint;
 use crate::fleet::{ServerPool, ServerSpec};
-use crate::resilience::{classify, schedule_resilient_traced, FaultClass, RetryPolicy};
+use crate::resilience::{classify, schedule_resilient_traced, FaultClass};
 use crate::OffloadError;
 use snapedge_dnn::{zoo, ExecMode, ModelBundle, Network, NodeId, ParamStore};
-use snapedge_net::{FaultPlan, Link, LinkConfig, NetError, SimClock};
+use snapedge_net::{Link, NetError, SimClock};
 use snapedge_trace::{EventKind, Lane, Trace, Tracer};
-use snapedge_webapp::{DeltaCapture, RunOutcome, SnapshotOptions, StateBase};
+use snapedge_webapp::{DeltaCapture, RunOutcome, StateBase};
 use std::time::Duration;
 
-/// Configuration of a multi-inference session.
+/// Configuration of a multi-inference session: the shared
+/// [`OffloadConfig`] core (model, edge **fleet**, client device, seeds,
+/// resilience/prediction knobs — see [`crate::config`]) plus the two
+/// knobs only sessions have. Derefs to [`OffloadConfig`], so every core
+/// field reads and writes as a direct field (`cfg.seed`,
+/// `cfg.servers.push(..)`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionConfig {
-    /// Model name from the zoo.
-    pub model: String,
+    /// The shared offloading core (fleet, devices, seeds, retry,
+    /// predict). Usually accessed through `Deref` rather than by name.
+    pub core: OffloadConfig,
     /// Partial-inference cut label, or `None` for full offloading.
     pub cut: Option<String>,
-    /// The edge fleet: ordered candidate servers, each with its own
-    /// device, link and fault schedules. The first entry is the primary.
-    /// Must not be empty.
-    pub servers: Vec<ServerSpec>,
-    /// Client device model.
-    pub client_device: DeviceProfile,
-    /// Real or synthetic layer execution.
-    pub exec_mode: ExecMode,
-    /// Seed for parameters and image generation.
-    pub seed: u64,
-    /// Encoded image size in bytes.
-    pub image_bytes: usize,
-    /// Snapshot options.
-    pub snapshot: SnapshotOptions,
     /// Use delta snapshots after the first offload (the future-work
     /// optimization); `false` sends a full snapshot every time.
     pub use_deltas: bool,
-    /// Recovery policy for transient network faults. `None` keeps the
-    /// strict fail-fast behaviour against a single server: the first
-    /// fault surfaces as an error. (With a multi-server fleet the pool
-    /// still tries the remaining candidates before giving up.)
-    pub retry: Option<RetryPolicy>,
-    /// Consult the proactive link-health predictor before each round's
-    /// offload: when the predicted failed-attempt penalty tips the plan
-    /// to Local, the round runs locally *without* burning a retry
-    /// budget. `false` (the default) replays the reactive-only path bit
-    /// for bit.
-    pub predict: bool,
+}
+
+impl std::ops::Deref for SessionConfig {
+    type Target = OffloadConfig;
+    fn deref(&self) -> &OffloadConfig {
+        &self.core
+    }
+}
+
+impl std::ops::DerefMut for SessionConfig {
+    fn deref_mut(&mut self) -> &mut OffloadConfig {
+        &mut self.core
+    }
+}
+
+impl From<OffloadConfig> for SessionConfig {
+    /// Wraps a bare core with the session defaults (full offloading,
+    /// deltas on) — this is what lets the fleet engine accept either
+    /// config shape.
+    fn from(core: OffloadConfig) -> SessionConfig {
+        SessionConfig {
+            core,
+            cut: None,
+            use_deltas: true,
+        }
+    }
 }
 
 impl SessionConfig {
-    /// The primary (first) server spec. Builder-constructed configs are
-    /// never empty; [`OffloadSession::new`] rejects a hand-rolled empty
-    /// fleet before this is reachable.
-    pub fn primary(&self) -> &ServerSpec {
-        &self.servers[0]
-    }
-
-    /// Mutable access to the primary server spec — the target of the
-    /// single-server convenience setters on [`SessionBuilder`].
-    pub fn primary_mut(&mut self) -> &mut ServerSpec {
-        &mut self.servers[0]
-    }
     /// Builder seeded with the paper-scale configuration (synthetic
     /// execution).
     ///
@@ -97,46 +92,14 @@ impl SessionConfig {
     /// ```
     pub fn paper_builder(model: &str) -> SessionBuilder {
         SessionBuilder {
-            cfg: SessionConfig {
-                model: model.to_string(),
-                cut: None,
-                servers: vec![ServerSpec::new(
-                    "edge-server-1",
-                    crate::device::edge_server_x86(),
-                    LinkConfig::wifi_30mbps(),
-                )],
-                client_device: crate::device::odroid_xu4(),
-                exec_mode: ExecMode::Synthetic { seed: 0xCAFE },
-                seed: 42,
-                image_bytes: 35_000,
-                snapshot: SnapshotOptions::default(),
-                use_deltas: true,
-                retry: None,
-                predict: false,
-            },
+            cfg: SessionConfig::from(OffloadConfig::paper(model, "edge-server-1")),
         }
     }
 
     /// Builder seeded with the tiny real-arithmetic test configuration.
     pub fn tiny_builder() -> SessionBuilder {
         SessionBuilder {
-            cfg: SessionConfig {
-                model: "tiny_cnn".to_string(),
-                cut: None,
-                servers: vec![ServerSpec::new(
-                    "edge-server-1",
-                    crate::device::edge_server_x86(),
-                    LinkConfig::wifi_30mbps(),
-                )],
-                client_device: crate::device::odroid_xu4(),
-                exec_mode: ExecMode::Real,
-                seed: 7,
-                image_bytes: 2_000,
-                snapshot: SnapshotOptions::default(),
-                use_deltas: true,
-                retry: None,
-                predict: false,
-            },
+            cfg: SessionConfig::from(OffloadConfig::tiny("edge-server-1")),
         }
     }
 
@@ -155,71 +118,15 @@ impl SessionConfig {
 
 /// Builder for [`SessionConfig`] — start from
 /// [`SessionConfig::paper_builder`] or [`SessionConfig::tiny_builder`].
-#[derive(Debug, Clone)]
-pub struct SessionBuilder {
-    cfg: SessionConfig,
-}
+/// The fleet/device/resilience setters are the shared
+/// [`ConfigBuilder`] surface; only the session-specific `cut` and
+/// `use_deltas` live here.
+pub type SessionBuilder = ConfigBuilder<SessionConfig>;
 
-impl SessionBuilder {
+impl ConfigBuilder<SessionConfig> {
     /// Partial-inference cut label (`None` means full offloading).
     pub fn cut(mut self, cut: &str) -> SessionBuilder {
         self.cfg.cut = Some(cut.to_string());
-        self
-    }
-
-    /// Sets the primary server's link model (both directions).
-    pub fn link(mut self, link: LinkConfig) -> SessionBuilder {
-        self.cfg.primary_mut().link = link;
-        self
-    }
-
-    /// Sets the client device model.
-    pub fn client_device(mut self, device: DeviceProfile) -> SessionBuilder {
-        self.cfg.client_device = device;
-        self
-    }
-
-    /// Sets the primary server's device model.
-    pub fn server_device(mut self, device: DeviceProfile) -> SessionBuilder {
-        self.cfg.primary_mut().device = device;
-        self
-    }
-
-    /// Replaces the whole edge fleet (candidate order is preference
-    /// order; the first entry is the primary). An empty vector is
-    /// rejected later, by [`OffloadSession::new`].
-    pub fn servers(mut self, servers: Vec<ServerSpec>) -> SessionBuilder {
-        self.cfg.servers = servers;
-        self
-    }
-
-    /// Appends one failover candidate to the fleet.
-    pub fn add_server(mut self, server: ServerSpec) -> SessionBuilder {
-        self.cfg.servers.push(server);
-        self
-    }
-
-    /// Real or synthetic layer execution.
-    pub fn exec_mode(mut self, mode: ExecMode) -> SessionBuilder {
-        self.cfg.exec_mode = mode;
-        self
-    }
-
-    /// Seed for parameters and image generation.
-    pub fn seed(mut self, seed: u64) -> SessionBuilder {
-        self.cfg.seed = seed;
-        self
-    }
-
-    /// Encoded image size in bytes.
-    pub fn image_bytes(mut self, bytes: usize) -> SessionBuilder {
-        self.cfg.image_bytes = bytes;
-        self
-    }
-
-    /// Snapshot generation options.
-    pub fn snapshot(mut self, options: SnapshotOptions) -> SessionBuilder {
-        self.cfg.snapshot = options;
         self
     }
 
@@ -227,42 +134,6 @@ impl SessionBuilder {
     pub fn use_deltas(mut self, on: bool) -> SessionBuilder {
         self.cfg.use_deltas = on;
         self
-    }
-
-    /// Fault-injection schedule for the primary server's client→server
-    /// link.
-    pub fn up_faults(mut self, plan: FaultPlan) -> SessionBuilder {
-        self.cfg.primary_mut().up_faults = plan;
-        self
-    }
-
-    /// Fault-injection schedule for the primary server's server→client
-    /// link.
-    pub fn down_faults(mut self, plan: FaultPlan) -> SessionBuilder {
-        self.cfg.primary_mut().down_faults = plan;
-        self
-    }
-
-    /// The same fault-injection schedule on both links.
-    pub fn faults(self, plan: FaultPlan) -> SessionBuilder {
-        self.up_faults(plan.clone()).down_faults(plan)
-    }
-
-    /// Recovery policy for transient network faults.
-    pub fn retry(mut self, policy: RetryPolicy) -> SessionBuilder {
-        self.cfg.retry = Some(policy);
-        self
-    }
-
-    /// Toggles the proactive link-health predictor (off by default).
-    pub fn predict(mut self, on: bool) -> SessionBuilder {
-        self.cfg.predict = on;
-        self
-    }
-
-    /// Finalizes the configuration.
-    pub fn build(self) -> SessionConfig {
-        self.cfg
     }
 }
 
@@ -301,6 +172,46 @@ pub struct RoundReport {
     pub proactive: bool,
 }
 
+/// Where a resumable round paused — what [`OffloadSession::round_start`]
+/// and [`OffloadSession::round_finish`] hand back to their driver (the
+/// legacy [`OffloadSession::infer`] loop, or the fleet engine's global
+/// event queue).
+#[derive(Debug)]
+pub(crate) enum RoundStep {
+    /// The uplink migration landed on the current server at the
+    /// session's current virtual time; the round now needs server CPU
+    /// ([`OffloadSession::round_compute`]), which a fleet scheduler may
+    /// delay behind other clients' in-flight work.
+    NeedCompute,
+    /// The round completed (offloaded, proactively local, or fallen
+    /// back) — no server CPU is pending.
+    Done(RoundReport),
+}
+
+/// In-flight state of a round parked between scheduler events.
+struct PendingRound {
+    /// When the user clicked inference (the retry deadline anchor and
+    /// the origin of the round's `total`).
+    clicked_at: Duration,
+    /// What the link-health predictor advised (attached to the final
+    /// report on every exit path).
+    prediction: Option<Decision>,
+    /// Set once the uplink migration landed: what the downlink later
+    /// needs.
+    arrived: Option<ArrivedUplink>,
+}
+
+/// The uplink migration's results, carried across the compute pause.
+struct ArrivedUplink {
+    /// Server state base captured after restore, before execution —
+    /// the base the downlink delta is computed against.
+    server_base: StateBase,
+    /// Bytes the uplink shipped.
+    up_bytes: u64,
+    /// Whether the uplink used a delta instead of a full snapshot.
+    delta_up: bool,
+}
+
 /// A persistent offloading relationship between one client and its edge
 /// fleet: one *current* server serves rounds, the [`ServerPool`] keeps
 /// health records for every candidate, and exhaustion of the retry budget
@@ -329,6 +240,9 @@ pub struct OffloadSession {
     /// of the selection metric (a handoff always re-sends a full
     /// snapshot). Seeded from the configured image size.
     last_full_bytes: u64,
+    /// The round parked between [`OffloadSession::round_start`] and
+    /// [`OffloadSession::round_finish`], when one is in flight.
+    pending: Option<PendingRound>,
 }
 
 impl std::fmt::Debug for OffloadSession {
@@ -357,8 +271,10 @@ fn link_labels(idx: usize, spec: &ServerSpec) -> (String, String) {
 }
 
 impl OffloadSession {
-    /// Starts a session: builds both endpoints, loads the app on the
-    /// client, and pre-sends the model to the edge server.
+    /// Starts a session: builds the client endpoint, loads the app,
+    /// selects the cheapest fleet candidate and pre-sends the model to
+    /// it (failing over to the remaining candidates when the chosen
+    /// one's pre-send exhausts its retry budget).
     ///
     /// # Errors
     ///
@@ -417,6 +333,7 @@ impl OffloadSession {
             tracer,
             model_bytes: 0,
             last_full_bytes,
+            pending: None,
         };
         session.setup_client()?;
         // Provision the chosen candidate; if its pre-send exhausts the
@@ -672,10 +589,40 @@ impl OffloadSession {
     /// resend) and re-attempts; the round completes locally only once
     /// every candidate is exhausted.
     ///
+    /// This is the closed-loop driver of the resumable round state
+    /// machine ([`OffloadSession::round_start`] →
+    /// [`OffloadSession::round_compute`] →
+    /// [`OffloadSession::round_finish`]): it grants the server CPU the
+    /// instant the uplink lands, the single-client regime where nothing
+    /// else competes for it. The fleet engine drives the same machine
+    /// through a global event queue instead, delaying the compute grant
+    /// while other clients occupy the server.
+    ///
     /// # Errors
     ///
     /// Returns [`OffloadError`] for app, protocol or network failures.
     pub fn infer(&mut self, image_seed: u64) -> Result<RoundReport, OffloadError> {
+        let mut step = self.round_start(image_seed)?;
+        loop {
+            match step {
+                RoundStep::Done(report) => return Ok(report),
+                RoundStep::NeedCompute => {
+                    let now = self.clock.now();
+                    self.round_compute(now)?;
+                    step = self.round_finish()?;
+                }
+            }
+        }
+    }
+
+    /// Starts one round: image load, client-side execution up to the
+    /// offload point, the proactive predictor gate, and the uplink
+    /// migration (with exhaustion-driven failover). Returns
+    /// [`RoundStep::NeedCompute`] with the round parked when the uplink
+    /// landed and the server's CPU is the next resource needed, or
+    /// [`RoundStep::Done`] when the round already completed on the
+    /// client (proactive-local or every candidate exhausted).
+    pub(crate) fn round_start(&mut self, image_seed: u64) -> Result<RoundStep, OffloadError> {
         self.round += 1;
         // Every candidate gets a fresh chance each round.
         self.pool.begin_round();
@@ -742,17 +689,40 @@ impl OffloadSession {
                     let mut report = self.complete_locally(clicked_at, false)?;
                     report.prediction = Some(plan.decision);
                     report.proactive = true;
-                    return Ok(report);
+                    return Ok(RoundStep::Done(report));
                 }
                 prediction = Some(plan.decision);
             }
         }
 
+        self.pending = Some(PendingRound {
+            clicked_at,
+            prediction,
+            arrived: None,
+        });
+        self.drive_uplink()
+    }
+
+    /// Attempts the uplink migration against the current server,
+    /// failing over through the fleet on exhaustion, until a snapshot
+    /// (or delta) lands on *some* server or every candidate is
+    /// exhausted and the round completes locally.
+    fn drive_uplink(&mut self) -> Result<RoundStep, OffloadError> {
+        let clicked_at = match &self.pending {
+            Some(parked) => parked.clicked_at,
+            None => {
+                return Err(OffloadError::Protocol(
+                    "uplink driven with no round in flight".into(),
+                ))
+            }
+        };
         loop {
-            match self.try_offload(clicked_at) {
-                Ok(Some(mut report)) => {
-                    report.prediction = prediction.clone();
-                    return Ok(report);
+            match self.offload_up(clicked_at) {
+                Ok(Some(arrived)) => {
+                    if let Some(parked) = self.pending.as_mut() {
+                        parked.arrived = Some(arrived);
+                    }
+                    return Ok(RoundStep::NeedCompute);
                 }
                 // The retry budget against the current server ran out.
                 Ok(None) => {}
@@ -764,11 +734,129 @@ impl OffloadSession {
             }
             self.pool.mark_exhausted(self.current);
             if !self.failover()? {
-                let mut report = self.finish_round_locally(clicked_at)?;
-                report.prediction = prediction.clone();
-                return Ok(report);
+                return self.round_done_locally(clicked_at);
             }
         }
+    }
+
+    /// Completes the parked round on the client (every fleet candidate
+    /// exhausted), attaching the round's recorded prediction.
+    fn round_done_locally(&mut self, clicked_at: Duration) -> Result<RoundStep, OffloadError> {
+        let prediction = self.pending.take().and_then(|parked| parked.prediction);
+        let mut report = self.finish_round_locally(clicked_at)?;
+        report.prediction = prediction;
+        Ok(RoundStep::Done(report))
+    }
+
+    /// Grants the server CPU to the parked round. `admitted_at` is when
+    /// the scheduler admitted this request to the server: equal to the
+    /// session's current time in the uncontended case, later when other
+    /// clients' in-flight work held the CPU — the wait is recorded as
+    /// `enqueue`/`queue_wait`/`dequeue` events and the session's clock
+    /// jumps to the admission.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server-side app failures.
+    pub(crate) fn round_compute(&mut self, admitted_at: Duration) -> Result<(), OffloadError> {
+        self.wait_for_server(admitted_at);
+        let exec_span = self.tracer.begin(
+            "exec_server",
+            Lane::Server,
+            EventKind::Exec,
+            self.clock.now(),
+        );
+        self.server.run()?;
+        self.tracer.end(exec_span, self.clock.now());
+        Ok(())
+    }
+
+    /// Records the queueing delay of a contended admission and advances
+    /// the session's clock to it. A no-op when the server was free — the
+    /// single-client trace stays byte-identical.
+    fn wait_for_server(&mut self, admitted_at: Duration) {
+        let now = self.clock.now();
+        if admitted_at <= now {
+            return;
+        }
+        self.tracer
+            .record("enqueue", Lane::Server, EventKind::Enqueue, now, now);
+        self.tracer.record(
+            "queue_wait",
+            Lane::Server,
+            EventKind::QueueWait,
+            now,
+            admitted_at,
+        );
+        self.tracer.record(
+            "dequeue",
+            Lane::Server,
+            EventKind::Dequeue,
+            admitted_at,
+            admitted_at,
+        );
+        self.clock.advance_to(admitted_at);
+    }
+
+    /// Finishes the parked round after the server CPU ran: downlink
+    /// migration, result installation, agreement update. When the
+    /// downlink's budget exhausts mid-migration the session fails over
+    /// and re-drives the uplink, so the returned step may be
+    /// [`RoundStep::NeedCompute`] again — against the new server —
+    /// rather than [`RoundStep::Done`].
+    pub(crate) fn round_finish(&mut self) -> Result<RoundStep, OffloadError> {
+        let (clicked_at, arrived) = match self.pending.as_mut() {
+            Some(parked) => match parked.arrived.take() {
+                Some(arrived) => (parked.clicked_at, arrived),
+                None => {
+                    return Err(OffloadError::Protocol(
+                        "round_finish called with no uplink in flight".into(),
+                    ))
+                }
+            },
+            None => {
+                return Err(OffloadError::Protocol(
+                    "round_finish called with no round in flight".into(),
+                ))
+            }
+        };
+        match self.offload_down(&arrived, clicked_at) {
+            Ok(Some(mut report)) => {
+                report.prediction = self.pending.take().and_then(|parked| parked.prediction);
+                Ok(RoundStep::Done(report))
+            }
+            // The retry budget against the current server ran out.
+            Ok(None) => self.exhausted_mid_round(clicked_at),
+            // Same fleet-wide second chance as the uplink path.
+            Err(e) if classify(&e) == FaultClass::Transient && self.pool.len() > 1 => {
+                self.exhausted_mid_round(clicked_at)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Downlink exhaustion: mark the server, fail over and re-drive the
+    /// uplink, or complete locally when the fleet is spent.
+    fn exhausted_mid_round(&mut self, clicked_at: Duration) -> Result<RoundStep, OffloadError> {
+        self.pool.mark_exhausted(self.current);
+        if self.failover()? {
+            self.drive_uplink()
+        } else {
+            self.round_done_locally(clicked_at)
+        }
+    }
+
+    /// Index of the currently-serving fleet candidate — how a scheduler
+    /// keys its per-server queue for this session's parked round.
+    pub(crate) fn current_server(&self) -> usize {
+        self.current
+    }
+
+    /// Advances the session's private clock to global time `t` (no-op
+    /// when already past it) — how a scheduler aligns a parked session
+    /// with the fleet-wide virtual clock before resuming it.
+    pub(crate) fn advance_clock_to(&mut self, t: Duration) {
+        self.clock.advance_to(t);
     }
 
     /// Consults the current server's windowed link health and returns the
@@ -799,29 +887,33 @@ impl OffloadSession {
             .map(Some)
     }
 
-    /// One offload attempt against the current server: uplink migration,
-    /// server execution, downlink migration. `Ok(None)` means the retry
-    /// budget against this server exhausted mid-migration.
-    fn try_offload(&mut self, clicked_at: Duration) -> Result<Option<RoundReport>, OffloadError> {
-        // --- Uplink migration: delta when an agreement exists.
+    /// The uplink half of an offload attempt against the current server:
+    /// migrates the client state up (delta when an agreement exists) and
+    /// captures the server state base the downlink delta will later be
+    /// computed against. `Ok(None)` means the retry budget against this
+    /// server exhausted mid-migration.
+    fn offload_up(&mut self, clicked_at: Duration) -> Result<Option<ArrivedUplink>, OffloadError> {
         let Some((up_bytes, delta_up)) = self.migrate_up(clicked_at)? else {
             return Ok(None);
         };
+        Ok(Some(ArrivedUplink {
+            server_base: self.server.browser.state_base(),
+            up_bytes,
+            delta_up,
+        }))
+    }
 
-        // The server runs the pending event.
-        let server_base = self.server.browser.state_base();
-        let exec_span = self.tracer.begin(
-            "exec_server",
-            Lane::Server,
-            EventKind::Exec,
-            self.clock.now(),
-        );
-        self.server.run()?;
-        self.tracer.end(exec_span, self.clock.now());
-
-        // --- Downlink migration.
+    /// The downlink half, run after the server CPU executed the pending
+    /// event: downlink migration, result installation on the client,
+    /// trigger re-arm, agreement update. `Ok(None)` means the retry
+    /// budget against this server exhausted mid-migration.
+    fn offload_down(
+        &mut self,
+        arrived: &ArrivedUplink,
+        clicked_at: Duration,
+    ) -> Result<Option<RoundReport>, OffloadError> {
         let Some((down_bytes, delta_down)) =
-            self.migrate_down(&server_base, delta_up, clicked_at)?
+            self.migrate_down(&arrived.server_base, arrived.delta_up, clicked_at)?
         else {
             return Ok(None);
         };
@@ -840,9 +932,9 @@ impl OffloadSession {
 
         Ok(Some(RoundReport {
             round: self.round,
-            delta_up,
+            delta_up: arrived.delta_up,
             delta_down,
-            up_bytes,
+            up_bytes: arrived.up_bytes,
             down_bytes,
             total: self.clock.now() - clicked_at,
             result: self.client.browser.element_text("result")?.to_string(),

@@ -55,8 +55,9 @@ const HASH_SENSITIVE: [&str; 5] = [
 
 /// Files on the capture → transfer → restore → retry path, where a panic
 /// would bypass the typed-error resilience machinery.
-const HOT_PATH: [&str; 14] = [
+const HOT_PATH: [&str; 15] = [
     "crates/core/src/fleet.rs",
+    "crates/core/src/engine.rs",
     "crates/net/src/health.rs",
     "crates/webapp/src/interp.rs",
     "crates/webapp/src/snapshot.rs",

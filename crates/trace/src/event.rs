@@ -92,6 +92,18 @@ pub enum EventKind {
     /// was spent (instant marker; contrast with [`EventKind::Fallback`],
     /// the reactive path taken after exhaustion).
     ProactiveLocal,
+    /// A request joined a busy server's run queue (instant marker
+    /// emitted by the fleet engine when an uplinked snapshot finds the
+    /// server's CPU occupied by another client).
+    Enqueue,
+    /// A queued request was admitted to the server CPU (instant marker;
+    /// the matching [`EventKind::QueueWait`] span covers the wait).
+    Dequeue,
+    /// Time a request spent waiting for a busy server CPU — the queueing
+    /// delay that emerges from concurrent sessions sharing a fleet
+    /// (contrast with [`EventKind::Queue`], which is *link* FIFO
+    /// queueing).
+    QueueWait,
     /// Anything else (markers, app phases, custom spans).
     Other,
 }
@@ -117,6 +129,9 @@ impl EventKind {
             EventKind::Handoff => "handoff",
             EventKind::Predict => "predict",
             EventKind::ProactiveLocal => "proactive_local",
+            EventKind::Enqueue => "enqueue",
+            EventKind::Dequeue => "dequeue",
+            EventKind::QueueWait => "queue_wait",
             EventKind::Other => "other",
         }
     }
@@ -141,6 +156,9 @@ impl EventKind {
             "handoff" => Some(EventKind::Handoff),
             "predict" => Some(EventKind::Predict),
             "proactive_local" => Some(EventKind::ProactiveLocal),
+            "enqueue" => Some(EventKind::Enqueue),
+            "dequeue" => Some(EventKind::Dequeue),
+            "queue_wait" => Some(EventKind::QueueWait),
             "other" => Some(EventKind::Other),
             _ => None,
         }
@@ -203,6 +221,9 @@ mod tests {
             EventKind::Handoff,
             EventKind::Predict,
             EventKind::ProactiveLocal,
+            EventKind::Enqueue,
+            EventKind::Dequeue,
+            EventKind::QueueWait,
             EventKind::Other,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));

@@ -20,6 +20,8 @@ pub struct Summary {
     pub p50: Duration,
     /// 90th percentile (nearest-rank).
     pub p90: Duration,
+    /// 95th percentile (nearest-rank).
+    pub p95: Duration,
     /// 99th percentile (nearest-rank).
     pub p99: Duration,
 }
@@ -37,6 +39,7 @@ impl Summary {
                 mean: Duration::ZERO,
                 p50: Duration::ZERO,
                 p90: Duration::ZERO,
+                p95: Duration::ZERO,
                 p99: Duration::ZERO,
             };
         }
@@ -51,6 +54,7 @@ impl Summary {
             mean: total / sorted.len() as u32,
             p50: percentile(&sorted, 50.0),
             p90: percentile(&sorted, 90.0),
+            p95: percentile(&sorted, 95.0),
             p99: percentile(&sorted, 99.0),
         }
     }
@@ -86,6 +90,7 @@ mod tests {
         assert_eq!(s.max, ms(7));
         assert_eq!(s.mean, ms(7));
         assert_eq!(s.p50, ms(7));
+        assert_eq!(s.p95, ms(7));
         assert_eq!(s.p99, ms(7));
     }
 
@@ -95,6 +100,7 @@ mod tests {
         let s = Summary::of(&samples);
         assert_eq!(s.p50, ms(50));
         assert_eq!(s.p90, ms(90));
+        assert_eq!(s.p95, ms(95));
         assert_eq!(s.p99, ms(99));
         assert_eq!(s.min, ms(1));
         assert_eq!(s.max, ms(100));
