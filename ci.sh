@@ -33,6 +33,14 @@ cargo test --offline -q -p snapedge-integration --test prediction
 echo "== engine suite (fleet scheduler determinism, legacy-loop bit-compat)"
 cargo test --offline -q -p snapedge-integration --test engine
 
+echo "== metering suite (sandbox caps, meter-off bit-compat, exhaustion failover)"
+cargo test --offline -q -p snapedge-integration --test metering
+
+echo "== meter exhaustion CLI smoke (capped primary fails over, run still succeeds)"
+meter_smoke=$(cargo run --offline --release -p snapedge-cli --bin snapedge -- run \
+    --model tiny_cnn --servers "edge-a,meter=ops=1;edge-b")
+grep -q "edge-b" <<<"$meter_smoke"
+
 echo "== fleet scale smoke (10k clients under a wall-clock budget)"
 cargo run --offline --release -p snapedge-bench --bin fleet_scale
 

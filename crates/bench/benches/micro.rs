@@ -11,7 +11,7 @@
 //! cargo bench -p snapedge-bench
 //! ```
 
-use snapedge_core::{run_scenario, ScenarioConfig, Strategy};
+use snapedge_core::{run_scenario, MeterLimits, ScenarioConfig, Strategy};
 use snapedge_tensor::{ops, serialize, Tensor};
 use snapedge_webapp::{Browser, SnapshotOptions};
 use std::time::{Duration, Instant};
@@ -44,7 +44,7 @@ fn browser_with_heap(objects: usize, floats: usize) -> Browser {
 /// until at least ~200 ms of wall time has accumulated. `f` returns a
 /// value to keep the optimizer honest; the results are folded into a
 /// black-box sink.
-fn bench(name: &str, mut f: impl FnMut() -> usize) {
+fn bench(name: &str, mut f: impl FnMut() -> usize) -> u128 {
     let mut sink = 0usize;
     // Warm-up.
     let warm = Instant::now();
@@ -62,6 +62,7 @@ fn bench(name: &str, mut f: impl FnMut() -> usize) {
     let per_iter = elapsed.as_nanos() / u128::from(iters.max(1));
     println!("{name:<40} {per_iter:>12} ns/iter   ({iters} iters)");
     std::hint::black_box(sink);
+    per_iter
 }
 
 fn bench_snapshot_capture() {
@@ -151,6 +152,34 @@ fn bench_end_to_end() {
     });
 }
 
+/// Wall-clock cost of the per-op metering charge: the same tiny offload
+/// round with the meter off vs on (caps far above the workload, so only
+/// the accounting itself is measured). Reported as a % slowdown —
+/// informational, not a gate.
+fn bench_meter_overhead() {
+    let off = bench("meter_overhead/tiny_offload/meter_off", || {
+        run_scenario(&ScenarioConfig::tiny(Strategy::OffloadAfterAck))
+            .unwrap()
+            .total
+            .as_nanos() as usize
+    });
+    let generous = MeterLimits::default()
+        .with_ops(u64::MAX / 2)
+        .with_heap_cells(usize::MAX / 2)
+        .with_string_len(usize::MAX / 2)
+        .with_call_depth(usize::MAX / 2)
+        .with_time_slice(Duration::from_secs(3600));
+    let cfg = ScenarioConfig::tiny_builder()
+        .strategy(Strategy::OffloadAfterAck)
+        .meter(generous)
+        .build();
+    let on = bench("meter_overhead/tiny_offload/meter_on", || {
+        run_scenario(&cfg).unwrap().total.as_nanos() as usize
+    });
+    let slowdown = (on as f64 - off as f64) / off as f64 * 100.0;
+    println!("meter_overhead/slowdown                  {slowdown:>11.1} %   (informational)");
+}
+
 fn main() {
     println!("snapedge micro-benchmarks (plain harness, mean over >=200ms)\n");
     bench_snapshot_capture();
@@ -158,4 +187,5 @@ fn main() {
     bench_cnn_kernels();
     bench_serialization();
     bench_end_to_end();
+    bench_meter_overhead();
 }

@@ -13,7 +13,8 @@
 use snapedge_analyze::{analyze_html, analyze_script, AnalysisOptions, AnalysisReport};
 use snapedge_core::{
     apps, parse_servers, run_scenario, vm_install, ArrivalProcess, Engine, FleetReport,
-    OffloadSession, RetryPolicy, ScenarioConfig, ServerSpec, SessionConfig, Strategy, Workload,
+    MeterLimits, OffloadSession, RetryPolicy, ScenarioConfig, ServerSpec, SessionConfig, Strategy,
+    Workload,
 };
 use snapedge_dnn::{zoo, ModelBundle};
 use snapedge_net::{FaultPlan, LinkConfig};
@@ -73,14 +74,15 @@ const USAGE: &str = "usage:
   snapedge run     --model <name> --strategy <client|server|before-ack|after-ack|partial>
                    [--cut <label>] [--mbps <rate>] [--timeline true] [--trace <file.jsonl>]
                    [--fault-plan <spec>] [--retry <spec>] [--servers <spec>]
-                   [--predict true]
+                   [--predict true] [--meter <spec>]
   snapedge sweep   --model <name> [--mbps <rate>]
   snapedge session --model <name> [--rounds <n>] [--no-deltas true]
                    [--fault-plan <spec>] [--retry <spec>] [--servers <spec>]
-                   [--predict true]
+                   [--predict true] [--meter <spec>]
   snapedge fleet   --model <name> [--clients <n>] [--arrival <spec>]
                    [--duration <s>] [--rounds <n>] [--servers <spec>]
                    [--mbps <rate>] [--seed <n>] [--retry <spec>] [--real true]
+                   [--meter <spec>]
   snapedge install --model <name> [--mbps <rate>]
   snapedge models
   snapedge analyze [--all-apps true | --model <name> [--cut <label>]]
@@ -102,6 +104,13 @@ const USAGE: &str = "usage:
     when the measured fault rate and bandwidth trend say the offload loses
     after its expected retry backoff, the inference completes locally
     before any retry budget burns. Off by default (bit-identical replay).
+  --meter caps per-tenant execution on edge servers:
+      'ops=<n>,heap=<cells>,str=<chars>,depth=<frames>,slice=<ms>'
+    any subset of keys; exceeding a cap kills the tenant's snapshot on
+    that server (fatal-for-this-server: no retries burn, the round fails
+    over to the next server or completes locally). Per-server 'meter='
+    keys in --servers override the fleet-wide spec ('+' joins nested
+    keys). Off by default (bit-identical replay).
   --arrival shapes fleet traffic (snapedge fleet):
       'closed[:think_s]'               closed loop, per-client think time
       'poisson:rate_hz'                open-loop Poisson, fleet-wide rate
@@ -230,11 +239,21 @@ fn parse_retry_flag(args: &Args) -> Result<Option<RetryPolicy>, String> {
     }
 }
 
+fn parse_meter_flag(args: &Args) -> Result<Option<MeterLimits>, String> {
+    match args.flag("meter") {
+        None => Ok(None),
+        Some(spec) => MeterLimits::parse(spec)
+            .map(Some)
+            .map_err(|e| format!("bad --meter: {e}")),
+    }
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let mut cfg = ScenarioConfig::paper(&args.model(), parse_strategy(args)?);
     cfg.primary_mut().link = LinkConfig::mbps(args.mbps()?);
     apply_fleet_flags(args, &mut cfg.servers)?;
     cfg.retry = parse_retry_flag(args)?;
+    cfg.meter = parse_meter_flag(args)?;
     cfg.predict = parse_predict_flag(args)?;
     let report = run_scenario(&cfg).map_err(|e| e.to_string())?;
     println!("model:      {}", report.model);
@@ -347,6 +366,7 @@ fn cmd_session(args: &Args) -> Result<(), String> {
     }
     apply_fleet_flags(args, &mut cfg.servers)?;
     cfg.retry = parse_retry_flag(args)?;
+    cfg.meter = parse_meter_flag(args)?;
     let predict = parse_predict_flag(args)?;
     cfg.predict = predict;
     let mut session = OffloadSession::new(cfg).map_err(|e| e.to_string())?;
@@ -474,6 +494,7 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
     cfg.primary_mut().link = LinkConfig::mbps(args.mbps()?);
     apply_fleet_flags(args, &mut cfg.servers)?;
     cfg.retry = parse_retry_flag(args)?;
+    cfg.meter = parse_meter_flag(args)?;
     cfg.predict = parse_predict_flag(args)?;
     if let Some(seed) = args.flag("seed") {
         cfg.seed = seed.parse().map_err(|e| format!("bad --seed: {e}"))?;
@@ -515,6 +536,12 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
         report.queue_wait.p99.as_secs_f64(),
         report.queue_wait.max.as_secs_f64()
     );
+    if report.total_ops > 0 || report.peak_heap > 0 {
+        println!(
+            "meter:      {} op(s) charged | peak heap {} cell(s)",
+            report.total_ops, report.peak_heap
+        );
+    }
     for server in &report.servers {
         println!(
             "server:     {:<16} {:>8} round(s) | busy {:.3}s | utilization {:.1}%",
@@ -945,5 +972,18 @@ mod tests {
         assert_eq!(p.max_attempts, 7);
         assert_eq!(p.deadline, Duration::from_secs(90));
         assert!(parse_retry_flag(&args(&["run", "--retry", "attempts=zero"])).is_err());
+    }
+
+    #[test]
+    fn meter_flag_parses_spec_and_defaults_off() {
+        assert_eq!(parse_meter_flag(&args(&["run"])).unwrap(), None);
+        let limits = parse_meter_flag(&args(&["run", "--meter", "ops=5000,heap=200,slice=2.5"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(limits.max_ops, Some(5000));
+        assert_eq!(limits.max_heap_cells, Some(200));
+        assert_eq!(limits.time_slice, Some(Duration::from_secs_f64(0.0025)));
+        assert!(parse_meter_flag(&args(&["run", "--meter", "ops=zero"])).is_err());
+        assert!(parse_meter_flag(&args(&["run", "--meter", "warp=9"])).is_err());
     }
 }

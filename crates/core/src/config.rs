@@ -22,7 +22,7 @@ use crate::fleet::ServerSpec;
 use crate::resilience::RetryPolicy;
 use snapedge_dnn::ExecMode;
 use snapedge_net::{FaultPlan, LinkConfig};
-use snapedge_webapp::SnapshotOptions;
+use snapedge_webapp::{MeterLimits, SnapshotOptions};
 use std::ops::DerefMut;
 
 /// The configuration core shared by sessions, scenarios and the fleet
@@ -58,6 +58,14 @@ pub struct OffloadConfig {
     /// burning a retry budget. `false` (the default) replays the
     /// reactive-only path bit for bit.
     pub predict: bool,
+    /// Per-tenant resource metering on edge servers (op budgets,
+    /// heap/string caps, call-depth limits, virtual-time slices).
+    /// Individual servers override this via
+    /// [`ServerSpec::meter`](crate::fleet::ServerSpec). Exhaustion is
+    /// classified fatal-for-that-server: the tenant fails over or runs
+    /// locally without burning retries. `None` (the default) runs
+    /// unmetered and is bit-identical to pre-metering behaviour.
+    pub meter: Option<MeterLimits>,
 }
 
 impl OffloadConfig {
@@ -78,6 +86,7 @@ impl OffloadConfig {
             snapshot: SnapshotOptions::default(),
             retry: None,
             predict: false,
+            meter: None,
         }
     }
 
@@ -225,6 +234,13 @@ impl<C: DerefMut<Target = OffloadConfig>> ConfigBuilder<C> {
     /// Toggles the proactive link-health predictor (off by default).
     pub fn predict(mut self, on: bool) -> ConfigBuilder<C> {
         self.cfg.predict = on;
+        self
+    }
+
+    /// Meters every edge server's execution under `limits` (per-server
+    /// [`ServerSpec::meter`] overrides win where set).
+    pub fn meter(mut self, limits: MeterLimits) -> ConfigBuilder<C> {
+        self.cfg.meter = Some(limits);
         self
     }
 

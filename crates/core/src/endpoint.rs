@@ -9,7 +9,7 @@ use crate::OffloadError;
 use snapedge_dnn::{ExecMode, Network, NodeId, ParamStore};
 use snapedge_net::SimClock;
 use snapedge_trace::{EventKind, Lane, Tracer};
-use snapedge_webapp::{Browser, RunOutcome, Snapshot, SnapshotOptions};
+use snapedge_webapp::{Browser, RunOutcome, Snapshot, SnapshotOptions, WebError};
 use std::time::Duration;
 
 /// A browser-bearing machine participating in offloading.
@@ -217,10 +217,45 @@ impl Endpoint {
     /// Runs the event loop to idle (or to the armed offload point). DNN
     /// time is charged by the model host as handlers execute.
     ///
+    /// When a resource meter with a virtual-time slice is installed on
+    /// this endpoint's browser, the run is killed at the slice: the
+    /// clock rewinds to `start + slice` (the tenant is only *charged*
+    /// its slice, not the overrun the simulation had to compute to
+    /// detect it) and a `"slice"` [`WebError::ResourceExhausted`] is
+    /// returned with limit/used in microseconds. A metered run that
+    /// finishes in budget records a `meter_tick` trace event carrying
+    /// the segment's op count.
+    ///
     /// # Errors
     ///
-    /// Propagates app runtime errors.
+    /// Propagates app runtime errors, including meter exhaustion raised
+    /// inside the interpreter (ops / heap / string / depth caps).
     pub fn run(&mut self) -> Result<RunOutcome, OffloadError> {
-        Ok(self.browser.run_until_idle()?)
+        let slice = self.browser.meter().and_then(|m| m.limits().time_slice);
+        let start = self.clock.now();
+        let outcome = self.browser.run_until_idle()?;
+        if let Some(slice) = slice {
+            let elapsed = self.clock.now() - start;
+            if elapsed > slice {
+                self.clock.rewind_to(start + slice);
+                return Err(OffloadError::Web(WebError::ResourceExhausted {
+                    resource: "slice".to_string(),
+                    limit: slice.as_micros() as u64,
+                    used: elapsed.as_micros() as u64,
+                }));
+            }
+        }
+        if let Some(meter) = self.browser.meter() {
+            let now = self.clock.now();
+            self.tracer.record_bytes(
+                &self.phase_name("meter_tick"),
+                self.lane,
+                EventKind::MeterTick,
+                now,
+                now,
+                Some(meter.run_ops()),
+            );
+        }
+        Ok(outcome)
     }
 }

@@ -149,6 +149,12 @@ pub struct RoundOutcome {
     /// Name of the endpoint that executed the inference (`"client"`
     /// for a fallback round).
     pub server: String,
+    /// Interpreter operations the serving server's resource meter
+    /// charged this round (zero when unmetered, modeled or local).
+    pub ops_used: u64,
+    /// Peak heap (cells) the meter observed on the serving server (zero
+    /// when unmetered, modeled or local).
+    pub peak_heap: usize,
 }
 
 /// Where a client's round state machine paused — what a [`Workload`]
@@ -284,6 +290,8 @@ impl SessionWorkload {
                     total: report.total,
                     fell_back: report.fell_back,
                     server: report.server.clone(),
+                    ops_used: report.ops_used,
+                    peak_heap: report.peak_heap,
                 };
                 self.reports.push(report);
                 EngineStep::Done(outcome)
@@ -472,6 +480,8 @@ impl Workload for ModeledWorkload {
             total: finished - round.clicked,
             fell_back: false,
             server: self.names[round.server % fleet].clone(),
+            ops_used: 0,
+            peak_heap: 0,
         }))
     }
 }
@@ -511,6 +521,12 @@ pub struct FleetReport {
     pub queue_wait: Summary,
     /// Per-candidate load, in fleet order.
     pub servers: Vec<ServerLoad>,
+    /// Total metered interpreter operations across every completed round
+    /// (zero for unmetered or modeled runs).
+    pub total_ops: u64,
+    /// Largest metered heap (cells) any serving server observed (zero
+    /// for unmetered or modeled runs).
+    pub peak_heap: usize,
 }
 
 /// A global event on the engine's virtual clock.
@@ -703,6 +719,8 @@ impl<W: Workload> Engine<W> {
         let mut completed = 0usize;
         let mut fallbacks = 0usize;
         let mut makespan = Duration::ZERO;
+        let mut total_ops = 0u64;
+        let mut peak_heap = 0usize;
 
         match self.arrival {
             ArrivalProcess::ClosedLoop { .. } => {
@@ -760,6 +778,8 @@ impl<W: Workload> Engine<W> {
                             completed: &mut completed,
                             fallbacks: &mut fallbacks,
                             makespan: &mut makespan,
+                            total_ops: &mut total_ops,
+                            peak_heap: &mut peak_heap,
                         },
                     );
                 }
@@ -797,6 +817,8 @@ impl<W: Workload> Engine<W> {
                             completed: &mut completed,
                             fallbacks: &mut fallbacks,
                             makespan: &mut makespan,
+                            total_ops: &mut total_ops,
+                            peak_heap: &mut peak_heap,
                         },
                     );
                 }
@@ -838,6 +860,8 @@ impl<W: Workload> Engine<W> {
             latency: Summary::of(&latencies),
             queue_wait: Summary::of(&waits),
             servers,
+            total_ops,
+            peak_heap,
         })
     }
 
@@ -864,6 +888,8 @@ impl<W: Workload> Engine<W> {
                 if outcome.fell_back {
                     *state.fallbacks += 1;
                 }
+                *state.total_ops += outcome.ops_used;
+                *state.peak_heap = (*state.peak_heap).max(outcome.peak_heap);
                 state
                     .latencies
                     .push(outcome.finished_at.saturating_sub(state.issued[client]));
@@ -915,4 +941,6 @@ struct DrainState<'a> {
     completed: &'a mut usize,
     fallbacks: &'a mut usize,
     makespan: &'a mut Duration,
+    total_ops: &'a mut u64,
+    peak_heap: &'a mut usize,
 }

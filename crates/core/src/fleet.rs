@@ -21,6 +21,7 @@ use crate::device::DeviceProfile;
 use snapedge_net::{
     BandwidthEstimator, FaultPlan, LinkConfig, LinkHealth, LinkPrediction, Transfer,
 };
+use snapedge_webapp::MeterLimits;
 use std::time::Duration;
 
 /// Static description of one candidate edge server: who it is, how fast
@@ -37,6 +38,11 @@ pub struct ServerSpec {
     pub up_faults: FaultPlan,
     /// Fault-injection schedule for the server→client direction.
     pub down_faults: FaultPlan,
+    /// Per-tenant resource caps enforced while this server executes a
+    /// restored snapshot. `Some` overrides the fleet-wide
+    /// [`OffloadConfig::meter`](crate::OffloadConfig) default; `None`
+    /// inherits it (which may itself be unmetered).
+    pub meter: Option<MeterLimits>,
 }
 
 impl ServerSpec {
@@ -48,6 +54,7 @@ impl ServerSpec {
             link,
             up_faults: FaultPlan::none(),
             down_faults: FaultPlan::none(),
+            meter: None,
         }
     }
 
@@ -79,6 +86,13 @@ impl ServerSpec {
     pub fn with_faults(self, plan: FaultPlan) -> ServerSpec {
         let down = plan.clone();
         self.with_up_faults(plan).with_down_faults(down)
+    }
+
+    /// Sets this server's per-tenant resource caps, builder style
+    /// (overrides any fleet-wide meter default).
+    pub fn with_meter(mut self, limits: MeterLimits) -> ServerSpec {
+        self.meter = Some(limits);
+        self
     }
 }
 
@@ -310,9 +324,11 @@ impl ServerPool {
 /// any unspecified link fields).
 ///
 /// Keys: `mbps` (bandwidth in Mbit/s), `bps` (bandwidth in bit/s),
-/// `latency` (seconds), `overhead` (bytes), `loss` (fraction), and fault
+/// `latency` (seconds), `overhead` (bytes), `loss` (fraction), fault
 /// plans `up`/`down`/`faults` in [`FaultPlan::parse`] syntax with `+`
-/// standing in for the plan-internal `,` (e.g. `up=down@2..5+corrupt@7..8`).
+/// standing in for the plan-internal `,` (e.g. `up=down@2..5+corrupt@7..8`),
+/// and `meter` in [`MeterLimits::parse`] syntax with the same `+`-for-`,`
+/// substitution (e.g. `meter=ops=5000+heap=100`).
 ///
 /// ```
 /// use snapedge_core::fleet::{parse_servers, ServerSpec};
@@ -388,6 +404,12 @@ pub fn parse_servers(spec: &str, template: &ServerSpec) -> Result<Vec<ServerSpec
                     server.up_faults = p.clone();
                     server.down_faults = p;
                 }
+                "meter" => {
+                    server.meter = Some(
+                        MeterLimits::parse(&value.replace('+', ","))
+                            .map_err(|e| bad(&format!("bad meter spec: {e}")))?,
+                    )
+                }
                 other => return Err(format!("unknown server key {other:?}")),
             }
         }
@@ -423,6 +445,10 @@ pub fn format_servers(servers: &[ServerSpec]) -> String {
             if !s.down_faults.is_empty() {
                 out.push_str(",down=");
                 out.push_str(&s.down_faults.to_spec().replace(',', "+"));
+            }
+            if let Some(meter) = &s.meter {
+                out.push_str(",meter=");
+                out.push_str(&meter.format().replace(',', "+"));
             }
             out
         })
@@ -652,19 +678,31 @@ mod tests {
     fn parse_and_format_roundtrip() {
         let template = spec("template", 30.0);
         let fleet = parse_servers(
-            "edge-a,mbps=30;edge-b,mbps=12,latency=0.01,up=down@2..5+corrupt@7..8;edge-c,loss=0.1,down=degrade@1..2x0.5",
+            "edge-a,mbps=30,meter=ops=5000+heap=200;edge-b,mbps=12,latency=0.01,up=down@2..5+corrupt@7..8;edge-c,loss=0.1,down=degrade@1..2x0.5",
             &template,
         )
         .unwrap();
         assert_eq!(fleet.len(), 3);
         assert_eq!(fleet[0].name, "edge-a");
+        assert_eq!(
+            fleet[0].meter,
+            Some(MeterLimits::default().with_ops(5000).with_heap_cells(200))
+        );
         assert_eq!(fleet[1].link.latency, Duration::from_millis(10));
         assert_eq!(fleet[1].up_faults.windows().len(), 2);
         assert!(fleet[1].down_faults.is_empty());
+        assert_eq!(fleet[1].meter, None);
         assert_eq!(fleet[2].link.loss, 0.1);
         let formatted = format_servers(&fleet);
         let back = parse_servers(&formatted, &template).unwrap();
         assert_eq!(back, fleet, "parse → format → parse must be identity");
+    }
+
+    #[test]
+    fn meter_key_rejects_garbage() {
+        let template = spec("template", 30.0);
+        assert!(parse_servers("a,meter=ops=zero", &template).is_err());
+        assert!(parse_servers("a,meter=warp=9", &template).is_err());
     }
 
     #[test]

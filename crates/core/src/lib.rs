@@ -96,3 +96,4 @@ pub use scenario::{
     ScenarioConfig, ScenarioReport, Strategy,
 };
 pub use session::{OffloadSession, RoundReport, SessionBuilder, SessionConfig};
+pub use snapedge_webapp::MeterLimits;

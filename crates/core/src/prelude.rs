@@ -35,4 +35,4 @@ pub use snapedge_dnn::{zoo, ExecMode};
 pub use snapedge_net::{FaultKind, FaultPlan, FaultWindow, Link, LinkConfig};
 pub use snapedge_net::{LinkHealth, LinkPrediction};
 pub use snapedge_trace::{Event, EventKind, Lane, Summary, Trace, Tracer};
-pub use snapedge_webapp::SnapshotOptions;
+pub use snapedge_webapp::{MeterLimits, SnapshotOptions};

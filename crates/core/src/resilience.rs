@@ -16,6 +16,7 @@
 use crate::OffloadError;
 use snapedge_net::{Link, NetError, Transfer};
 use snapedge_trace::{EventKind, Lane, Tracer};
+use snapedge_webapp::WebError;
 use std::time::Duration;
 
 /// Whether a failure is worth retrying.
@@ -27,6 +28,14 @@ pub enum FaultClass {
     /// Retrying cannot help (configuration, protocol, app errors, a link
     /// with no bandwidth at all).
     Fatal,
+    /// Retrying *on this server* cannot help, but another server — or the
+    /// client itself — can still finish the work: the tenant tripped a
+    /// per-server resource cap
+    /// ([`WebError::ResourceExhausted`](snapedge_webapp::WebError)). The
+    /// runtime must not burn retries against the exhausted server; it
+    /// fails over to the next fleet candidate or degrades to local
+    /// execution immediately.
+    FatalForServer,
 }
 
 /// Classifies an [`OffloadError`] for the retry loop.
@@ -36,12 +45,17 @@ pub enum FaultClass {
 /// [`NetError::ZeroBandwidth`] is a configuration error — no amount of
 /// waiting gives a zero-bandwidth link capacity — and everything
 /// non-network (app, protocol, DNN, tensor) is deterministic, so both are
-/// [`FaultClass::Fatal`].
+/// [`FaultClass::Fatal`]. A tripped per-tenant resource meter
+/// ([`WebError::ResourceExhausted`](snapedge_webapp::WebError)) is
+/// [`FaultClass::FatalForServer`]: repeating the same work on the same
+/// server hits the same cap, but a differently-provisioned server or the
+/// client can still finish it.
 pub fn classify(err: &OffloadError) -> FaultClass {
     match err {
         OffloadError::Net(NetError::LinkDown) | OffloadError::Net(NetError::Corrupt(_)) => {
             FaultClass::Transient
         }
+        OffloadError::Web(WebError::ResourceExhausted { .. }) => FaultClass::FatalForServer,
         _ => FaultClass::Fatal,
     }
 }
@@ -377,6 +391,21 @@ mod tests {
         );
         assert_eq!(
             classify(&OffloadError::Config("c".into())),
+            FaultClass::Fatal
+        );
+        // A tripped resource meter is fatal for the server only: no
+        // retry can help there, but failover or local execution can.
+        assert_eq!(
+            classify(&OffloadError::Web(WebError::ResourceExhausted {
+                resource: "ops".into(),
+                limit: 10,
+                used: 11,
+            })),
+            FaultClass::FatalForServer
+        );
+        // Other app errors stay plain fatal.
+        assert_eq!(
+            classify(&OffloadError::Web(WebError::Runtime("boom".into()))),
             FaultClass::Fatal
         );
     }

@@ -22,7 +22,7 @@ use crate::OffloadError;
 use snapedge_dnn::{zoo, ExecMode, ModelBundle, ParamStore};
 use snapedge_net::{Link, SimClock};
 use snapedge_trace::{EventKind, Lane, Trace, Tracer};
-use snapedge_webapp::RunOutcome;
+use snapedge_webapp::{RunOutcome, WebError};
 use std::time::Duration;
 
 /// Where (and when) the inference runs.
@@ -681,10 +681,37 @@ fn run_local(cfg: &ScenarioConfig, on_server: bool) -> Result<ScenarioReport, Of
 }
 
 /// A server endpoint for one fleet candidate, named after its spec so
-/// trace consumers can tell which machine executed what.
-fn server_endpoint(spec: &ServerSpec, clock: &SimClock, tracer: &Tracer) -> Endpoint {
-    Endpoint::new(&spec.name, spec.device.clone(), clock.clone())
-        .with_tracer(tracer.clone(), Lane::Server)
+/// trace consumers can tell which machine executed what. The effective
+/// resource meter — the spec's override, else the fleet-wide config
+/// default — is installed on the fresh browser; both `None` leaves it
+/// unmetered (bit-identical to pre-metering behaviour).
+fn server_endpoint(
+    spec: &ServerSpec,
+    cfg: &ScenarioConfig,
+    clock: &SimClock,
+    tracer: &Tracer,
+) -> Endpoint {
+    let mut ep = Endpoint::new(&spec.name, spec.device.clone(), clock.clone())
+        .with_tracer(tracer.clone(), Lane::Server);
+    if let Some(limits) = spec.meter.clone().or_else(|| cfg.meter.clone()) {
+        ep.browser.set_meter(limits);
+    }
+    ep
+}
+
+/// Records a `meter_exhausted:{resource}` trace marker when `e` is a
+/// tripped resource meter (a no-op for every other failure).
+fn record_meter_exhausted(tracer: &Tracer, clock: &SimClock, e: &OffloadError) {
+    if let OffloadError::Web(WebError::ResourceExhausted { resource, .. }) = e {
+        let now = clock.now();
+        tracer.record(
+            &format!("meter_exhausted:{resource}"),
+            Lane::Server,
+            EventKind::MeterExhausted,
+            now,
+            now,
+        );
+    }
 }
 
 /// Builds a fleet candidate's link pair. The primary (index 0) keeps the
@@ -837,7 +864,7 @@ fn scenario_failover(
         pool.mark_model_stale(*current);
         *current = next;
         pool.reset_estimator(next);
-        *server = server_endpoint(&spec, clock, tracer);
+        *server = server_endpoint(&spec, cfg, clock, tracer);
         *owned = Some(fleet_links(&spec, next, tracer));
         if let Some((up, down)) = owned.as_mut() {
             match presend_model(
@@ -921,7 +948,7 @@ fn run_offload(
         }
     }
     let mut server = match pool.spec(current) {
-        Some(spec) => server_endpoint(spec, &clock, &tracer),
+        Some(spec) => server_endpoint(spec, cfg, &clock, &tracer),
         None => Endpoint::new("edge-server", cfg.primary().device.clone(), clock.clone())
             .with_tracer(tracer.clone(), Lane::Server),
     };
@@ -989,7 +1016,7 @@ fn run_offload(
         pool.mark_model_stale(current);
         current = next;
         pool.reset_estimator(next);
-        server = server_endpoint(&spec, &clock, &tracer);
+        server = server_endpoint(&spec, cfg, &clock, &tracer);
         owned = Some(fleet_links(&spec, next, &tracer));
     }
 
@@ -1152,13 +1179,58 @@ fn run_offload(
                 false,
             );
         };
-        server.restore(&snap_up)?;
-        let exec_span = tracer.begin("exec_server", Lane::Server, EventKind::Exec, clock.now());
-        server.run()?;
-        tracer.end(exec_span, clock.now());
-
-        // --- Server-to-client migration of the updated state.
-        let (snap_down, _capture_server) = server.capture(&cfg.snapshot)?;
+        // Restore, execute and capture on the (possibly metered) server.
+        // A tripped resource cap anywhere in this span kills the tenant
+        // on *this* server only: the candidate is marked exhausted and
+        // the round fails over (or completes locally) without burning a
+        // single retry against it.
+        let server_side = (|server: &mut Endpoint| {
+            server.restore(&snap_up)?;
+            let exec_span = tracer.begin("exec_server", Lane::Server, EventKind::Exec, clock.now());
+            let run = server.run();
+            tracer.end(exec_span, clock.now());
+            run?;
+            // --- Server-to-client migration of the updated state.
+            server.capture(&cfg.snapshot)
+        })(&mut server);
+        let snap_down = match server_side {
+            Ok((snap_down, _capture_server)) => snap_down,
+            Err(e) if classify(&e) == FaultClass::FatalForServer => {
+                record_meter_exhausted(&tracer, &clock, &e);
+                pool.mark_exhausted(current);
+                if scenario_failover(
+                    cfg,
+                    &net,
+                    &sent_bundle,
+                    cut,
+                    &tracer,
+                    &clock,
+                    &mut pool,
+                    &mut current,
+                    &mut server,
+                    &mut owned,
+                    pending_bytes,
+                    model_upload_bytes,
+                )? {
+                    continue;
+                }
+                let server_device = server.device.clone();
+                return finish_locally(
+                    cfg,
+                    &server_device,
+                    &net,
+                    &mut client,
+                    &tracer,
+                    &clock,
+                    clicked_at,
+                    ack_at,
+                    model_upload_bytes,
+                    prediction.clone(),
+                    false,
+                );
+            }
+            Err(e) => return Err(e),
+        };
         let down = match owned.as_mut() {
             Some((_, d)) => d,
             None => &mut *downlink,

@@ -31,7 +31,7 @@ use crate::OffloadError;
 use snapedge_dnn::{zoo, ExecMode, ModelBundle, Network, NodeId, ParamStore};
 use snapedge_net::{Link, NetError, SimClock};
 use snapedge_trace::{EventKind, Lane, Trace, Tracer};
-use snapedge_webapp::{DeltaCapture, RunOutcome, StateBase};
+use snapedge_webapp::{DeltaCapture, RunOutcome, StateBase, WebError};
 use std::time::Duration;
 
 /// Configuration of a multi-inference session: the shared
@@ -170,6 +170,13 @@ pub struct RoundReport {
     /// expected the offload to lose, so no retry budget was spent.
     /// Contrast with [`RoundReport::fell_back`], the reactive path.
     pub proactive: bool,
+    /// Interpreter operations the serving server's resource meter charged
+    /// this round (restore + execution + capture). Zero when the round
+    /// ran unmetered or completed locally.
+    pub ops_used: u64,
+    /// Largest heap (in cells) the meter observed on the serving server
+    /// over its lifetime. Zero when unmetered or local.
+    pub peak_heap: usize,
 }
 
 /// Where a resumable round paused — what [`OffloadSession::round_start`]
@@ -199,6 +206,10 @@ struct PendingRound {
     /// Set once the uplink migration landed: what the downlink later
     /// needs.
     arrived: Option<ArrivedUplink>,
+    /// Set when the server's resource meter killed the tenant during the
+    /// compute grant: the round must fail over (or finish locally)
+    /// instead of running the downlink.
+    exhausted: bool,
 }
 
 /// The uplink migration's results, carried across the compute pause.
@@ -243,6 +254,9 @@ pub struct OffloadSession {
     /// The round parked between [`OffloadSession::round_start`] and
     /// [`OffloadSession::round_finish`], when one is in flight.
     pending: Option<PendingRound>,
+    /// The server meter's `total_ops` reading when the current round
+    /// started — per-round `ops_used` is the delta past this mark.
+    meter_mark: u64,
 }
 
 impl std::fmt::Debug for OffloadSession {
@@ -334,7 +348,9 @@ impl OffloadSession {
             model_bytes: 0,
             last_full_bytes,
             pending: None,
+            meter_mark: 0,
         };
+        session.apply_meter();
         session.setup_client()?;
         // Provision the chosen candidate; if its pre-send exhausts the
         // retry budget and other candidates remain, try them before
@@ -530,6 +546,62 @@ impl OffloadSession {
             .with_tracer(self.tracer.clone(), &down_label)
             .with_fault_plan(spec.down_faults.clone());
         self.agreed = None;
+        // The new server's browser starts with a fresh meter, so the
+        // per-round usage mark restarts from zero too.
+        self.meter_mark = 0;
+        self.apply_meter();
+    }
+
+    /// Installs the effective resource meter on the current server's
+    /// browser: the server spec's override when set, else the fleet-wide
+    /// config default, else unmetered.
+    fn apply_meter(&mut self) {
+        let limits = self
+            .pool
+            .spec(self.current)
+            .and_then(|spec| spec.meter.clone())
+            .or_else(|| self.cfg.meter.clone());
+        match limits {
+            Some(limits) => self.server.browser.set_meter(limits),
+            None => self.server.browser.clear_meter(),
+        }
+    }
+
+    /// Records a `meter_exhausted:{resource}` trace marker when `e` is a
+    /// tripped resource meter (a no-op for every other failure).
+    fn record_meter_exhausted(&self, e: &OffloadError) {
+        if let OffloadError::Web(WebError::ResourceExhausted { resource, .. }) = e {
+            let now = self.clock.now();
+            self.tracer.record(
+                &format!("meter_exhausted:{resource}"),
+                Lane::Server,
+                EventKind::MeterExhausted,
+                now,
+                now,
+            );
+        }
+    }
+
+    /// Whether failure `e` keeps the round alive: transient network
+    /// faults get a fleet-wide second chance (when candidates remain),
+    /// and a tripped resource meter *always* recovers — the work moves
+    /// to another server or the client, never retrying where it died.
+    fn recoverable(&self, e: &OffloadError) -> bool {
+        match classify(e) {
+            FaultClass::Transient => self.pool.len() > 1,
+            FaultClass::FatalForServer => true,
+            FaultClass::Fatal => false,
+        }
+    }
+
+    /// Ops the meter charged on the current server since the round
+    /// started, plus the server's lifetime peak heap. Zeros when
+    /// unmetered.
+    fn meter_usage(&self) -> (u64, usize) {
+        match self.server.browser.meter() {
+            Some(m) => (m.total_ops().saturating_sub(self.meter_mark), m.peak_heap()),
+            None => (0, 0),
+        }
     }
 
     /// Automatic failover: picks the best non-exhausted candidate by
@@ -626,6 +698,13 @@ impl OffloadSession {
         self.round += 1;
         // Every candidate gets a fresh chance each round.
         self.pool.begin_round();
+        // Per-round usage reads as the delta past this mark.
+        self.meter_mark = self
+            .server
+            .browser
+            .meter()
+            .map(|m| m.total_ops())
+            .unwrap_or(0);
         // Wait for the pre-send ACK before the first offload (the paper's
         // "after ACK" regime; `ScenarioConfig` covers the before-ACK case).
         self.clock.advance_to(self.ack_at);
@@ -699,6 +778,7 @@ impl OffloadSession {
             clicked_at,
             prediction,
             arrived: None,
+            exhausted: false,
         });
         self.drive_uplink()
     }
@@ -728,8 +808,12 @@ impl OffloadSession {
                 Ok(None) => {}
                 // Without a retry policy a transient fault is strict
                 // fail-fast against one server, but a fleet still tries
-                // its remaining candidates before surfacing an error.
-                Err(e) if classify(&e) == FaultClass::Transient && self.pool.len() > 1 => {}
+                // its remaining candidates before surfacing an error — and
+                // a tripped resource meter (exhaustion during the server's
+                // restore) always moves on rather than retrying in place.
+                Err(e) if self.recoverable(&e) => {
+                    self.record_meter_exhausted(&e);
+                }
                 Err(e) => return Err(e),
             }
             self.pool.mark_exhausted(self.current);
@@ -766,9 +850,28 @@ impl OffloadSession {
             EventKind::Exec,
             self.clock.now(),
         );
-        self.server.run()?;
-        self.tracer.end(exec_span, self.clock.now());
-        Ok(())
+        match self.server.run() {
+            Ok(_) => {
+                self.tracer.end(exec_span, self.clock.now());
+                Ok(())
+            }
+            // The server's resource meter killed the tenant mid-compute
+            // (for a slice kill the clock has already been rewound to the
+            // charged slice). The round stays alive: park the exhaustion
+            // so `round_finish` fails over or finishes locally.
+            Err(e) if classify(&e) == FaultClass::FatalForServer => {
+                self.tracer.end(exec_span, self.clock.now());
+                self.record_meter_exhausted(&e);
+                if let Some(parked) = self.pending.as_mut() {
+                    parked.exhausted = true;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.tracer.end(exec_span, self.clock.now());
+                Err(e)
+            }
+        }
     }
 
     /// Records the queueing delay of a contended admission and advances
@@ -805,6 +908,16 @@ impl OffloadSession {
     /// [`RoundStep::NeedCompute`] again — against the new server —
     /// rather than [`RoundStep::Done`].
     pub(crate) fn round_finish(&mut self) -> Result<RoundStep, OffloadError> {
+        // A meter kill during the compute grant: the server's state is
+        // dead, so skip the downlink entirely and move the round on.
+        if let Some(parked) = self.pending.as_mut() {
+            if parked.exhausted {
+                parked.exhausted = false;
+                parked.arrived = None;
+                let clicked_at = parked.clicked_at;
+                return self.exhausted_mid_round(clicked_at);
+            }
+        }
         let (clicked_at, arrived) = match self.pending.as_mut() {
             Some(parked) => match parked.arrived.take() {
                 Some(arrived) => (parked.clicked_at, arrived),
@@ -827,8 +940,10 @@ impl OffloadSession {
             }
             // The retry budget against the current server ran out.
             Ok(None) => self.exhausted_mid_round(clicked_at),
-            // Same fleet-wide second chance as the uplink path.
-            Err(e) if classify(&e) == FaultClass::Transient && self.pool.len() > 1 => {
+            // Same fleet-wide second chance as the uplink path; a meter
+            // kill during the server's capture also moves on.
+            Err(e) if self.recoverable(&e) => {
+                self.record_meter_exhausted(&e);
                 self.exhausted_mid_round(clicked_at)
             }
             Err(e) => Err(e),
@@ -930,6 +1045,7 @@ impl OffloadSession {
         // Client and server now agree on the client's state.
         self.agreed = Some(self.client.browser.state_base());
 
+        let (ops_used, peak_heap) = self.meter_usage();
         Ok(Some(RoundReport {
             round: self.round,
             delta_up: arrived.delta_up,
@@ -942,6 +1058,8 @@ impl OffloadSession {
             server: self.server.name().to_string(),
             prediction: None,
             proactive: false,
+            ops_used,
+            peak_heap,
         }))
     }
 
@@ -997,6 +1115,8 @@ impl OffloadSession {
             server: "client".to_string(),
             prediction: None,
             proactive: false,
+            ops_used: 0,
+            peak_heap: 0,
         })
     }
 

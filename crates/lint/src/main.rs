@@ -55,7 +55,8 @@ const HASH_SENSITIVE: [&str; 5] = [
 
 /// Files on the capture → transfer → restore → retry path, where a panic
 /// would bypass the typed-error resilience machinery.
-const HOT_PATH: [&str; 15] = [
+const HOT_PATH: [&str; 16] = [
+    "crates/webapp/src/meter.rs",
     "crates/core/src/fleet.rs",
     "crates/core/src/engine.rs",
     "crates/net/src/health.rs",

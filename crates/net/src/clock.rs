@@ -40,6 +40,20 @@ impl SimClock {
     pub fn advance_by(&self, d: Duration) {
         self.now.set(self.now.get() + d);
     }
+
+    /// Rewinds time to `t` when `t` is earlier than now; later values are
+    /// ignored (use [`SimClock::advance_to`] to move forward).
+    ///
+    /// This is *not* general time travel: the only legitimate caller is
+    /// the metering layer, which kills a job at its virtual-time slice.
+    /// Work the interpreter charged past the kill point never happened on
+    /// the shared timeline, and rewinding to the kill instant reconstructs
+    /// the true one — nothing else runs concurrently within one session.
+    pub fn rewind_to(&self, t: Duration) {
+        if t < self.now.get() {
+            self.now.set(t);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -62,6 +76,16 @@ mod tests {
         c.advance_to(Duration::from_secs(10));
         c.advance_to(Duration::from_secs(3));
         assert_eq!(c.now(), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn rewind_goes_backwards_only() {
+        let c = SimClock::new();
+        c.advance_to(Duration::from_secs(10));
+        c.rewind_to(Duration::from_secs(4));
+        assert_eq!(c.now(), Duration::from_secs(4));
+        c.rewind_to(Duration::from_secs(7)); // forward rewinds are ignored
+        assert_eq!(c.now(), Duration::from_secs(4));
     }
 
     #[test]

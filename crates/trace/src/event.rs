@@ -104,6 +104,15 @@ pub enum EventKind {
     /// (contrast with [`EventKind::Queue`], which is *link* FIFO
     /// queueing).
     QueueWait,
+    /// A per-tenant resource-meter reading after a metered execution
+    /// segment (instant marker; `bytes` carries the ops charged in that
+    /// segment). Only emitted when metering is enabled, so unmetered
+    /// traces are byte-identical to pre-metering runs.
+    MeterTick,
+    /// A tenant exceeded one of its resource caps and was killed on the
+    /// executing server (instant marker; the event name carries the
+    /// tripped resource, e.g. `"meter_exhausted:ops"`).
+    MeterExhausted,
     /// Anything else (markers, app phases, custom spans).
     Other,
 }
@@ -132,6 +141,8 @@ impl EventKind {
             EventKind::Enqueue => "enqueue",
             EventKind::Dequeue => "dequeue",
             EventKind::QueueWait => "queue_wait",
+            EventKind::MeterTick => "meter_tick",
+            EventKind::MeterExhausted => "meter_exhausted",
             EventKind::Other => "other",
         }
     }
@@ -159,6 +170,8 @@ impl EventKind {
             "enqueue" => Some(EventKind::Enqueue),
             "dequeue" => Some(EventKind::Dequeue),
             "queue_wait" => Some(EventKind::QueueWait),
+            "meter_tick" => Some(EventKind::MeterTick),
+            "meter_exhausted" => Some(EventKind::MeterExhausted),
             "other" => Some(EventKind::Other),
             _ => None,
         }
@@ -224,6 +237,8 @@ mod tests {
             EventKind::Enqueue,
             EventKind::Dequeue,
             EventKind::QueueWait,
+            EventKind::MeterTick,
+            EventKind::MeterExhausted,
             EventKind::Other,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));

@@ -372,6 +372,40 @@ mod tests {
     }
 
     #[test]
+    fn metering_events_export_and_reimport() {
+        // The sandboxing layer's instant markers survive the JSONL
+        // round-trip: a tick carrying the segment's op count in `bytes`,
+        // and an exhaustion naming the tripped resource.
+        let trace = Trace::from_events(vec![
+            Event {
+                name: "meter_tick".into(),
+                lane: Lane::Server,
+                kind: EventKind::MeterTick,
+                start: ms(9),
+                end: ms(9),
+                bytes: Some(12_345),
+                depth: 0,
+            },
+            Event {
+                name: "meter_exhausted:ops".into(),
+                lane: Lane::Server,
+                kind: EventKind::MeterExhausted,
+                start: ms(11),
+                end: ms(11),
+                bytes: None,
+                depth: 0,
+            },
+        ]);
+        let text = trace.to_jsonl();
+        assert!(text.contains("\"kind\":\"meter_tick\""));
+        assert!(text.contains("\"kind\":\"meter_exhausted\""));
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.events()[0].bytes, Some(12_345));
+        assert_eq!(back.events()[1].kind, EventKind::MeterExhausted);
+    }
+
+    #[test]
     fn blank_lines_are_skipped() {
         let text = format!("\n{}\n\n", sample_trace().to_jsonl());
         assert_eq!(Trace::from_jsonl(&text).unwrap().len(), 3);

@@ -7,6 +7,7 @@
 use crate::ast::FunctionDef;
 use crate::dom::{Document, DomNodeId};
 use crate::host::HostObject;
+use crate::meter::{Meter, MeterLimits};
 use crate::value::{Heap, JsValue};
 use crate::WebError;
 use std::collections::{BTreeMap, VecDeque};
@@ -104,6 +105,7 @@ pub enum RunOutcome {
 pub struct Browser {
     pub(crate) core: Core,
     pub(crate) hosts: BTreeMap<String, Box<dyn HostObject>>,
+    pub(crate) meter: Option<Meter>,
     offload_trigger: Option<String>,
     max_steps: u64,
 }
@@ -134,9 +136,39 @@ impl Browser {
         Browser {
             core: Core::new(),
             hosts: BTreeMap::new(),
+            meter: None,
             offload_trigger: None,
             max_steps: 50_000_000,
         }
+    }
+
+    /// Installs a resource meter: subsequent execution, host-API calls and
+    /// snapshot captures are charged against `limits` and fail with
+    /// [`WebError::ResourceExhausted`] when a cap trips. Replaces any
+    /// existing meter (counters restart at zero). Like host objects, the
+    /// meter is *environment*: snapshots never carry it.
+    pub fn set_meter(&mut self, limits: MeterLimits) {
+        self.meter = Some(Meter::new(limits));
+    }
+
+    /// Removes the meter; execution is unmetered again (the default).
+    pub fn clear_meter(&mut self) {
+        self.meter = None;
+    }
+
+    /// The installed meter and its usage counters, if any.
+    pub fn meter(&self) -> Option<&Meter> {
+        self.meter.as_ref()
+    }
+
+    /// Charges `ops` metered operations (no-op without a meter). Used by
+    /// host-API dispatch and snapshot capture, which do real work that
+    /// individual interpreter steps do not account for.
+    pub(crate) fn meter_charge(&mut self, ops: u64) -> Result<(), WebError> {
+        if let Some(m) = self.meter.as_mut() {
+            m.charge(ops, self.core.heap.len())?;
+        }
+        Ok(())
     }
 
     /// Registers a host object reachable from MiniJS as a global (e.g.
@@ -201,6 +233,9 @@ impl Browser {
         let parsed = crate::html::parse_document(html)?;
         self.core.doc = parsed.document;
         self.core.steps = 0;
+        if let Some(m) = self.meter.as_mut() {
+            m.begin_segment();
+        }
         for script in &parsed.scripts {
             self.exec_script(script)?;
         }
@@ -254,6 +289,9 @@ impl Browser {
     pub fn run_until_idle(&mut self) -> Result<RunOutcome, WebError> {
         let mut events = 0usize;
         self.core.steps = 0;
+        if let Some(m) = self.meter.as_mut() {
+            m.begin_segment();
+        }
         loop {
             let Some(front) = self.core.queue.front().cloned() else {
                 return Ok(RunOutcome::Idle { events });

@@ -26,6 +26,21 @@ pub enum WebError {
     Html(String),
     /// Snapshot capture or restore failed.
     Snapshot(String),
+    /// A metered resource cap was exceeded ([`crate::MeterLimits`]).
+    ///
+    /// The offload layer treats this as *fatal for the executing server*:
+    /// the tenant's job is killed there without retries, but other servers
+    /// (or local execution) may still run it under different limits.
+    ResourceExhausted {
+        /// Which cap tripped: `"ops"`, `"heap"`, `"string"`, `"depth"` or
+        /// `"slice"`.
+        resource: String,
+        /// The configured cap (ops / cells / bytes / frames; microseconds
+        /// for `"slice"`).
+        limit: u64,
+        /// The observed usage that exceeded it, in the same unit.
+        used: u64,
+    },
 }
 
 impl fmt::Display for WebError {
@@ -37,6 +52,14 @@ impl fmt::Display for WebError {
             WebError::Dom(msg) => write!(f, "dom error: {msg}"),
             WebError::Html(msg) => write!(f, "html error: {msg}"),
             WebError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            WebError::ResourceExhausted {
+                resource,
+                limit,
+                used,
+            } => write!(
+                f,
+                "resource exhausted: {resource} limit {limit} exceeded (used {used})"
+            ),
         }
     }
 }

@@ -40,6 +40,17 @@ impl Browser {
         name: &str,
         args: &[JsValue],
     ) -> Result<JsValue, WebError> {
+        if let Some(m) = self.meter.as_mut() {
+            m.enter_call()?;
+        }
+        let result = self.call_function_inner(name, args);
+        if let Some(m) = self.meter.as_mut() {
+            m.exit_call();
+        }
+        result
+    }
+
+    fn call_function_inner(&mut self, name: &str, args: &[JsValue]) -> Result<JsValue, WebError> {
         let def: Rc<FunctionDef> = self
             .core
             .functions
@@ -69,6 +80,9 @@ impl Browser {
     pub fn eval_expr(&mut self, src: &str) -> Result<JsValue, WebError> {
         let expr = crate::parser::parse_expr(src)?;
         self.core.steps = 0;
+        if let Some(m) = self.meter.as_mut() {
+            m.begin_segment();
+        }
         let mut frame = None;
         self.eval(&expr, &mut frame)
     }
@@ -80,6 +94,9 @@ impl Browser {
                 "step limit exceeded ({})",
                 self.max_steps()
             )));
+        }
+        if let Some(m) = self.meter.as_mut() {
+            m.charge(1, self.core.heap.len())?;
         }
         Ok(())
     }
@@ -390,6 +407,9 @@ impl Browser {
                 (JsValue::Str(_), _) | (_, JsValue::Str(_)) => {
                     let mut s = self.stringify(&lv);
                     s.push_str(&self.stringify(&rv));
+                    if let Some(m) = &self.meter {
+                        m.check_string(s.len())?;
+                    }
                     Ok(JsValue::Str(s))
                 }
                 _ => Ok(JsValue::Number(lv.as_number()? + rv.as_number()?)),
@@ -775,6 +795,14 @@ impl Browser {
     }
 
     fn host_get(&mut self, host: &str, prop: &str) -> Result<JsValue, WebError> {
+        let value = self.host_get_inner(host, prop)?;
+        // One metered op per host-API access, charged after the host ran
+        // so heap growth it caused is observed against the cap.
+        self.meter_charge(1)?;
+        Ok(value)
+    }
+
+    fn host_get_inner(&mut self, host: &str, prop: &str) -> Result<JsValue, WebError> {
         match host {
             "document" => match prop {
                 "body" => Ok(JsValue::Dom(self.core.doc.body())),
@@ -801,6 +829,17 @@ impl Browser {
     }
 
     fn host_call(
+        &mut self,
+        host: &str,
+        method: &str,
+        args: &[JsValue],
+    ) -> Result<JsValue, WebError> {
+        let value = self.host_call_inner(host, method, args)?;
+        self.meter_charge(1)?;
+        Ok(value)
+    }
+
+    fn host_call_inner(
         &mut self,
         host: &str,
         method: &str,
@@ -1200,5 +1239,116 @@ mod tests {
         assert_eq!(b.global("lt"), JsValue::Bool(false));
         assert_eq!(b.global("ge"), JsValue::Bool(false));
         assert_eq!(b.global("eq"), JsValue::Bool(false));
+    }
+
+    mod meter {
+        use super::run;
+        use crate::{Browser, JsValue, MeterLimits, WebError};
+
+        fn exhausted_resource(err: &WebError) -> &str {
+            match err {
+                WebError::ResourceExhausted { resource, .. } => resource,
+                other => panic!("expected ResourceExhausted, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn op_budget_stops_runaway_loops() {
+            let mut b = Browser::new();
+            b.set_meter(MeterLimits::default().with_ops(1_000));
+            let err = b.exec_script("while (true) { var x = 1; }").unwrap_err();
+            assert_eq!(exhausted_resource(&err), "ops");
+        }
+
+        #[test]
+        fn heap_cap_stops_allocation_bombs() {
+            let mut b = Browser::new();
+            b.set_meter(MeterLimits::default().with_heap_cells(10));
+            let err = b
+                .exec_script("var a = []; while (true) { a.push([1]); }")
+                .unwrap_err();
+            assert_eq!(exhausted_resource(&err), "heap");
+        }
+
+        #[test]
+        fn call_depth_cap_stops_runaway_recursion() {
+            let mut b = Browser::new();
+            b.set_meter(MeterLimits::default().with_call_depth(16));
+            let err = b
+                .exec_script("function f() { return f(); } f();")
+                .unwrap_err();
+            assert_eq!(exhausted_resource(&err), "depth");
+            // Depth recovers after the abort: shallow calls still work.
+            b.exec_script("function g() { return 7; } var r = g();")
+                .unwrap();
+            assert_eq!(b.global("r"), JsValue::Number(7.0));
+        }
+
+        #[test]
+        fn string_cap_stops_concat_doubling() {
+            let mut b = Browser::new();
+            b.set_meter(MeterLimits::default().with_string_len(1 << 16));
+            let err = b
+                .exec_script(r#"var s = "x"; while (true) { s = s + s; }"#)
+                .unwrap_err();
+            assert_eq!(exhausted_resource(&err), "string");
+        }
+
+        #[test]
+        fn host_calls_are_charged() {
+            let mut b = Browser::new();
+            b.set_meter(MeterLimits::default());
+            b.exec_script("console.log(1);").unwrap();
+            let meter = b.meter().unwrap();
+            // At least the host-dispatch op on top of interpreter steps.
+            assert!(meter.total_ops() > 1, "{}", meter.total_ops());
+        }
+
+        #[test]
+        fn capture_charges_serialized_cells() {
+            let mut b = Browser::new();
+            b.set_meter(MeterLimits::default());
+            b.load_html("<html><body></body><script>var a = [1, [2], {x: 3}];</script></html>")
+                .unwrap();
+            let before = b.meter().unwrap().total_ops();
+            let snap = b
+                .capture_snapshot(&crate::SnapshotOptions::default())
+                .unwrap();
+            let charged = b.meter().unwrap().total_ops() - before;
+            assert_eq!(charged, snap.stats().heap_cells as u64);
+        }
+
+        #[test]
+        fn metered_run_matches_unmetered_results() {
+            let src = r#"
+                var obj = {x: 1, y: 2};
+                function f(a) { return a + obj.x * 3; }
+                var r = "v=" + f(4);
+            "#;
+            let plain = run(src);
+            let mut metered = Browser::new();
+            metered.set_meter(
+                MeterLimits::default()
+                    .with_ops(1_000_000)
+                    .with_heap_cells(1_000)
+                    .with_string_len(1 << 20)
+                    .with_call_depth(64),
+            );
+            metered.exec_script(src).unwrap();
+            assert_eq!(plain.global("r"), metered.global("r"));
+            assert!(metered.meter().unwrap().total_ops() > 0);
+            assert!(metered.meter().unwrap().peak_heap() > 0);
+        }
+
+        #[test]
+        fn clear_meter_returns_to_unmetered() {
+            let mut b = Browser::new();
+            b.set_meter(MeterLimits::default().with_ops(10));
+            b.clear_meter();
+            assert!(b.meter().is_none());
+            b.exec_script("var n = 0; while (n < 100) { n += 1; }")
+                .unwrap();
+            assert_eq!(b.global("n"), JsValue::Number(100.0));
+        }
     }
 }

@@ -16,6 +16,9 @@
 //!   ([`Browser`]),
 //! * **host objects** so the embedder can expose native APIs like the
 //!   paper's Caffe.js `model` object ([`HostObject`]),
+//! * **per-tenant metering** so untrusted snapshots execute under op,
+//!   heap, string, call-depth and time-slice budgets ([`MeterLimits`],
+//!   [`Meter`]),
 //! * and the **snapshot** engine that serializes all of the above into a
 //!   self-contained web app and restores it by simply loading that app
 //!   ([`Snapshot`], [`SnapshotOptions`]).
@@ -55,6 +58,7 @@ mod host;
 pub mod html;
 mod interp;
 pub mod lexer;
+mod meter;
 pub mod parser;
 mod snapshot;
 mod value;
@@ -64,6 +68,7 @@ pub use delta::{DeltaCapture, DeltaScript, DeltaStats, StateBase};
 pub use dom::{Document, DomNodeId};
 pub use error::WebError;
 pub use host::{FnHost, HostObject};
+pub use meter::{Meter, MeterLimits};
 pub use snapshot::{
     is_reserved_machinery, state_eq, Snapshot, SnapshotOptions, SnapshotStats, RESERVED_PREFIX,
 };

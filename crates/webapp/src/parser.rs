@@ -12,7 +12,11 @@ use crate::WebError;
 /// Returns [`WebError::Lex`] or [`WebError::Parse`] with line information.
 pub fn parse_program(src: &str) -> Result<Vec<Stmt>, WebError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let mut stmts = Vec::new();
     while !p.at_eof() {
         stmts.push(p.statement()?);
@@ -28,7 +32,11 @@ pub fn parse_program(src: &str) -> Result<Vec<Stmt>, WebError> {
 /// Returns [`WebError::Lex`] or [`WebError::Parse`].
 pub fn parse_expr(src: &str) -> Result<Expr, WebError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.expression()?;
     if !p.at_eof() {
         return Err(p.error("trailing tokens after expression"));
@@ -36,9 +44,17 @@ pub fn parse_expr(src: &str) -> Result<Expr, WebError> {
     Ok(e)
 }
 
+/// Deepest grammar nesting (parenthesized/bracketed expressions, nested
+/// statements, unary chains) the parser accepts. The recursive-descent
+/// parser recurses once per level, so without a cap a pathologically
+/// nested input — e.g. 10k `(`s from a hostile snapshot — would overflow
+/// the host stack instead of returning an error.
+const MAX_PARSE_DEPTH: usize = 256;
+
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -59,6 +75,21 @@ impl Parser {
             line: self.line(),
             message: format!("{message} (at {:?})", self.peek()),
         }
+    }
+
+    fn enter(&mut self) -> Result<(), WebError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(WebError::Parse {
+                line: self.line(),
+                message: format!("nesting exceeds {MAX_PARSE_DEPTH} levels"),
+            });
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
     }
 
     fn advance(&mut self) -> Token {
@@ -122,6 +153,13 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Stmt, WebError> {
+        self.enter()?;
+        let stmt = self.statement_inner();
+        self.leave();
+        stmt
+    }
+
+    fn statement_inner(&mut self) -> Result<Stmt, WebError> {
         if self.eat_keyword("var") {
             let line = self.line();
             let name = self.expect_ident()?;
@@ -282,7 +320,10 @@ impl Parser {
     }
 
     fn expression(&mut self) -> Result<Expr, WebError> {
-        self.or_expr()
+        self.enter()?;
+        let expr = self.or_expr();
+        self.leave();
+        expr
     }
 
     fn or_expr(&mut self) -> Result<Expr, WebError> {
@@ -374,11 +415,19 @@ impl Parser {
     }
 
     fn unary(&mut self) -> Result<Expr, WebError> {
+        // Unary chains recurse without passing through `expression`, so
+        // they carry their own depth guard.
         if self.eat_punct("!") {
-            return Ok(Expr::Unary("!", Box::new(self.unary()?)));
+            self.enter()?;
+            let operand = self.unary();
+            self.leave();
+            return Ok(Expr::Unary("!", Box::new(operand?)));
         }
         if self.eat_punct("-") {
-            let operand = self.unary()?;
+            self.enter()?;
+            let operand = self.unary();
+            self.leave();
+            let operand = operand?;
             // Fold negative literals so `(-2.5)` parses to the same AST
             // the printer started from.
             if let Expr::Number(n) = operand {
@@ -387,7 +436,10 @@ impl Parser {
             return Ok(Expr::Unary("-", Box::new(operand)));
         }
         if self.eat_keyword("typeof") {
-            return Ok(Expr::Unary("typeof", Box::new(self.unary()?)));
+            self.enter()?;
+            let operand = self.unary();
+            self.leave();
+            return Ok(Expr::Unary("typeof", Box::new(operand?)));
         }
         self.postfix()
     }
@@ -651,6 +703,46 @@ mod tests {
             matches!(&err, WebError::Parse { message, .. } if message.contains("reserved")),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn deeply_nested_expression_fails_cleanly() {
+        // A 10k-deep nested expression must produce a typed parse error,
+        // not overflow the host stack.
+        let mut src = String::new();
+        for _ in 0..10_000 {
+            src.push('(');
+        }
+        src.push('1');
+        for _ in 0..10_000 {
+            src.push(')');
+        }
+        let err = parse_expr(&src).unwrap_err();
+        assert!(
+            matches!(&err, WebError::Parse { message, .. } if message.contains("nesting")),
+            "{err:?}"
+        );
+        // Same for nested statements and unary chains.
+        let mut stmts = String::from("if (a) { b = 1; }");
+        for _ in 0..10_000 {
+            stmts = format!("if (a) {{ {stmts} }}");
+        }
+        assert!(parse_program(&stmts).is_err());
+        let bangs = format!("var v = {}1;", "!".repeat(10_000));
+        assert!(parse_program(&bangs).is_err());
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        let mut src = String::new();
+        for _ in 0..100 {
+            src.push('(');
+        }
+        src.push('1');
+        for _ in 0..100 {
+            src.push(')');
+        }
+        assert_eq!(parse_expr(&src).unwrap(), Expr::Number(1.0));
     }
 
     #[test]

@@ -464,6 +464,10 @@ fn capture(browser: &mut Browser, options: &SnapshotOptions) -> Result<Snapshot,
         dom_nodes: core.doc.walk().len(),
         bytes: html.len(),
     };
+    // Metered capture: serializing N reachable heap cells costs N ops, so
+    // a tenant cannot smuggle unbounded serialization work (the snapshot
+    // walks the whole reachable graph) past its op budget.
+    browser.meter_charge(emit.cells as u64)?;
     Ok(Snapshot { html, stats })
 }
 
