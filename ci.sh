@@ -36,6 +36,9 @@ cargo test --offline -q -p snapedge-integration --test engine
 echo "== metering suite (sandbox caps, meter-off bit-compat, exhaustion failover)"
 cargo test --offline -q -p snapedge-integration --test metering
 
+echo "== effects suite (pruned-capture bit-identity, pre-ship gates, effects-off bit-compat)"
+cargo test --offline -q -p snapedge-integration --test effects
+
 echo "== meter exhaustion CLI smoke (capped primary fails over, run still succeeds)"
 meter_smoke=$(cargo run --offline --release -p snapedge-cli --bin snapedge -- run \
     --model tiny_cnn --servers "edge-a,meter=ops=1;edge-b")
@@ -44,10 +47,16 @@ grep -q "edge-b" <<<"$meter_smoke"
 echo "== fleet scale smoke (10k clients under a wall-clock budget)"
 cargo run --offline --release -p snapedge-bench --bin fleet_scale
 
-echo "== determinism lint (wall-clock, hash-iter, unwrap-hot-path)"
+echo "== pruned capture micro (report-only: pruned vs full capture time)"
+cargo run --offline --release -p snapedge-bench --bin capture_pruned
+
+echo "== determinism lint (wall-clock, hash-iter, unwrap-hot-path, collect-in-loop)"
 cargo run --offline --release -p snapedge-lint
 
 echo "== static snapshot verifier smoke (paper apps + live captures)"
 cargo run --offline --release -p snapedge-cli --bin snapedge -- analyze --all-apps true
+
+echo "== effect analysis smoke (lattice report + effects-on session per model)"
+cargo run --offline --release -p snapedge-cli --bin snapedge -- analyze --all-apps true --effects true
 
 echo "ci.sh: all green"

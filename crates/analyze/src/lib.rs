@@ -38,7 +38,14 @@
 #![warn(missing_docs)]
 
 mod analysis;
+pub mod effects;
 pub mod hostapi;
+
+pub use effects::{
+    effect_summary, effect_summary_html, AnalyzeError, CostBound, Effect, EffectCache,
+    EffectOptions, EffectSummary, FnEffect, NondetSource, TOPLEVEL,
+};
+pub use snapedge_webapp::HostEffect;
 
 use snapedge_webapp::lexer::{lex, Token};
 use snapedge_webapp::{html, parser, WebError};

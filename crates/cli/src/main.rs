@@ -10,7 +10,10 @@
 //! snapedge analyze --all-apps true                # static snapshot verification
 //! ```
 
-use snapedge_analyze::{analyze_html, analyze_script, AnalysisOptions, AnalysisReport};
+use snapedge_analyze::{
+    analyze_html, analyze_script, effect_summary, effect_summary_html, AnalysisOptions,
+    AnalysisReport, EffectOptions, EffectSummary,
+};
 use snapedge_core::{
     apps, parse_servers, run_scenario, vm_install, ArrivalProcess, Engine, FleetReport,
     MeterLimits, OffloadSession, RetryPolicy, ScenarioConfig, ServerSpec, SessionConfig, Strategy,
@@ -19,7 +22,7 @@ use snapedge_core::{
 use snapedge_dnn::{zoo, ModelBundle};
 use snapedge_net::{FaultPlan, LinkConfig};
 use snapedge_vmsynth::SynthesisConfig;
-use snapedge_webapp::SnapshotOptions;
+use snapedge_webapp::{HostEffect, SnapshotOptions};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -74,11 +77,11 @@ const USAGE: &str = "usage:
   snapedge run     --model <name> --strategy <client|server|before-ack|after-ack|partial>
                    [--cut <label>] [--mbps <rate>] [--timeline true] [--trace <file.jsonl>]
                    [--fault-plan <spec>] [--retry <spec>] [--servers <spec>]
-                   [--predict true] [--meter <spec>]
+                   [--predict true] [--meter <spec>] [--effects true]
   snapedge sweep   --model <name> [--mbps <rate>]
   snapedge session --model <name> [--rounds <n>] [--no-deltas true]
                    [--fault-plan <spec>] [--retry <spec>] [--servers <spec>]
-                   [--predict true] [--meter <spec>]
+                   [--predict true] [--meter <spec>] [--effects true]
   snapedge fleet   --model <name> [--clients <n>] [--arrival <spec>]
                    [--duration <s>] [--rounds <n>] [--servers <spec>]
                    [--mbps <rate>] [--seed <n>] [--retry <spec>] [--real true]
@@ -86,7 +89,8 @@ const USAGE: &str = "usage:
   snapedge install --model <name> [--mbps <rate>]
   snapedge models
   snapedge analyze [--all-apps true | --model <name> [--cut <label>]]
-                   [--html <file>] [--mode <app|snapshot|delta>] [--hosts <a,b>]
+                   [--html <file> [--report <out.html>]] [--effects true]
+                   [--mode <app|snapshot|delta>] [--hosts <a,b>]
 
   --fault-plan injects link faults at virtual times, e.g.
       'down@2..5,degrade@7..9x0.25,corrupt@10..11'
@@ -111,6 +115,15 @@ const USAGE: &str = "usage:
     over to the next server or completes locally). Per-server 'meter='
     keys in --servers override the fleet-wide spec ('+' joins nested
     keys). Off by default (bit-identical replay).
+  --effects true runs the static effect pass before any state ships:
+    per-function write sets prune delta capture down to statically
+    writable globals (with a bit-identical fallback to the full walk
+    whenever a write escapes attribution), apps that reach
+    clock/random/IO hosts complete locally instead of shipping
+    unreplayable state, and rounds whose static op floor already
+    exceeds the meter budget are refused before any bytes burn. With
+    'snapedge analyze' it prints the per-function effect lattice and
+    cost bounds. Off by default (bit-identical replay).
   --arrival shapes fleet traffic (snapedge fleet):
       'closed[:think_s]'               closed loop, per-client think time
       'poisson:rate_hz'                open-loop Poisson, fleet-wide rate
@@ -229,6 +242,15 @@ fn parse_predict_flag(args: &Args) -> Result<bool, String> {
     }
 }
 
+fn parse_effects_flag(args: &Args) -> Result<bool, String> {
+    match args.flag("effects") {
+        None => Ok(false),
+        Some("true") | Some("on") => Ok(true),
+        Some("false") | Some("off") => Ok(false),
+        Some(other) => Err(format!("bad --effects {other:?} (use true/false)")),
+    }
+}
+
 fn parse_retry_flag(args: &Args) -> Result<Option<RetryPolicy>, String> {
     match args.flag("retry") {
         None => Ok(None),
@@ -255,6 +277,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     cfg.retry = parse_retry_flag(args)?;
     cfg.meter = parse_meter_flag(args)?;
     cfg.predict = parse_predict_flag(args)?;
+    cfg.snapshot.effects = parse_effects_flag(args)?;
     let report = run_scenario(&cfg).map_err(|e| e.to_string())?;
     println!("model:      {}", report.model);
     println!("strategy:   {:?}", report.strategy);
@@ -369,6 +392,7 @@ fn cmd_session(args: &Args) -> Result<(), String> {
     cfg.meter = parse_meter_flag(args)?;
     let predict = parse_predict_flag(args)?;
     cfg.predict = predict;
+    cfg.snapshot.effects = parse_effects_flag(args)?;
     let mut session = OffloadSession::new(cfg).map_err(|e| e.to_string())?;
     if predict {
         println!(
@@ -622,6 +646,72 @@ fn parse_analysis_options(args: &Args) -> Result<AnalysisOptions, String> {
     Ok(opts.with_hosts(hosts))
 }
 
+/// Builds the effect-pass host surface from `--hosts`. The CLI has no way
+/// to register a live host object, so every allowlisted name is treated as
+/// deterministic — sessions derive the real surface (with per-host effect
+/// tags) from the browser they run in.
+fn parse_effect_options(args: &Args) -> Result<EffectOptions, String> {
+    let hosts = parse_analysis_options(args)?.hosts;
+    let pairs = hosts
+        .into_iter()
+        .map(|h| (h, HostEffect::Deterministic))
+        .collect();
+    Ok(EffectOptions::from_host_effects(pairs))
+}
+
+/// Escapes untrusted text for embedding in HTML markup. Guest apps are
+/// untrusted input (PR 7 threat model): a hostile identifier or parse-error
+/// excerpt like `x<script>` must render as text, never as live markup.
+fn escape_html(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the `--report` markup for one analyzed file. Every string that
+/// can carry guest source — the target path, diagnostic messages and
+/// identifiers, effect-summary rows — goes through [`escape_html`].
+fn render_html_report(
+    target: &str,
+    report: &AnalysisReport,
+    effects: Option<&EffectSummary>,
+) -> String {
+    let mut out = String::from("<!doctype html>\n<html><head><meta charset=\"utf-8\">");
+    out.push_str(&format!(
+        "<title>analyze {}</title></head><body>\n",
+        escape_html(target)
+    ));
+    out.push_str(&format!("<h1>analyze {}</h1>\n", escape_html(target)));
+    out.push_str(&format!("<p>{}</p>\n", escape_html(&report.summary())));
+    if !report.diagnostics.is_empty() {
+        out.push_str("<ul>\n");
+        for d in &report.diagnostics {
+            out.push_str(&format!(
+                "  <li><code>{}</code></li>\n",
+                escape_html(&d.to_string())
+            ));
+        }
+        out.push_str("</ul>\n");
+    }
+    if let Some(summary) = effects {
+        out.push_str(&format!(
+            "<h2>effects</h2>\n<pre>{}</pre>\n",
+            escape_html(&summary.render())
+        ));
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
 /// Prints one target's verdict; returns its diagnostic count.
 fn print_report(target: &str, report: &AnalysisReport) -> usize {
     if report.is_clean() {
@@ -637,17 +727,43 @@ fn print_report(target: &str, report: &AnalysisReport) -> usize {
     report.diagnostics.len()
 }
 
-/// Analyzes a MiniJS or HTML file from disk.
+/// Analyzes a MiniJS or HTML file from disk. With `--effects true` the
+/// static effect pass runs too (lattice points, write set, cost bounds);
+/// with `--report <out.html>` an escaped markup report is written before
+/// any verdict is returned, so failures are captured in the report.
 fn cmd_analyze_file(path: &str, args: &Args) -> Result<(), String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let opts = parse_analysis_options(args)?;
-    let report = if source.contains("<script>") {
+    let is_html = source.contains("<script>");
+    let report = if is_html {
         analyze_html(&source, &opts)
     } else {
         analyze_script(&source, &opts)
     };
-    if print_report(path, &report) > 0 {
+    let effects = if parse_effects_flag(args)? {
+        let eopts = parse_effect_options(args)?;
+        let result = if is_html {
+            effect_summary_html(&source, &eopts)
+        } else {
+            effect_summary(&source, &eopts)
+        };
+        let summary = result.map_err(|e| format!("{path}: {e}"))?;
+        print!("{}", summary.render());
+        Some(summary)
+    } else {
+        None
+    };
+    let findings = print_report(path, &report);
+    if let Some(out) = args.flag("report") {
+        let markup = render_html_report(path, &report, effects.as_ref());
+        std::fs::write(out, markup).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("report: {out}");
+    }
+    if findings > 0 {
         return Err(format!("{path}: {}", report.summary()));
+    }
+    if let Some(summary) = &effects {
+        summary.verdict().map_err(|e| format!("{path}: {e}"))?;
     }
     Ok(())
 }
@@ -656,9 +772,10 @@ fn cmd_analyze_file(path: &str, args: &Args) -> Result<(), String> {
 /// sources are analyzed in app mode, then a two-round delta session runs
 /// with `SnapshotOptions::verify` on, so the endpoints verify the full
 /// snapshot (round 1) and the deltas (round 2) before any link traffic.
-fn analyze_model(model: &str, cut: Option<&str>) -> Result<usize, String> {
+fn analyze_model(model: &str, cut: Option<&str>, effects: bool) -> Result<usize, String> {
     let url = apps::synthetic_image_data_url(7, 256);
     let opts = AnalysisOptions::app().with_hosts(vec!["model".to_string()]);
+    let eopts = EffectOptions::new().with_host("model", HostEffect::Deterministic);
     let mut findings = 0;
     let sources = [
         ("full-app", apps::full_inference_app(&url)),
@@ -666,9 +783,18 @@ fn analyze_model(model: &str, cut: Option<&str>) -> Result<usize, String> {
     ];
     for (label, html) in &sources {
         findings += print_report(&format!("{model} {label}"), &analyze_html(html, &opts));
+        if effects {
+            let summary =
+                effect_summary_html(html, &eopts).map_err(|e| format!("{model} {label}: {e}"))?;
+            print!("{}", summary.render());
+            // A nondeterministic paper app would be a finding: its
+            // snapshots could not be replayed bit-identically elsewhere.
+            findings += summary.nondet.len();
+        }
     }
     let mut builder = SessionConfig::paper_builder(model).snapshot(SnapshotOptions {
         verify: true,
+        effects,
         ..SnapshotOptions::default()
     });
     if let Some(cut) = cut {
@@ -695,9 +821,10 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         Some(m) => vec![m.to_string()],
         None => vec!["googlenet".into(), "agenet".into(), "gendernet".into()],
     };
+    let effects = parse_effects_flag(args)?;
     let mut findings = 0;
     for model in &models {
-        findings += analyze_model(model, args.flag("cut"))?;
+        findings += analyze_model(model, args.flag("cut"), effects)?;
     }
     if findings > 0 {
         return Err(format!("analyze: {findings} diagnostic(s) across targets"));
@@ -957,6 +1084,62 @@ mod tests {
         assert!(parse_predict_flag(&args(&["run", "--predict", "on"])).unwrap());
         assert!(!parse_predict_flag(&args(&["run", "--predict", "false"])).unwrap());
         assert!(parse_predict_flag(&args(&["run", "--predict", "maybe"])).is_err());
+    }
+
+    #[test]
+    fn effects_flag_parses_and_defaults_off() {
+        assert!(!parse_effects_flag(&args(&["run"])).unwrap());
+        assert!(parse_effects_flag(&args(&["run", "--effects", "true"])).unwrap());
+        assert!(parse_effects_flag(&args(&["run", "--effects", "on"])).unwrap());
+        assert!(!parse_effects_flag(&args(&["run", "--effects", "off"])).unwrap());
+        assert!(parse_effects_flag(&args(&["run", "--effects", "maybe"])).is_err());
+    }
+
+    #[test]
+    fn escape_html_neutralizes_markup_characters() {
+        assert_eq!(
+            escape_html("<script>alert('x & \"y\"')</script>"),
+            "&lt;script&gt;alert(&#39;x &amp; &quot;y&quot;&#39;)&lt;/script&gt;"
+        );
+        assert_eq!(escape_html("plain_ident"), "plain_ident");
+    }
+
+    #[test]
+    fn html_report_escapes_guest_identifiers() {
+        use snapedge_analyze::{Diagnostic, Rule, Severity};
+        // Guest source is untrusted: a hostile name reaching a diagnostic
+        // must come out as text, not live markup.
+        let report = AnalysisReport {
+            diagnostics: vec![Diagnostic {
+                rule: Rule::FreeIdentifier,
+                severity: Severity::Error,
+                message: "undefined identifier `x<script>alert(1)</script>`".to_string(),
+                name: Some("x<script>alert(1)</script>".to_string()),
+                line: Some(1),
+            }],
+            stats: Default::default(),
+        };
+        let markup = render_html_report("evil<b>.html", &report, None);
+        assert!(!markup.contains("<script>"), "{markup}");
+        assert!(!markup.contains("evil<b>"), "{markup}");
+        assert!(
+            markup.contains("&lt;script&gt;alert(1)&lt;/script&gt;"),
+            "{markup}"
+        );
+    }
+
+    #[test]
+    fn paper_apps_have_deterministic_effect_summaries() {
+        let url = apps::synthetic_image_data_url(7, 256);
+        let eopts = EffectOptions::new().with_host("model", HostEffect::Deterministic);
+        for html in [
+            apps::full_inference_app(&url),
+            apps::partial_inference_app(&url),
+        ] {
+            let summary = effect_summary_html(&html, &eopts).unwrap();
+            assert!(!summary.is_nondeterministic(), "{}", summary.render());
+            assert!(summary.writable_globals().is_some(), "{}", summary.render());
+        }
     }
 
     #[test]

@@ -151,7 +151,38 @@ impl AdaptiveOffloader {
         prediction: &LinkPrediction,
         policy: &RetryPolicy,
     ) -> Result<Plan, OffloadError> {
-        let penalty = policy.cumulative_backoff(prediction.predicted_retries);
+        self.decide_predictive_with_prior(
+            link,
+            model_ready,
+            model_bytes_acked,
+            prediction,
+            policy,
+            Duration::ZERO,
+        )
+    }
+
+    /// Like [`AdaptiveOffloader::decide_predictive`], with a static
+    /// compute-time `prior` added to the offload side: effect analysis
+    /// knows a guaranteed floor on the metered ops the offloaded round
+    /// will execute on the server *besides* the DNN itself (app glue,
+    /// DOM updates), which the layer-time predictor cannot see. A zero
+    /// prior reduces to the plain predictive decision.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer failures (cannot occur for zoo networks).
+    pub fn decide_predictive_with_prior(
+        &self,
+        link: &LinkConfig,
+        model_ready: bool,
+        model_bytes_acked: u64,
+        prediction: &LinkPrediction,
+        policy: &RetryPolicy,
+        prior: Duration,
+    ) -> Result<Plan, OffloadError> {
+        let penalty = policy
+            .cumulative_backoff(prediction.predicted_retries)
+            .saturating_add(prior);
         self.plan_with(link, model_ready, model_bytes_acked, penalty)
     }
 

@@ -237,6 +237,14 @@ impl<C: DerefMut<Target = OffloadConfig>> ConfigBuilder<C> {
         self
     }
 
+    /// Toggles static effect analysis (off by default): write-set-pruned
+    /// delta capture, pre-ship nondeterminism gating, and static cost
+    /// bounds. Off replays pre-analysis traces byte for byte.
+    pub fn effects(mut self, on: bool) -> ConfigBuilder<C> {
+        self.cfg.snapshot.effects = on;
+        self
+    }
+
     /// Meters every edge server's execution under `limits` (per-server
     /// [`ServerSpec::meter`] overrides win where set).
     pub fn meter(mut self, limits: MeterLimits) -> ConfigBuilder<C> {

@@ -26,6 +26,12 @@ pub enum OffloadError {
     /// restore time. Raised before any link traffic and before the retry
     /// budget is touched.
     Verify(String),
+    /// Static effect analysis rejected the app before any bytes shipped:
+    /// it reaches nondeterministic host APIs (clock/random/IO), so
+    /// replaying its snapshot on another browser could diverge. Unlike
+    /// [`OffloadError::Verify`] this is a property of the *app*, not of
+    /// one capture — no retry or server change can fix it.
+    Analyze(snapedge_analyze::AnalyzeError),
 }
 
 impl fmt::Display for OffloadError {
@@ -38,6 +44,7 @@ impl fmt::Display for OffloadError {
             OffloadError::Protocol(msg) => write!(f, "protocol: {msg}"),
             OffloadError::Config(msg) => write!(f, "config: {msg}"),
             OffloadError::Verify(msg) => write!(f, "verify: {msg}"),
+            OffloadError::Analyze(e) => write!(f, "effect analysis: {e}"),
         }
     }
 }
@@ -49,6 +56,7 @@ impl std::error::Error for OffloadError {
             OffloadError::Dnn(e) => Some(e),
             OffloadError::Web(e) => Some(e),
             OffloadError::Net(e) => Some(e),
+            OffloadError::Analyze(e) => Some(e),
             _ => None,
         }
     }

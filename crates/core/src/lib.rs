@@ -96,4 +96,7 @@ pub use scenario::{
     ScenarioConfig, ScenarioReport, Strategy,
 };
 pub use session::{OffloadSession, RoundReport, SessionBuilder, SessionConfig};
-pub use snapedge_webapp::MeterLimits;
+pub use snapedge_analyze::{
+    AnalyzeError, CostBound, Effect, EffectCache, EffectOptions, EffectSummary,
+};
+pub use snapedge_webapp::{HostEffect, MeterLimits};

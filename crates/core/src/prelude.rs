@@ -31,8 +31,9 @@ pub use crate::scenario::{
 };
 pub use crate::session::{OffloadSession, RoundReport, SessionBuilder, SessionConfig};
 pub use crate::timeline;
+pub use snapedge_analyze::{AnalyzeError, EffectCache, EffectOptions, EffectSummary};
 pub use snapedge_dnn::{zoo, ExecMode};
 pub use snapedge_net::{FaultKind, FaultPlan, FaultWindow, Link, LinkConfig};
 pub use snapedge_net::{LinkHealth, LinkPrediction};
 pub use snapedge_trace::{Event, EventKind, Lane, Summary, Trace, Tracer};
-pub use snapedge_webapp::{MeterLimits, SnapshotOptions};
+pub use snapedge_webapp::{HostEffect, MeterLimits, SnapshotOptions};

@@ -408,6 +408,14 @@ mod tests {
             classify(&OffloadError::Web(WebError::Runtime("boom".into()))),
             FaultClass::Fatal
         );
+        // A static effect-analysis rejection is a property of the app:
+        // no retry, failover or handoff can make it replayable.
+        assert_eq!(
+            classify(&OffloadError::Analyze(
+                snapedge_analyze::AnalyzeError::Parse("bad".into())
+            )),
+            FaultClass::Fatal
+        );
     }
 
     #[test]

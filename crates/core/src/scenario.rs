@@ -1070,6 +1070,44 @@ fn run_offload(
         );
     }
 
+    // --- Static effect gate (enabled by `cfg.snapshot.effects`): a
+    // nondeterministic app (clock/random/IO host reachable) cannot be
+    // replayed on another browser, so it is forced local before any
+    // bytes commit to the wire. The instant EffectVerdict marker records
+    // the outcome either way; with analysis off no event is emitted and
+    // the trace stays byte-identical.
+    if cfg.snapshot.effects {
+        let opts =
+            snapedge_analyze::EffectOptions::from_host_effects(client.browser.host_effects());
+        let summary = snapedge_analyze::effect_summary_html(&app_html(cfg), &opts)
+            .map_err(OffloadError::Analyze)?;
+        let nondet = summary.is_nondeterministic();
+        let outcome = if nondet { "nondeterministic" } else { "ok" };
+        tracer.record(
+            &format!("effect_verdict:{outcome}"),
+            Lane::Client,
+            EventKind::EffectVerdict,
+            clock.now(),
+            clock.now(),
+        );
+        if nondet {
+            let server_device = server.device.clone();
+            return finish_locally(
+                cfg,
+                &server_device,
+                &net,
+                &mut client,
+                &tracer,
+                &clock,
+                clicked_at,
+                ack_at,
+                model_upload_bytes,
+                None,
+                false,
+            );
+        }
+    }
+
     // --- Proactive link-health gate (enabled by `cfg.predict`): consult
     // the predictor *before* committing bytes to the wire. When the
     // windowed fault rate and bandwidth trend say the offload loses after

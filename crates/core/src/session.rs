@@ -31,7 +31,7 @@ use crate::OffloadError;
 use snapedge_dnn::{zoo, ExecMode, ModelBundle, Network, NodeId, ParamStore};
 use snapedge_net::{Link, NetError, SimClock};
 use snapedge_trace::{EventKind, Lane, Trace, Tracer};
-use snapedge_webapp::{DeltaCapture, RunOutcome, StateBase, WebError};
+use snapedge_webapp::{CaptureHints, DeltaCapture, RunOutcome, StateBase, WebError};
 use std::time::Duration;
 
 /// Configuration of a multi-inference session: the shared
@@ -257,6 +257,14 @@ pub struct OffloadSession {
     /// The server meter's `total_ops` reading when the current round
     /// started — per-round `ops_used` is the delta past this mark.
     meter_mark: u64,
+    /// Memoized effect summaries keyed by app source + host surface —
+    /// a long-lived session analyzes each app once.
+    effect_cache: snapedge_analyze::EffectCache,
+    /// The active app's effect summary, when `cfg.snapshot.effects` is
+    /// on: its write set prunes delta capture, its nondeterminism and
+    /// cost-bound gates run pre-ship in `round_start`, and its op floor
+    /// feeds the link-health predictor as a compute-time prior.
+    effects: Option<snapedge_analyze::EffectSummary>,
 }
 
 impl std::fmt::Debug for OffloadSession {
@@ -349,6 +357,8 @@ impl OffloadSession {
             last_full_bytes,
             pending: None,
             meter_mark: 0,
+            effect_cache: snapedge_analyze::EffectCache::new(),
+            effects: None,
         };
         session.apply_meter();
         session.setup_client()?;
@@ -394,7 +404,60 @@ impl OffloadSession {
             None => apps::FULL_OFFLOAD_EVENT,
         };
         self.client.browser.set_offload_trigger(Some(trigger));
+        if self.cfg.snapshot.effects {
+            self.analyze_app(&app)?;
+        }
         Ok(())
+    }
+
+    /// Runs (memoized) static effect analysis over the session's app and
+    /// installs its consumers: write-set capture hints on the client
+    /// browser (delta capture deep-compares only statically-writable
+    /// globals) and the summary itself for the pre-ship gates in
+    /// `round_start`. A nondeterministic app is *not* an error here —
+    /// every round is forced local instead, since the paper's fallback
+    /// (local execution) stays sound when replay does not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OffloadError::Analyze`] when the app does not parse.
+    fn analyze_app(&mut self, app_html: &str) -> Result<(), OffloadError> {
+        let opts =
+            snapedge_analyze::EffectOptions::from_host_effects(self.client.browser.host_effects());
+        let summary = self
+            .effect_cache
+            .summary_html(app_html, &opts)
+            .map_err(OffloadError::Analyze)?;
+        if !summary.is_nondeterministic() {
+            if let Some(writes) = summary.writable_globals() {
+                self.client.browser.set_capture_hints(Some(CaptureHints {
+                    writable_globals: writes.clone(),
+                }));
+            }
+        }
+        self.effects = Some(summary);
+        Ok(())
+    }
+
+    /// Which pre-ship effect gate trips for the next round, if any:
+    /// `"nondeterministic"` (replay could diverge on the server) or
+    /// `"exhaustion"` (the guaranteed op/allocation floor already blows
+    /// the serving server's meter budget, so shipping the snapshot would
+    /// only burn link bytes before the inevitable kill).
+    fn effect_gate(&self) -> Option<&'static str> {
+        let summary = self.effects.as_ref()?;
+        if summary.is_nondeterministic() {
+            return Some("nondeterministic");
+        }
+        let limits = self
+            .pool
+            .spec(self.current)
+            .and_then(|spec| spec.meter.clone())
+            .or_else(|| self.cfg.meter.clone())?;
+        if summary.cost.guaranteed_exhaustion(&limits).is_some() {
+            return Some("exhaustion");
+        }
+        None
     }
 
     /// Pre-sends the model to the *current* server and installs the model
@@ -481,6 +544,16 @@ impl OffloadSession {
             self.cut,
             self.cfg.seed,
         );
+        // The server captures the downlink delta against the same app, so
+        // it prunes by the same write set (fresh endpoints from failover /
+        // handoff re-enter here and get the hints re-installed).
+        if let Some(summary) = &self.effects {
+            if let Some(writes) = summary.writable_globals() {
+                self.server.browser.set_capture_hints(Some(CaptureHints {
+                    writable_globals: writes.clone(),
+                }));
+            }
+        }
         Ok(())
     }
 
@@ -739,6 +812,24 @@ impl OffloadSession {
             )));
         }
 
+        // Static effect gates: consulted before the predictor and before
+        // any bytes commit to the wire. A tripped gate completes the
+        // round locally with zero link bytes — nondeterministic apps
+        // cannot be replayed elsewhere, and a round whose guaranteed cost
+        // floor blows the server's meter budget would die there anyway.
+        if let Some(outcome) = self.effect_gate() {
+            let now = self.clock.now();
+            self.tracer.record(
+                &format!("effect_verdict:{outcome}"),
+                Lane::Client,
+                EventKind::EffectVerdict,
+                now,
+                now,
+            );
+            let report = self.complete_locally(clicked_at, false)?;
+            return Ok(RoundStep::Done(report));
+        }
+
         // Proactive link-health gate: consult the predictor before
         // committing any bytes to the wire. A Local verdict completes the
         // round on the client with zero retries spent; any other verdict
@@ -995,10 +1086,25 @@ impl OffloadSession {
             AdaptivePolicy::default(),
         );
         let policy = self.cfg.retry.clone().unwrap_or_default();
+        // Static compute-time prior: effect analysis's guaranteed op
+        // floor for the round, priced at the meter's nominal microsecond
+        // per interpreter op — server-side app glue the layer-time
+        // predictor cannot see. Zero (a no-op) when analysis is off.
+        let prior = match &self.effects {
+            Some(summary) => Duration::from_micros(summary.cost.min_ops),
+            None => Duration::ZERO,
+        };
         // The current server is provisioned by the time a round runs
         // (infer waits out the ACK), so no model bytes remain to charge.
         offloader
-            .decide_predictive(&link, true, self.model_bytes, &prediction, &policy)
+            .decide_predictive_with_prior(
+                &link,
+                true,
+                self.model_bytes,
+                &prediction,
+                &policy,
+                prior,
+            )
             .map(Some)
     }
 

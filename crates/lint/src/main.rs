@@ -16,9 +16,19 @@
 //! 3. **No panicking calls on the offload hot path.** Capture, transfer,
 //!    restore and retry must surface typed errors — a panic mid-offload
 //!    deprives the resilience layer of its chance to recover.
+//! 4. **No collection allocation inside hot-path loops.** A `Vec`/`String`
+//!    born inside a `while`/`for` body reallocates every iteration of
+//!    capture or interpretation; hoist it (or annotate
+//!    `lint: allow(collect-in-loop)` when per-iteration ownership is the
+//!    point).
+//!
+//! The hot path is *derived*, not hand-listed: every `.rs` under the
+//! core/net/webapp/analyze crates' `src/` is hot unless it appears in the
+//! explicit [`HOT_PATH_OPT_OUT`] list, so newly added files (like the
+//! effect pass) are covered by default instead of silently missed.
 //!
 //! Test modules (`#[cfg(test)]` regions, tracked by brace depth) are
-//! exempt from rules 2 and 3; rule 1 applies everywhere outside the bench
+//! exempt from rules 2–4; rule 1 applies everywhere outside the bench
 //! crate, because determinism matters in tests too. Exit status is
 //! non-zero when any finding is reported, so CI can gate on it.
 //!
@@ -43,6 +53,19 @@ const PANICKING: [&str; 6] = [
 /// Suppression comment for the hash-iter rule.
 const ALLOW_HASH_ITER: &str = "lint: allow(hash-iter)";
 
+/// Suppression comment for the collect-in-loop rule.
+const ALLOW_COLLECT_IN_LOOP: &str = "lint: allow(collect-in-loop)";
+
+/// Collection allocations that reallocate per iteration when they appear
+/// inside a loop body.
+const COLLECT_ALLOCS: [&str; 5] = [
+    "Vec::new()",
+    "String::new()",
+    "vec![",
+    "Vec::with_capacity",
+    "String::with_capacity",
+];
+
 /// Files (or directory prefixes ending in `/`) whose output is serialized
 /// and byte-compared, making hash iteration order observable.
 const HASH_SENSITIVE: [&str; 5] = [
@@ -53,26 +76,39 @@ const HASH_SENSITIVE: [&str; 5] = [
     "crates/trace/src/",
 ];
 
-/// Files on the capture → transfer → restore → retry path, where a panic
-/// would bypass the typed-error resilience machinery.
-const HOT_PATH: [&str; 16] = [
-    "crates/webapp/src/meter.rs",
-    "crates/core/src/fleet.rs",
-    "crates/core/src/engine.rs",
-    "crates/net/src/health.rs",
-    "crates/webapp/src/interp.rs",
-    "crates/webapp/src/snapshot.rs",
-    "crates/webapp/src/delta.rs",
-    "crates/webapp/src/dom.rs",
-    "crates/webapp/src/value.rs",
-    "crates/webapp/src/browser.rs",
-    "crates/net/src/link.rs",
-    "crates/core/src/endpoint.rs",
-    "crates/core/src/session.rs",
-    "crates/core/src/scenario.rs",
-    "crates/core/src/resilience.rs",
-    "crates/core/src/mlhost.rs",
+/// Crates whose `src/` trees sit on (or feed) the capture → transfer →
+/// restore → retry path. Every `.rs` under these prefixes is hot-path by
+/// default, so new files get coverage without editing this lint.
+const HOT_PATH_CRATES: [&str; 4] = [
+    "crates/core/src/",
+    "crates/net/src/",
+    "crates/webapp/src/",
+    "crates/analyze/src/",
 ];
+
+/// Explicit opt-outs from the derived hot-path set: offline analysis,
+/// report shaping, and config plumbing that never runs mid-offload. Keep
+/// each entry justified — a new file under a hot crate is hot by default.
+const HOT_PATH_OPT_OUT: [&str; 7] = [
+    // Runs before any session exists (offline partition search / attack
+    // evaluation), never between capture and restore.
+    "crates/core/src/partition.rs",
+    "crates/core/src/privacy.rs",
+    "crates/core/src/contention.rs",
+    "crates/core/src/energy.rs",
+    // Post-hoc report rendering over a finished trace.
+    "crates/core/src/timeline.rs",
+    // App-source literals assembled once at config time.
+    "crates/core/src/apps.rs",
+    // Config assembly; its documented panics are builder-misuse
+    // assertions that fire before any offload starts.
+    "crates/core/src/config.rs",
+];
+
+/// `true` when `rel` is on the derived hot path.
+fn is_hot_path(rel: &str) -> bool {
+    HOT_PATH_CRATES.iter().any(|p| rel.starts_with(p)) && !HOT_PATH_OPT_OUT.contains(&rel)
+}
 
 /// One lint hit, reported as `file:line: [rule] message`.
 struct Finding {
@@ -216,18 +252,66 @@ fn test_region_mask(lines: &[&str]) -> Vec<bool> {
     mask
 }
 
-/// Applies all three rules to one file; `rel` is the workspace-relative
+/// Marks lines inside `while`/`for` bodies by tracking brace depth from
+/// each loop keyword to the close of its body. Nested loops extend the
+/// region; the header line itself is included (a `while` condition runs
+/// per iteration too).
+fn loop_region_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth = 0i64;
+    // Brace depths at which an enclosing loop body opened.
+    let mut loops: Vec<i64> = Vec::new();
+    let mut pending_header = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            mask[idx] = !loops.is_empty();
+            continue;
+        }
+        let header = trimmed.starts_with("for ")
+            || trimmed.starts_with("while ")
+            || trimmed.contains(" for ")
+            || trimmed.contains(" while ");
+        if header {
+            pending_header = true;
+        }
+        mask[idx] = header || !loops.is_empty();
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_header {
+                        loops.push(depth);
+                        pending_header = false;
+                    }
+                }
+                '}' => {
+                    if loops.last() == Some(&depth) {
+                        loops.pop();
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        mask[idx] = mask[idx] || !loops.is_empty();
+    }
+    mask
+}
+
+/// Applies all four rules to one file; `rel` is the workspace-relative
 /// path with forward slashes.
 fn lint_file(rel: &str, content: &str) -> Vec<Finding> {
     let lines: Vec<&str> = content.lines().collect();
     let in_test = test_region_mask(&lines);
+    let in_loop = loop_region_mask(&lines);
     // Benches measure real time by design; the lint's own sources name
     // the patterns they search for.
     let clock_exempt = rel.starts_with("crates/bench/") || rel.starts_with("crates/lint/");
     let hash_sensitive = HASH_SENSITIVE
         .iter()
         .any(|p| rel == *p || (p.ends_with('/') && rel.starts_with(p)));
-    let hot_path = HOT_PATH.contains(&rel);
+    let hot_path = is_hot_path(rel);
     let mut findings = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
         if line.trim_start().starts_with("//") {
@@ -270,6 +354,23 @@ fn lint_file(rel: &str, content: &str) -> Vec<Finding> {
                         "panicking call `{p}` on the offload hot path; return a typed error"
                     ),
                 });
+            }
+            if in_loop[idx] {
+                if let Some(p) = COLLECT_ALLOCS.iter().find(|p| line.contains(**p)) {
+                    let allowed = line.contains(ALLOW_COLLECT_IN_LOOP)
+                        || (idx > 0 && lines[idx - 1].contains(ALLOW_COLLECT_IN_LOOP));
+                    if !allowed {
+                        findings.push(Finding {
+                            file: rel.to_string(),
+                            line: idx + 1,
+                            rule: "collect-in-loop",
+                            message: format!(
+                                "`{p}` allocates inside a loop body on the hot path; hoist it \
+                                 or annotate `{ALLOW_COLLECT_IN_LOOP}`"
+                            ),
+                        });
+                    }
+                }
             }
         }
     }
@@ -335,6 +436,64 @@ mod tests {
     #[test]
     fn comment_lines_are_ignored() {
         let src = "// mentions Instant::now and .unwrap() in prose\n";
+        assert!(lint_file("crates/webapp/src/interp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_is_derived_from_crate_globs() {
+        // New files under hot crates are covered without editing the lint.
+        assert!(is_hot_path("crates/analyze/src/effects.rs"));
+        assert!(is_hot_path("crates/webapp/src/interp.rs"));
+        assert!(is_hot_path("crates/net/src/link.rs"));
+        assert!(is_hot_path("crates/core/src/session.rs"));
+        // Opt-outs and other crates are not.
+        assert!(!is_hot_path("crates/core/src/privacy.rs"));
+        assert!(!is_hot_path("crates/cli/src/main.rs"));
+        assert!(!is_hot_path("crates/bench/src/lib.rs"));
+        assert!(!is_hot_path("tests/effects.rs"));
+    }
+
+    #[test]
+    fn collect_in_loop_is_flagged_on_hot_paths() {
+        let src = "fn f() {\n    while go() {\n        let v = Vec::new();\n    }\n}\n";
+        let found = lint_file("crates/webapp/src/interp.rs", src);
+        assert_eq!(
+            found.len(),
+            1,
+            "{found:?}",
+            found = found.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+        );
+        assert_eq!(found[0].rule, "collect-in-loop");
+        assert_eq!(found[0].line, 3);
+        // Same allocation outside any loop: fine.
+        let flat = "fn f() {\n    let v = Vec::new();\n}\n";
+        assert!(lint_file("crates/webapp/src/interp.rs", flat).is_empty());
+        // And on a non-hot file: fine.
+        assert!(lint_file("crates/cli/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn collect_in_loop_respects_allow_comments() {
+        let same_line =
+            "fn f() {\n    for x in xs {\n        let v = Vec::new(); // lint: allow(collect-in-loop)\n    }\n}\n";
+        assert!(lint_file("crates/webapp/src/delta.rs", same_line).is_empty());
+        let prev_line = "fn f() {\n    for x in xs {\n        // per-item buffer; lint: allow(collect-in-loop)\n        let v = String::new();\n    }\n}\n";
+        assert!(lint_file("crates/webapp/src/delta.rs", prev_line).is_empty());
+    }
+
+    #[test]
+    fn loop_regions_cover_nested_and_multiline_headers() {
+        let src = "fn f() {\n    for a in xs\n        .iter()\n    {\n        while b {\n            g();\n        }\n        h();\n    }\n    tail();\n}\n";
+        let lines: Vec<&str> = src.lines().collect();
+        let mask = loop_region_mask(&lines);
+        assert!(mask[4] && mask[5] && mask[7], "{mask:?}");
+        assert!(!mask[9], "tail() is outside the loop: {mask:?}");
+        assert!(!mask[0], "fn header is outside: {mask:?}");
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_collect_in_loop() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { for x in xs { let v = vec![x]; } }\n}\n";
         assert!(lint_file("crates/webapp/src/interp.rs", src).is_empty());
     }
 

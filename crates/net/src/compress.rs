@@ -180,8 +180,9 @@ fn code_lengths(freq: &[u64; 256]) -> [u8; 256] {
     while nodes.len() > 1 {
         // Smallest two by weight (stable: lowest symbol set first).
         nodes.sort_by_key(|n| std::cmp::Reverse(n.weight));
-        let a = nodes.pop().expect("len > 1");
-        let b = nodes.pop().expect("len > 1");
+        let (Some(a), Some(b)) = (nodes.pop(), nodes.pop()) else {
+            break; // unreachable: the loop guard keeps len > 1
+        };
         for &s in a.symbols.iter().chain(&b.symbols) {
             lengths[s as usize] += 1;
         }
@@ -253,7 +254,9 @@ fn huffman_decode(data: &[u8]) -> Result<Vec<u8>, NetError> {
     }
     let mut lengths = [0u8; 256];
     lengths.copy_from_slice(&data[..256]);
-    let n = u64::from_le_bytes(data[256..264].try_into().expect("8 bytes")) as usize;
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&data[256..264]);
+    let n = u64::from_le_bytes(len_bytes) as usize;
     if n == 0 {
         return Ok(Vec::new());
     }
@@ -261,7 +264,7 @@ fn huffman_decode(data: &[u8]) -> Result<Vec<u8>, NetError> {
     // symbols of that length in canonical order.
     let mut order: Vec<u8> = (0u16..256).map(|s| s as u8).collect();
     order.sort_by_key(|&s| (lengths[s as usize], s));
-    let max_len = *lengths.iter().max().unwrap() as usize;
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
     if max_len == 0 {
         return Err(corrupt("empty code table for nonempty payload"));
     }

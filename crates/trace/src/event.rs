@@ -113,6 +113,12 @@ pub enum EventKind {
     /// executing server (instant marker; the event name carries the
     /// tripped resource, e.g. `"meter_exhausted:ops"`).
     MeterExhausted,
+    /// A static effect-analysis verdict consulted before committing
+    /// bytes to the wire (instant marker; the event name carries the
+    /// outcome, e.g. `"effect_verdict:nondeterministic"` or
+    /// `"effect_verdict:exhaustion"`). Only emitted when effect analysis
+    /// is enabled, so default traces are byte-identical to prior runs.
+    EffectVerdict,
     /// Anything else (markers, app phases, custom spans).
     Other,
 }
@@ -143,6 +149,7 @@ impl EventKind {
             EventKind::QueueWait => "queue_wait",
             EventKind::MeterTick => "meter_tick",
             EventKind::MeterExhausted => "meter_exhausted",
+            EventKind::EffectVerdict => "effect_verdict",
             EventKind::Other => "other",
         }
     }
@@ -172,6 +179,7 @@ impl EventKind {
             "queue_wait" => Some(EventKind::QueueWait),
             "meter_tick" => Some(EventKind::MeterTick),
             "meter_exhausted" => Some(EventKind::MeterExhausted),
+            "effect_verdict" => Some(EventKind::EffectVerdict),
             "other" => Some(EventKind::Other),
             _ => None,
         }
@@ -239,6 +247,7 @@ mod tests {
             EventKind::QueueWait,
             EventKind::MeterTick,
             EventKind::MeterExhausted,
+            EventKind::EffectVerdict,
             EventKind::Other,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));

@@ -5,8 +5,9 @@
 //! between them.
 
 use crate::ast::FunctionDef;
+use crate::delta::CaptureHints;
 use crate::dom::{Document, DomNodeId};
-use crate::host::HostObject;
+use crate::host::{HostEffect, HostObject};
 use crate::meter::{Meter, MeterLimits};
 use crate::value::{Heap, JsValue};
 use crate::WebError;
@@ -105,7 +106,9 @@ pub enum RunOutcome {
 pub struct Browser {
     pub(crate) core: Core,
     pub(crate) hosts: BTreeMap<String, Box<dyn HostObject>>,
+    pub(crate) host_effects: BTreeMap<String, HostEffect>,
     pub(crate) meter: Option<Meter>,
+    capture_hints: Option<CaptureHints>,
     offload_trigger: Option<String>,
     max_steps: u64,
 }
@@ -136,7 +139,9 @@ impl Browser {
         Browser {
             core: Core::new(),
             hosts: BTreeMap::new(),
+            host_effects: BTreeMap::new(),
             meter: None,
+            capture_hints: None,
             offload_trigger: None,
             max_steps: 50_000_000,
         }
@@ -173,8 +178,25 @@ impl Browser {
 
     /// Registers a host object reachable from MiniJS as a global (e.g.
     /// name `"model"` makes `model.inference(x)` dispatch to `host`).
+    ///
+    /// Registering through this method vouches the object as
+    /// [`HostEffect::Deterministic`]; use
+    /// [`Browser::register_host_with_effect`] to declare otherwise.
     pub fn register_host(&mut self, name: &str, host: Box<dyn HostObject>) {
+        self.register_host_with_effect(name, host, HostEffect::Deterministic);
+    }
+
+    /// Registers a host object together with its declared effect class —
+    /// the contract the static effect analysis trusts (see
+    /// [`HostEffect`]).
+    pub fn register_host_with_effect(
+        &mut self,
+        name: &str,
+        host: Box<dyn HostObject>,
+        effect: HostEffect,
+    ) {
         self.hosts.insert(name.to_string(), host);
+        self.host_effects.insert(name.to_string(), effect);
     }
 
     /// `true` when a host object with this name is registered.
@@ -186,6 +208,31 @@ impl Browser {
     /// The static verifier extends its host-API allowlist with these.
     pub fn host_names(&self) -> Vec<String> {
         self.hosts.keys().cloned().collect()
+    }
+
+    /// Registered host objects with their declared effect classes, in
+    /// deterministic order — the input the effect analysis tags host
+    /// calls with.
+    pub fn host_effects(&self) -> Vec<(String, HostEffect)> {
+        self.host_effects
+            .iter()
+            .map(|(n, e)| (n.clone(), *e))
+            .collect()
+    }
+
+    /// Installs statically-derived capture hints: delta capture skips the
+    /// deep heap comparison for globals outside the hinted write set.
+    /// `None` (the default) restores the unhinted full-walk diff. The
+    /// caller is responsible for only installing hints derived from a
+    /// *sound* effect analysis of the loaded app — unsound hints silently
+    /// drop state changes from deltas.
+    pub fn set_capture_hints(&mut self, hints: Option<CaptureHints>) {
+        self.capture_hints = hints;
+    }
+
+    /// The installed capture hints, if any.
+    pub fn capture_hints(&self) -> Option<&CaptureHints> {
+        self.capture_hints.as_ref()
     }
 
     /// Arms offloading: the event loop will stop just before dispatching

@@ -30,6 +30,26 @@ use crate::{SnapshotOptions, WebError};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
+/// Statically-derived capture hints, produced by the effect analysis in
+/// `snapedge-analyze` and installed by the offload layer via
+/// [`Browser::set_capture_hints`].
+///
+/// The contract: between two agreed bases, only event-handler code (plus
+/// replayable DOM edits, which the delta diffs separately and never
+/// prunes) runs — so a global outside `writable_globals` cannot have a
+/// different deep value than it had at the base, and delta capture may
+/// skip its deep heap comparison. Whenever the analysis cannot prove a
+/// write set (dynamic member writes, host aliasing), the offload layer
+/// installs *no* hints and capture falls back to the full walk,
+/// bit-identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CaptureHints {
+    /// Globals some event-handler-reachable code can (transitively)
+    /// write. Everything else is treated as unchanged without walking its
+    /// reachable heap.
+    pub writable_globals: BTreeSet<String>,
+}
+
 /// The state both sides agreed on after the previous migration.
 #[derive(Clone)]
 pub struct StateBase {
@@ -73,6 +93,9 @@ pub struct DeltaStats {
     pub pending_events: usize,
     /// Script size in bytes.
     pub bytes: usize,
+    /// Globals whose deep comparison was skipped via [`CaptureHints`]
+    /// (statically unwritable, treated as unchanged).
+    pub pruned_globals: usize,
 }
 
 /// A state diff, as an executable MiniJS script.
@@ -134,7 +157,7 @@ impl Browser {
         options: &SnapshotOptions,
     ) -> Result<DeltaCapture, WebError> {
         self.core.doc.ensure_ids();
-        capture_delta(&self.core, &base.core, options)
+        capture_delta(&self.core, &base.core, options, self.capture_hints())
     }
 
     /// Applies a delta produced by [`Browser::capture_delta`] on the peer.
@@ -157,6 +180,7 @@ fn capture_delta(
     new: &Core,
     base: &Core,
     options: &SnapshotOptions,
+    hints: Option<&CaptureHints>,
 ) -> Result<DeltaCapture, WebError> {
     let mut stats = DeltaStats::default();
     let mut functions = String::new();
@@ -195,6 +219,16 @@ fn capture_delta(
         }
         let same = match base.globals.get(name) {
             Some(old) => {
+                // Write-set pruning: a global the effect analysis proved
+                // unwritable by handler code cannot differ from the base —
+                // skip the deep heap walk. Globals absent from the base
+                // are always "changed" regardless of hints.
+                if let Some(h) = hints {
+                    if !h.writable_globals.contains(name) {
+                        stats.pruned_globals += 1;
+                        continue;
+                    }
+                }
                 // Visited-set only — nothing is emitted in iteration order.
                 // lint: allow(hash-iter)
                 let mut visited = std::collections::HashSet::new();

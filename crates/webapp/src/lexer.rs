@@ -89,6 +89,8 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, WebError> {
             let quote = c;
             let start_line = line;
             i += 1;
+            // Per-literal buffer; ownership moves into the emitted token.
+            // lint: allow(collect-in-loop)
             let mut s = String::new();
             loop {
                 if i >= bytes.len() {

@@ -64,10 +64,10 @@ mod snapshot;
 mod value;
 
 pub use browser::{Browser, Core, Listener, PendingEvent, RunOutcome};
-pub use delta::{DeltaCapture, DeltaScript, DeltaStats, StateBase};
+pub use delta::{CaptureHints, DeltaCapture, DeltaScript, DeltaStats, StateBase};
 pub use dom::{Document, DomNodeId};
 pub use error::WebError;
-pub use host::{FnHost, HostObject};
+pub use host::{FnHost, HostEffect, HostObject};
 pub use meter::{Meter, MeterLimits};
 pub use snapshot::{
     is_reserved_machinery, state_eq, Snapshot, SnapshotOptions, SnapshotStats, RESERVED_PREFIX,

@@ -35,6 +35,15 @@ pub struct SnapshotOptions {
     /// (`snapedge-core`), which rejects unshippable snapshots before any
     /// link traffic.
     pub verify: bool,
+    /// Run the static effect analysis (`snapedge-analyze`) over the app.
+    /// As with `verify`, the webapp crate only carries the flag; the
+    /// offload layer computes the per-app effect summary, installs
+    /// [`CaptureHints`](crate::CaptureHints) so delta capture walks only
+    /// statically-writable state, rejects nondeterministic apps before
+    /// any link traffic, and flags guaranteed meter exhaustion
+    /// pre-ship. Off (the default) leaves every capture byte-identical
+    /// to the unanalyzed path.
+    pub effects: bool,
 }
 
 impl Default for SnapshotOptions {
@@ -42,6 +51,7 @@ impl Default for SnapshotOptions {
         SnapshotOptions {
             inline_single_use: true,
             verify: false,
+            effects: false,
         }
     }
 }
