@@ -39,6 +39,9 @@ cargo test --offline -q -p snapedge-integration --test metering
 echo "== effects suite (pruned-capture bit-identity, pre-ship gates, effects-off bit-compat)"
 cargo test --offline -q -p snapedge-integration --test effects
 
+echo "== interning suite (incremental-capture bit-identity, meter-visible O(changed) capture)"
+cargo test --offline -q -p snapedge-integration --test interning
+
 echo "== meter exhaustion CLI smoke (capped primary fails over, run still succeeds)"
 meter_smoke=$(cargo run --offline --release -p snapedge-cli --bin snapedge -- run \
     --model tiny_cnn --servers "edge-a,meter=ops=1;edge-b")
@@ -50,7 +53,13 @@ cargo run --offline --release -p snapedge-bench --bin fleet_scale
 echo "== pruned capture micro (report-only: pruned vs full capture time)"
 cargo run --offline --release -p snapedge-bench --bin capture_pruned
 
-echo "== determinism lint (wall-clock, hash-iter, unwrap-hot-path, collect-in-loop)"
+echo "== incremental capture micro (report-only: dirty-tracked vs full-walk capture time)"
+cargo run --offline --release -p snapedge-bench --bin capture_incremental
+
+echo "== identifier lookup micro (report-only: slot/symbol resolution throughput)"
+cargo run --offline --release -p snapedge-bench --bin lookup_hot
+
+echo "== determinism lint (wall-clock, hash-iter, unwrap-hot-path, collect-in-loop, string-keyed-map)"
 cargo run --offline --release -p snapedge-lint
 
 echo "== static snapshot verifier smoke (paper apps + live captures)"

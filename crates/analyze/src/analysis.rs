@@ -40,7 +40,9 @@ impl FuncScope {
 #[derive(Debug, Default)]
 struct Declarations {
     /// Function name → its scope. Nested declarations register globally
-    /// when executed, so they are collected recursively.
+    /// when executed, so they are collected recursively. Built once per
+    /// verification, keyed by report-visible names.
+    /// lint: allow(string-keyed-map)
     functions: BTreeMap<String, FuncScope>,
     /// Global variables: top-level `var`s plus non-local assignment
     /// targets anywhere.
@@ -53,8 +55,10 @@ pub(crate) struct Analysis<'a> {
     hosts: BTreeSet<String>,
     ambient: BTreeSet<String>,
     /// Global name → contexts that read it.
+    /// lint: allow(string-keyed-map)
     reads: BTreeMap<String, Vec<Ctx>>,
     /// Function → functions it references.
+    /// lint: allow(string-keyed-map)
     calls: BTreeMap<String, BTreeSet<String>>,
     /// Functions referenced from top-level code.
     toplevel_refs: BTreeSet<String>,
@@ -107,7 +111,7 @@ impl<'a> Analysis<'a> {
                 Stmt::Var(name, _) => {
                     // Top-level `var` (at any control-flow nesting depth —
                     // `var` is function-scoped, and this is the top level).
-                    self.decls.globals.insert(name.clone());
+                    self.decls.globals.insert(name.to_string());
                 }
                 Stmt::Function(def) => self.collect_function(def),
                 Stmt::If(_, then, els) => {
@@ -133,9 +137,11 @@ impl<'a> Analysis<'a> {
 
     fn collect_function(&mut self, def: &FunctionDef) {
         let mut scope = FuncScope::default();
-        scope.params.extend(def.params.iter().cloned());
+        scope
+            .params
+            .extend(def.params.iter().map(|p| p.to_string()));
         collect_vars_shallow(&def.body, &mut scope.locals);
-        self.decls.functions.insert(def.name.clone(), scope);
+        self.decls.functions.insert(def.name.to_string(), scope);
         // Nested function declarations register globally when the
         // enclosing function runs; collect them too.
         collect_nested_functions(&def.body, self);
@@ -147,12 +153,12 @@ impl<'a> Analysis<'a> {
         for stmt in stmts {
             match stmt {
                 Stmt::Assign(Expr::Ident(name), _)
-                    if !self.is_local(name, ctx) && !self.hosts.contains(name) =>
+                    if !self.is_local(name, ctx) && !self.hosts.contains(name.as_str()) =>
                 {
-                    self.decls.globals.insert(name.clone());
+                    self.decls.globals.insert(name.to_string());
                 }
                 Stmt::Function(def) => {
-                    let ctx = Ctx::Func(def.name.clone());
+                    let ctx = Ctx::Func(def.name.to_string());
                     self.collect_global_assign_targets(&def.body, &ctx);
                 }
                 Stmt::If(_, then, els) => {
@@ -246,7 +252,7 @@ impl<'a> Analysis<'a> {
                 }
                 Stmt::Expr(e) => self.resolve_expr(e, ctx),
                 Stmt::Function(def) => {
-                    let inner = Ctx::Func(def.name.clone());
+                    let inner = Ctx::Func(def.name.to_string());
                     self.resolve_block(&def.body, &inner);
                 }
                 Stmt::Return(e) => {
@@ -314,7 +320,7 @@ impl<'a> Analysis<'a> {
                     // handler: a reachability root.
                     if method == "addEventListener" {
                         if let Some(Expr::Ident(handler)) = args.get(1) {
-                            self.handlers.insert(handler.clone());
+                            self.handlers.insert(handler.to_string());
                         }
                     }
                 } else {
@@ -387,8 +393,8 @@ impl<'a> Analysis<'a> {
         // Receiver is a host global (unshadowed by a local or app global).
         if let Expr::Ident(name) = obj {
             if self.is_local(name, ctx)
-                || self.decls.globals.contains(name)
-                || self.decls.functions.contains_key(name)
+                || self.decls.globals.contains(name.as_str())
+                || self.decls.functions.contains_key(name.as_str())
             {
                 return; // shadowed: not the host object
             }
@@ -427,9 +433,9 @@ impl<'a> Analysis<'a> {
     fn check_member_write(&mut self, obj: &Expr, prop: &str, ctx: &Ctx) {
         if let Expr::Ident(name) = obj {
             let shadowed = self.is_local(name, ctx)
-                || self.decls.globals.contains(name)
-                || self.decls.functions.contains_key(name);
-            if !shadowed && self.hosts.contains(name) {
+                || self.decls.globals.contains(name.as_str())
+                || self.decls.functions.contains_key(name.as_str());
+            if !shadowed && self.hosts.contains(name.as_str()) {
                 self.diagnostics.push(Diagnostic {
                     rule: Rule::UnknownHostApi,
                     severity: Severity::Error,
@@ -566,7 +572,7 @@ fn collect_vars_shallow(stmts: &[Stmt], out: &mut BTreeSet<String>) {
     for stmt in stmts {
         match stmt {
             Stmt::Var(name, _) => {
-                out.insert(name.clone());
+                out.insert(name.to_string());
             }
             Stmt::If(_, then, els) => {
                 collect_vars_shallow(then, out);

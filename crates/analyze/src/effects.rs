@@ -260,7 +260,8 @@ impl FnEffect {
 pub struct EffectOptions {
     /// Registered host objects and their embedder-declared effect
     /// classes, beyond the built-in deterministic
-    /// `document`/`console`/`Math` surface.
+    /// `document`/`console`/`Math` surface. Embedder-facing API, keyed
+    /// by registration name. lint: allow(string-keyed-map)
     pub hosts: BTreeMap<String, HostEffect>,
 }
 
@@ -288,6 +289,8 @@ impl EffectOptions {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EffectSummary {
     /// Per-function effects, plus [`TOPLEVEL`] for load-time code.
+    /// Report-facing output, keyed by user-visible names.
+    /// lint: allow(string-keyed-map)
     pub functions: BTreeMap<String, FnEffect>,
     /// Functions installed as event handlers (`addEventListener` roots).
     pub handlers: BTreeSet<String>,
@@ -480,6 +483,7 @@ impl FuncScope {
 
 struct EffectPass<'a> {
     opts: &'a EffectOptions,
+    // Built once per verification run. lint: allow(string-keyed-map)
     functions: BTreeMap<String, FuncScope>,
     globals: BTreeSet<String>,
     builtin_hosts: BTreeSet<String>,
@@ -507,6 +511,7 @@ impl<'a> EffectPass<'a> {
         pass.collect_global_assign_targets(program, None);
 
         // Pass 2: per-function (and top-level) effect facts.
+        // lint: allow(string-keyed-map)
         let mut functions: BTreeMap<String, FnEffect> = BTreeMap::new();
         let mut handlers: BTreeSet<String> = BTreeSet::new();
         let mut toplevel = FnEffect::default();
@@ -520,7 +525,7 @@ impl<'a> EffectPass<'a> {
             let ctx = Some(def.name.as_str());
             pass.scan_block(&def.body, ctx, &mut fx, &mut handlers);
             fx.cost = body_cost(&def.body, &mut |s| pass.stmt_flags(s, ctx)).bound;
-            functions.insert(def.name.clone(), fx);
+            functions.insert(def.name.to_string(), fx);
         }
 
         // Pass 3: fold costs and effects over the call graph, then take
@@ -566,7 +571,7 @@ impl<'a> EffectPass<'a> {
         for stmt in stmts {
             match stmt {
                 Stmt::Var(name, _) => {
-                    self.globals.insert(name.clone());
+                    self.globals.insert(name.to_string());
                 }
                 Stmt::Function(def) => self.collect_function(def),
                 Stmt::If(_, then, els) => {
@@ -592,10 +597,12 @@ impl<'a> EffectPass<'a> {
 
     fn collect_function(&mut self, def: &FunctionDef) {
         let mut scope = FuncScope::default();
-        scope.params.extend(def.params.iter().cloned());
+        scope
+            .params
+            .extend(def.params.iter().map(|p| p.to_string()));
         collect_vars_shallow(&def.body, &mut scope.locals);
         scope.dom_locals = dom_locals(def, &scope);
-        self.functions.insert(def.name.clone(), scope);
+        self.functions.insert(def.name.to_string(), scope);
         for nested in collect_function_defs(&def.body) {
             self.collect_function(&nested);
         }
@@ -607,7 +614,7 @@ impl<'a> EffectPass<'a> {
                 Stmt::Assign(Expr::Ident(name), _)
                     if !self.is_local(name, ctx) && !self.is_any_host(name) =>
                 {
-                    self.globals.insert(name.clone());
+                    self.globals.insert(name.to_string());
                 }
                 Stmt::Function(def) => {
                     self.collect_global_assign_targets(&def.body, Some(&def.name));
@@ -788,7 +795,7 @@ impl<'a> EffectPass<'a> {
         match target {
             Expr::Ident(name) => {
                 if !self.is_local(name, ctx) && !self.is_any_host(name) {
-                    fx.writes.insert(name.clone());
+                    fx.writes.insert(name.to_string());
                 }
             }
             Expr::Member(obj, _) | Expr::Index(obj, _) => {
@@ -800,10 +807,10 @@ impl<'a> EffectPass<'a> {
                 }
                 match self.chain_base(target) {
                     Expr::Ident(base)
-                        if !self.is_local(base, ctx) && self.globals.contains(base) =>
+                        if !self.is_local(base, ctx) && self.globals.contains(base.as_str()) =>
                     {
                         // Mutation of a heap region rooted at a global.
-                        fx.writes.insert(base.clone());
+                        fx.writes.insert(base.to_string());
                     }
                     _ => {
                         // A write through a local alias or computed
@@ -876,7 +883,7 @@ impl<'a> EffectPass<'a> {
                     self.scan_receiver(obj, ctx, fx, handlers);
                     if method == "addEventListener" {
                         if let Some(Expr::Ident(handler)) = args.get(1) {
-                            handlers.insert(handler.clone());
+                            handlers.insert(handler.to_string());
                         } else if args.len() >= 2 {
                             // A dynamic handler expression defeats the
                             // reachability roots.
@@ -982,8 +989,10 @@ impl<'a> EffectPass<'a> {
             }
         }
         match self.chain_base(obj) {
-            Expr::Ident(base) if !self.is_local(base, ctx) && self.globals.contains(base) => {
-                fx.writes.insert(base.clone());
+            Expr::Ident(base)
+                if !self.is_local(base, ctx) && self.globals.contains(base.as_str()) =>
+            {
+                fx.writes.insert(base.to_string());
             }
             _ => fx.unknown_writes = true,
         }
@@ -1002,7 +1011,7 @@ impl<'a> EffectPass<'a> {
         out.nodes += 1;
         match expr {
             Expr::Ident(name) => {
-                if !self.is_local(name, ctx) && self.functions.contains_key(name) {
+                if !self.is_local(name, ctx) && self.functions.contains_key(name.as_str()) {
                     // A bare function reference only *costs* when called;
                     // handled at the Call node.
                 }
@@ -1041,9 +1050,10 @@ impl<'a> EffectPass<'a> {
             Expr::Call(callee, args) => {
                 match callee.as_ref() {
                     Expr::Ident(name)
-                        if !self.is_local(name, ctx) && self.functions.contains_key(name) =>
+                        if !self.is_local(name, ctx)
+                            && self.functions.contains_key(name.as_str()) =>
                     {
-                        out.calls.push((name.clone(), guaranteed));
+                        out.calls.push((name.to_string(), guaranteed));
                     }
                     Expr::Member(obj, _) => {
                         // A method call may dispatch to a host or
@@ -1352,6 +1362,7 @@ fn body_cost(stmts: &[Stmt], flags_of: &mut dyn FnMut(&Expr) -> ExprFlags) -> Bl
 }
 
 /// BFS over the call graph from the given roots.
+// lint: allow(string-keyed-map)
 fn reachable_from(functions: &BTreeMap<String, FnEffect>, roots: Vec<String>) -> BTreeSet<String> {
     let mut reachable: BTreeSet<String> = BTreeSet::new();
     let mut work = roots;
@@ -1379,6 +1390,7 @@ fn reachable_from(functions: &BTreeMap<String, FnEffect>, roots: Vec<String>) ->
 /// could be registered for the dispatched event, so the ceiling sums
 /// every handler's interprocedural ceiling; any loop, recursion, or
 /// `dispatchEvent` (event cascade) anywhere reachable voids it.
+// lint: allow(string-keyed-map)
 fn round_cost(functions: &BTreeMap<String, FnEffect>, handlers: &BTreeSet<String>) -> CostBound {
     let mut floors: Vec<(u64, u64)> = Vec::new();
     let mut ceiling_ops: Option<u64> = Some(0);
@@ -1387,6 +1399,7 @@ fn round_cost(functions: &BTreeMap<String, FnEffect>, handlers: &BTreeSet<String
         if !functions.contains_key(h) {
             continue;
         }
+        // lint: allow(string-keyed-map)
         let mut memo: BTreeMap<String, (u64, u64)> = BTreeMap::new();
         let floor = fn_floor(functions, h, &mut memo);
         floors.push(floor);
@@ -1421,8 +1434,10 @@ fn round_cost(functions: &BTreeMap<String, FnEffect>, handlers: &BTreeSet<String
 /// Interprocedural floor for one function: its body floor (recursion
 /// contributes zero — sound for a lower bound).
 fn fn_floor(
+    // lint: allow(string-keyed-map)
     functions: &BTreeMap<String, FnEffect>,
     name: &str,
+    // lint: allow(string-keyed-map)
     memo: &mut BTreeMap<String, (u64, u64)>,
 ) -> (u64, u64) {
     if let Some(&v) = memo.get(name) {
@@ -1443,6 +1458,7 @@ fn fn_floor(
 /// Interprocedural ceiling: body ceiling plus every call site's callee
 /// ceiling; `None` on any loop, event dispatch, or recursion.
 fn fn_ceiling(
+    // lint: allow(string-keyed-map)
     functions: &BTreeMap<String, FnEffect>,
     name: &str,
     in_progress: &mut BTreeSet<String>,
@@ -1473,7 +1489,7 @@ fn collect_vars_shallow(stmts: &[Stmt], out: &mut BTreeSet<String>) {
     for stmt in stmts {
         match stmt {
             Stmt::Var(name, _) => {
-                out.insert(name.clone());
+                out.insert(name.to_string());
             }
             Stmt::If(_, then, els) => {
                 collect_vars_shallow(then, out);
@@ -1562,20 +1578,20 @@ fn dom_locals(def: &FunctionDef, scope: &FuncScope) -> BTreeSet<String> {
             match stmt {
                 Stmt::Var(name, init) => match init {
                     Some(e) if is_base_dom(e) => {
-                        assigned_dom.insert(name.clone());
+                        assigned_dom.insert(name.to_string());
                     }
                     Some(_) => {
-                        assigned_other.insert(name.clone());
+                        assigned_other.insert(name.to_string());
                     }
                     None => {
-                        assigned_other.insert(name.clone());
+                        assigned_other.insert(name.to_string());
                     }
                 },
                 Stmt::Assign(Expr::Ident(name), value) => {
                     if is_base_dom(value) {
-                        assigned_dom.insert(name.clone());
+                        assigned_dom.insert(name.to_string());
                     } else {
-                        assigned_other.insert(name.clone());
+                        assigned_other.insert(name.to_string());
                     }
                 }
                 Stmt::If(_, then, els) => {

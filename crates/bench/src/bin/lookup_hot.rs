@@ -1,0 +1,106 @@
+//! Micro-benchmark — interpreter identifier resolution on the hot path.
+//!
+//! Every `Ident` carries a pre-interned `Symbol`; locals resolve to
+//! frame slots cached per function definition, and globals/hosts probe
+//! symbol-keyed maps instead of comparing key strings per access. This
+//! bench runs three tight loops — local-heavy, global-heavy, and
+//! host-call-heavy — and reports steps per microsecond. Report-only:
+//! numbers are host-dependent and nothing gates on them; track them
+//! across commits to see lookup-path regressions.
+//!
+//! ```sh
+//! cargo run --release -p snapedge-bench --bin lookup_hot
+//! ```
+
+use snapedge_bench::print_table;
+use snapedge_webapp::{Browser, WebError};
+use std::time::Instant;
+
+/// Loop iterations per workload (steps per run is a few multiples).
+const N: u32 = 20_000;
+
+/// Locals only: every read/write resolves through frame slots.
+fn local_app(n: u32) -> String {
+    format!(
+        "<html><body></body><script>\n\
+         function work() {{\n\
+           var acc = 0;\n\
+           var step = 1;\n\
+           var i = 0;\n\
+           while (i < {n}) {{ acc = acc + step; i = i + 1; }}\n\
+           return acc;\n\
+         }}\n\
+         var out = work();\n\
+         </script></html>"
+    )
+}
+
+/// Globals only: every read/write goes through the symbol-keyed global map.
+fn global_app(n: u32) -> String {
+    format!(
+        "<html><body></body><script>\n\
+         var acc = 0;\n\
+         var step = 1;\n\
+         var i = 0;\n\
+         function work() {{\n\
+           while (i < {n}) {{ acc = acc + step; i = i + 1; }}\n\
+         }}\n\
+         work();\n\
+         </script></html>"
+    )
+}
+
+/// Host dispatch: a `Math` call per iteration on top of the loop bookkeeping.
+fn host_app(n: u32) -> String {
+    format!(
+        "<html><body></body><script>\n\
+         function work() {{\n\
+           var acc = 0;\n\
+           var i = 0;\n\
+           while (i < {n}) {{ acc = acc + Math.max(i, 1); i = i + 1; }}\n\
+           return acc;\n\
+         }}\n\
+         var out = work();\n\
+         </script></html>"
+    )
+}
+
+fn time_app(html: &str) -> Result<(f64, u64), WebError> {
+    // Warm: parse + first execution populates the thread-local interner.
+    let mut warm = Browser::new();
+    warm.load_html(html)?;
+
+    // The apps run entirely at load time (top-level `work()` call), so
+    // `load_html` is the measured region and `steps()` its step count.
+    let start = Instant::now();
+    let mut browser = Browser::new();
+    browser.load_html(html)?;
+    let micros = start.elapsed().as_secs_f64() * 1e6;
+    Ok((micros, browser.steps()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Interpreter identifier lookup micro (report-only)\n");
+    let workloads: [(&str, String); 3] = [
+        ("locals (slots)", local_app(N)),
+        ("globals (symbols)", global_app(N)),
+        ("host calls (Math)", host_app(N)),
+    ];
+    let mut rows = Vec::new();
+    for (name, html) in &workloads {
+        let (micros, steps) = time_app(html)?;
+        rows.push(vec![
+            (*name).to_string(),
+            steps.to_string(),
+            format!("{micros:.0}"),
+            format!("{:.2}", steps as f64 / micros),
+        ]);
+    }
+    print_table(
+        &["workload", "steps", "time (us)", "steps/us"],
+        &rows,
+        &[18, 9, 10, 9],
+    );
+    println!("\ntrack steps/us across commits to catch lookup-path regressions");
+    Ok(())
+}

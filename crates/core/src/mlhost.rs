@@ -157,8 +157,8 @@ impl CaffeJsHost {
                     .cell(*id)
                     .map_err(|e| WebError::Runtime(e.to_string()))?
                 else {
-                    return Err(WebError::Runtime(
-                        "internal error: heap cell mismatch in model input".into(),
+                    return Err(WebError::Internal(
+                        "heap cell mismatch in model input".into(),
                     ));
                 };
                 Tensor::from_vec(&dims, data.clone())
@@ -253,8 +253,8 @@ impl HostObject for CaffeJsHost {
                     .cell(*id)
                     .map_err(|e| WebError::Runtime(e.to_string()))?
                 else {
-                    return Err(WebError::Runtime(
-                        "internal error: heap cell mismatch in feature upload".into(),
+                    return Err(WebError::Internal(
+                        "heap cell mismatch in feature upload".into(),
                     ));
                 };
                 let dims = self

@@ -21,6 +21,13 @@
 //!    capture or interpretation; hoist it (or annotate
 //!    `lint: allow(collect-in-loop)` when per-iteration ownership is the
 //!    point).
+//! 5. **No string-keyed maps on the hot path.** Identifier lookups go
+//!    through interned [`Symbol`]s (`crates/webapp/src/intern.rs`); a
+//!    `BTreeMap<String, _>`/`HashMap<String, _>` in hot code re-compares
+//!    key bytes on every probe and usually marks a spot the interning
+//!    refactor missed. Maps whose keys are genuinely arbitrary app data
+//!    (object properties, DOM attributes) opt out with
+//!    `lint: allow(string-keyed-map)`.
 //!
 //! The hot path is *derived*, not hand-listed: every `.rs` under the
 //! core/net/webapp/analyze crates' `src/` is hot unless it appears in the
@@ -55,6 +62,13 @@ const ALLOW_HASH_ITER: &str = "lint: allow(hash-iter)";
 
 /// Suppression comment for the collect-in-loop rule.
 const ALLOW_COLLECT_IN_LOOP: &str = "lint: allow(collect-in-loop)";
+
+/// Suppression comment for the string-keyed-map rule.
+const ALLOW_STRING_KEYED_MAP: &str = "lint: allow(string-keyed-map)";
+
+/// String-keyed map types that belong on the interned-`Symbol` path when
+/// they appear in hot code.
+const STRING_KEYED_MAPS: [&str; 2] = ["BTreeMap<String,", "HashMap<String,"];
 
 /// Collection allocations that reallocate per iteration when they appear
 /// inside a loop body.
@@ -345,6 +359,21 @@ fn lint_file(rel: &str, content: &str) -> Vec<Finding> {
             }
         }
         if hot_path {
+            if let Some(p) = STRING_KEYED_MAPS.iter().find(|p| line.contains(**p)) {
+                let allowed = line.contains(ALLOW_STRING_KEYED_MAP)
+                    || (idx > 0 && lines[idx - 1].contains(ALLOW_STRING_KEYED_MAP));
+                if !allowed {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        rule: "string-keyed-map",
+                        message: format!(
+                            "`{p}` on the hot path re-compares key bytes per probe; key by \
+                             interned `Symbol` or annotate `{ALLOW_STRING_KEYED_MAP}`"
+                        ),
+                    });
+                }
+            }
             if let Some(p) = PANICKING.iter().find(|p| line.contains(**p)) {
                 findings.push(Finding {
                     file: rel.to_string(),
@@ -495,6 +524,33 @@ mod tests {
     fn test_modules_are_exempt_from_collect_in_loop() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { for x in xs { let v = vec![x]; } }\n}\n";
         assert!(lint_file("crates/webapp/src/interp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn string_keyed_maps_are_flagged_on_hot_paths() {
+        let src = "struct S { m: BTreeMap<String, u32> }\n";
+        let found = lint_file("crates/webapp/src/browser.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "string-keyed-map");
+        let hashed = "fn f() { let m: HashMap<String, u32> = HashMap::new(); }\n";
+        let found = lint_file("crates/core/src/session.rs", hashed);
+        assert_eq!(found.len(), 1, "HashMap<String, _> is flagged too");
+        // Symbol-keyed maps and non-hot files are fine.
+        let sym = "struct S { m: BTreeMap<Symbol, u32> }\n";
+        assert!(lint_file("crates/webapp/src/browser.rs", sym).is_empty());
+        assert!(lint_file("crates/cli/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn string_keyed_map_respects_allow_comments() {
+        let same_line = "struct S { m: BTreeMap<String, u32> } // lint: allow(string-keyed-map)\n";
+        assert!(lint_file("crates/webapp/src/value.rs", same_line).is_empty());
+        let prev_line =
+            "// app-data keys; lint: allow(string-keyed-map)\nstruct S { m: BTreeMap<String, u32> }\n";
+        assert!(lint_file("crates/webapp/src/value.rs", prev_line).is_empty());
+        let test_mod =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let m: BTreeMap<String, u32> = BTreeMap::new(); }\n}\n";
+        assert!(lint_file("crates/webapp/src/browser.rs", test_mod).is_empty());
     }
 
     #[test]

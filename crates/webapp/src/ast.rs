@@ -3,7 +3,12 @@
 //! The pretty-printer matters as much as the parser here: a snapshot *is*
 //! MiniJS source, and app functions are re-emitted into the snapshot by
 //! printing their ASTs. `parse(print(ast)) == ast` is covered by tests.
+//!
+//! Identifiers are pre-interned [`Ident`]s: the lexer interns each name
+//! once, and everything downstream (interpreter lookup, snapshot
+//! emission, effect analysis) compares symbols instead of strings.
 
+use crate::intern::Ident;
 use std::fmt;
 
 /// An expression.
@@ -20,7 +25,7 @@ pub enum Expr {
     /// String literal.
     Str(String),
     /// Identifier reference.
-    Ident(String),
+    Ident(Ident),
     /// Array literal.
     Array(Vec<Expr>),
     /// Object literal (`{key: value, ...}`), insertion order preserved.
@@ -43,7 +48,7 @@ pub enum Expr {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `var name = init;` (init optional).
-    Var(String, Option<Expr>),
+    Var(Ident, Option<Expr>),
     /// `target = value;` — target is an `Ident`, `Member` or `Index`.
     Assign(Expr, Expr),
     /// Bare expression statement.
@@ -75,9 +80,9 @@ pub enum Stmt {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FunctionDef {
     /// Function name.
-    pub name: String,
+    pub name: Ident,
     /// Parameter names.
-    pub params: Vec<String>,
+    pub params: Vec<Ident>,
     /// Body statements.
     pub body: Vec<Stmt>,
 }
@@ -203,7 +208,8 @@ fn write_stmt(f: &mut fmt::Formatter<'_>, stmt: &Stmt, indent: usize) -> fmt::Re
         Stmt::Assign(target, value) => writeln!(f, "{pad}{target} = {value};"),
         Stmt::Expr(e) => writeln!(f, "{pad}{e};"),
         Stmt::Function(def) => {
-            write!(f, "{pad}function {}({}) ", def.name, def.params.join(", "))?;
+            let params: Vec<&str> = def.params.iter().map(Ident::as_str).collect();
+            write!(f, "{pad}function {}({}) ", def.name, params.join(", "))?;
             write_block(f, &def.body, indent)?;
             writeln!(f)
         }

@@ -5,14 +5,22 @@
 //! between them.
 
 use crate::ast::FunctionDef;
-use crate::delta::CaptureHints;
+use crate::delta::{CaptureHints, SnapCache};
 use crate::dom::{Document, DomNodeId};
 use crate::host::{HostEffect, HostObject};
+use crate::intern::{Ident, Symbol};
+use crate::interp::FrameLayout;
 use crate::meter::{Meter, MeterLimits};
-use crate::value::{Heap, JsValue};
+use crate::value::{Heap, JsValue, ObjId};
 use crate::WebError;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-unique browser ids, so a [`StateBase`](crate::StateBase)
+/// captured from one browser is never mistaken for an incremental anchor
+/// of another.
+static BROWSER_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A registered event listener.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +42,107 @@ pub struct PendingEvent {
     pub event: String,
 }
 
+/// The global variable table, keyed by interned [`Symbol`] with
+/// write-barrier dirty tracking: every insert/remove records which
+/// bindings changed since the last [`Globals::clear_dirty`], so delta
+/// capture only deep-compares globals that were actually touched.
+///
+/// Equality compares bindings only — dirty bookkeeping is capture
+/// machinery, not state.
+#[derive(Debug, Clone, Default)]
+pub struct Globals {
+    map: BTreeMap<Symbol, JsValue>,
+    dirty: BTreeSet<Symbol>,
+}
+
+impl PartialEq for Globals {
+    fn eq(&self, other: &Globals) -> bool {
+        self.map == other.map
+    }
+}
+
+impl Globals {
+    /// Reads a binding by symbol.
+    pub fn get(&self, sym: Symbol) -> Option<&JsValue> {
+        self.map.get(&sym)
+    }
+
+    /// Reads a binding by name (interning it first).
+    pub fn get_str(&self, name: &str) -> Option<&JsValue> {
+        self.map.get(&Symbol::intern(name))
+    }
+
+    /// Creates or overwrites a binding, marking it dirty.
+    pub fn insert(&mut self, sym: Symbol, value: JsValue) -> Option<JsValue> {
+        self.dirty.insert(sym);
+        self.map.insert(sym, value)
+    }
+
+    /// Removes a binding, marking it dirty.
+    pub fn remove(&mut self, sym: Symbol) -> Option<JsValue> {
+        self.dirty.insert(sym);
+        self.map.remove(&sym)
+    }
+
+    /// `true` when a binding exists for this symbol.
+    pub fn contains(&self, sym: Symbol) -> bool {
+        self.map.contains_key(&sym)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no binding exists.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates bindings in symbol (intern) order. Output-facing callers
+    /// must use [`Globals::iter_sorted`] instead — wire formats are
+    /// defined in *name* order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &JsValue)> {
+        self.map.iter().map(|(s, v)| (*s, v))
+    }
+
+    /// Bindings resolved to identifiers, sorted by name — the order every
+    /// serialized artifact (snapshot, delta) uses.
+    pub fn iter_sorted(&self) -> Vec<(Ident, &JsValue)> {
+        let mut out: Vec<(Ident, &JsValue)> = self
+            .map
+            .iter()
+            .map(|(s, v)| (Ident::from_symbol(*s), v))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Binding names, sorted.
+    pub fn names_sorted(&self) -> Vec<Ident> {
+        let mut out: Vec<Ident> = self.map.keys().map(|s| Ident::from_symbol(*s)).collect();
+        out.sort();
+        out
+    }
+
+    /// Drops every binding (and all dirty bookkeeping).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.dirty.clear();
+    }
+
+    /// Bindings touched since the last [`Globals::clear_dirty`].
+    pub fn dirty(&self) -> &BTreeSet<Symbol> {
+        &self.dirty
+    }
+
+    /// Anchors a capture base: from here on, [`Globals::dirty`] names
+    /// exactly the bindings that may differ from this instant.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+}
+
 /// Everything a snapshot serializes (plus interpreter bookkeeping).
 /// Host objects receive `&mut Core` so they can allocate results on the
 /// heap and touch the DOM.
@@ -43,10 +152,10 @@ pub struct Core {
     pub heap: Heap,
     /// The document.
     pub doc: Document,
-    /// Global variables.
-    pub globals: BTreeMap<String, JsValue>,
-    /// Top-level functions.
-    pub functions: BTreeMap<String, Rc<FunctionDef>>,
+    /// Global variables (symbol-keyed, dirty-tracked).
+    pub globals: Globals,
+    /// Top-level functions, keyed by interned name.
+    pub functions: BTreeMap<Symbol, Rc<FunctionDef>>,
     /// Event listeners in registration order.
     pub listeners: Vec<Listener>,
     /// Pending events, FIFO.
@@ -54,6 +163,23 @@ pub struct Core {
     /// Lines printed with `console.log`.
     pub console: Vec<String>,
     pub(crate) steps: u64,
+}
+
+impl Core {
+    /// Function definitions sorted by name — the order every serialized
+    /// artifact uses (the map itself iterates in intern order).
+    pub fn functions_sorted(&self) -> Vec<&Rc<FunctionDef>> {
+        let mut defs: Vec<&Rc<FunctionDef>> = self.functions.values().collect();
+        defs.sort_by(|a, b| a.name.cmp(&b.name));
+        defs
+    }
+
+    /// Function names, sorted.
+    pub fn function_names_sorted(&self) -> Vec<Ident> {
+        let mut names: Vec<Ident> = self.functions.values().map(|d| d.name.clone()).collect();
+        names.sort();
+        names
+    }
 }
 
 impl Core {
@@ -105,12 +231,25 @@ pub enum RunOutcome {
 /// ```
 pub struct Browser {
     pub(crate) core: Core,
-    pub(crate) hosts: BTreeMap<String, Box<dyn HostObject>>,
-    pub(crate) host_effects: BTreeMap<String, HostEffect>,
+    pub(crate) hosts: BTreeMap<Symbol, Box<dyn HostObject>>,
+    pub(crate) host_effects: BTreeMap<Symbol, HostEffect>,
     pub(crate) meter: Option<Meter>,
-    capture_hints: Option<CaptureHints>,
+    pub(crate) capture_hints: Option<CaptureHints>,
     offload_trigger: Option<String>,
     max_steps: u64,
+    /// Process-unique id, stamped into [`StateBase`](crate::StateBase)
+    /// origins so incremental capture never trusts a foreign base.
+    pub(crate) browser_id: u64,
+    /// Reachability index + dirty-anchor token of the most recent
+    /// [`Browser::state_base`], if still valid.
+    pub(crate) snap_cache: Option<SnapCache>,
+    /// Per-function frame layouts (locals → slots), validated against the
+    /// registered definition by pointer identity.
+    pub(crate) layout_cache: BTreeMap<Symbol, (Rc<FunctionDef>, Rc<FrameLayout>)>,
+    /// Rendered `Float32Array` literals keyed by
+    /// `(heap generation, cell, version)` — clean payload cells reuse
+    /// their serialized text across captures (structural sharing).
+    pub(crate) render_cache: BTreeMap<(u64, ObjId, u32), Rc<str>>,
 }
 
 impl Default for Browser {
@@ -128,7 +267,7 @@ impl std::fmt::Debug for Browser {
             .field("functions", &self.core.functions.len())
             .field("listeners", &self.core.listeners.len())
             .field("queued_events", &self.core.queue.len())
-            .field("hosts", &self.hosts.keys().collect::<Vec<_>>())
+            .field("hosts", &self.host_names())
             .finish()
     }
 }
@@ -144,6 +283,10 @@ impl Browser {
             capture_hints: None,
             offload_trigger: None,
             max_steps: 50_000_000,
+            browser_id: BROWSER_ID.fetch_add(1, Ordering::Relaxed),
+            snap_cache: None,
+            layout_cache: BTreeMap::new(),
+            render_cache: BTreeMap::new(),
         }
     }
 
@@ -195,29 +338,36 @@ impl Browser {
         host: Box<dyn HostObject>,
         effect: HostEffect,
     ) {
-        self.hosts.insert(name.to_string(), host);
-        self.host_effects.insert(name.to_string(), effect);
+        let sym = Symbol::intern(name);
+        self.hosts.insert(sym, host);
+        self.host_effects.insert(sym, effect);
     }
 
     /// `true` when a host object with this name is registered.
     pub fn has_host(&self, name: &str) -> bool {
-        self.hosts.contains_key(name)
+        self.hosts.contains_key(&Symbol::intern(name))
     }
 
-    /// Names of all registered host objects, in deterministic order.
-    /// The static verifier extends its host-API allowlist with these.
+    /// Names of all registered host objects, in deterministic (name)
+    /// order. The static verifier extends its host-API allowlist with
+    /// these.
     pub fn host_names(&self) -> Vec<String> {
-        self.hosts.keys().cloned().collect()
+        let mut names: Vec<String> = self.hosts.keys().map(|s| s.resolve().to_string()).collect();
+        names.sort();
+        names
     }
 
     /// Registered host objects with their declared effect classes, in
-    /// deterministic order — the input the effect analysis tags host
-    /// calls with.
+    /// deterministic (name) order — the input the effect analysis tags
+    /// host calls with.
     pub fn host_effects(&self) -> Vec<(String, HostEffect)> {
-        self.host_effects
+        let mut out: Vec<(String, HostEffect)> = self
+            .host_effects
             .iter()
-            .map(|(n, e)| (n.clone(), *e))
-            .collect()
+            .map(|(s, e)| (s.resolve().to_string(), *e))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Installs statically-derived capture hints: delta capture skips the
@@ -255,6 +405,13 @@ impl Browser {
 
     pub(crate) fn max_steps(&self) -> u64 {
         self.max_steps
+    }
+
+    /// Interpreter steps consumed by the most recent script execution
+    /// (reset at the start of each script run / event-loop drain).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.core.steps
     }
 
     /// Read access to the app state.
@@ -391,7 +548,7 @@ impl Browser {
     pub fn global(&self, name: &str) -> JsValue {
         self.core
             .globals
-            .get(name)
+            .get_str(name)
             .cloned()
             .unwrap_or(JsValue::Undefined)
     }

@@ -22,13 +22,44 @@
 use crate::ast::escape_str;
 use crate::browser::{Browser, Core};
 use crate::dom::DomNodeId;
+use crate::intern::{Ident, Symbol};
 use crate::snapshot::{
-    element_expr, emit_globals_script, render_f32_literal, value_ref, RESERVED_PREFIX,
+    element_expr, emit_globals_script, render_f32_literal, value_ref, RenderCache, RESERVED_PREFIX,
 };
 use crate::value::ObjId;
 use crate::{SnapshotOptions, WebError};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-unique tokens for capture anchors: a token names *one*
+/// [`Browser::state_base`] call, so dirty sets recorded since that call
+/// are never applied against any other base.
+static BASE_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// Reachability index recorded by [`Browser::state_base`], enabling
+/// incremental delta capture. `rooted` maps every base-time-reachable
+/// heap cell to the non-reserved globals that reached it. The write
+/// barriers ([`crate::Heap`], [`crate::Globals`]) record what was touched
+/// since; candidates for the deep diff are exactly the dirty globals plus
+/// the base-time roots of dirty cells — everything else is provably
+/// unchanged (any deep-value change requires mutating an in-reach cell or
+/// rebinding the global, both of which mark dirt).
+pub(crate) struct SnapCache {
+    pub(crate) token: u64,
+    rooted: BTreeMap<ObjId, BTreeSet<Symbol>>,
+}
+
+/// Deep-comparison and serialization work performed by a delta capture,
+/// charged against the tenant meter on success — making incrementality
+/// *meter-visible*: mutating one of N globals costs O(changed), not O(N).
+#[derive(Default)]
+pub(crate) struct CaptureWork {
+    /// Heap cell pairs visited by deep comparisons.
+    cmp_pairs: u64,
+    /// Heap cells serialized into the delta.
+    cells: u64,
+}
 
 /// Statically-derived capture hints, produced by the effect analysis in
 /// `snapedge-analyze` and installed by the offload layer via
@@ -54,6 +85,11 @@ pub struct CaptureHints {
 #[derive(Clone)]
 pub struct StateBase {
     pub(crate) core: Core,
+    /// `(browser id, base token)` of the [`Browser::state_base`] call that
+    /// anchored this base, when that browser recorded a [`SnapCache`] for
+    /// it. Captures from any *other* browser (or after a newer anchor)
+    /// fall back to the legacy full walk.
+    pub(crate) origin: Option<(u64, u64)>,
 }
 
 impl StateBase {
@@ -62,8 +98,19 @@ impl StateBase {
     /// static verifier treats these as ambient declarations rather than
     /// free identifiers.
     pub fn declared_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.core.globals.keys().cloned().collect();
-        names.extend(self.core.functions.keys().cloned());
+        let mut names: Vec<String> = self
+            .core
+            .globals
+            .names_sorted()
+            .iter()
+            .map(|n| n.as_str().to_string())
+            .collect();
+        names.extend(
+            self.core
+                .function_names_sorted()
+                .iter()
+                .map(|n| n.as_str().to_string()),
+        );
         names
     }
 }
@@ -138,14 +185,67 @@ impl Browser {
     /// Records the current app state as the agreed base for future deltas.
     /// Call right after a capture (client side) or right after running to
     /// idle post-restore/apply (server side).
-    pub fn state_base(&self) -> StateBase {
+    ///
+    /// Also anchors incremental capture: a reachability index over the
+    /// current globals is recorded and the write-barrier dirty sets are
+    /// reset, so the next [`Browser::capture_delta`] against this base can
+    /// diff only what was actually touched since.
+    pub fn state_base(&mut self) -> StateBase {
+        let origin = match self.build_snap_cache() {
+            Ok(token) => Some((self.browser_id, token)),
+            // A dangling heap handle means the index is untrustworthy;
+            // drop the anchor and let captures take the legacy full walk
+            // (which will surface the same corruption as a capture error).
+            Err(_) => {
+                self.snap_cache = None;
+                None
+            }
+        };
         StateBase {
             core: self.core.clone(),
+            origin,
         }
+    }
+
+    fn build_snap_cache(&mut self) -> Result<u64, WebError> {
+        let token = BASE_TOKEN.fetch_add(1, Ordering::Relaxed);
+        let mut rooted: BTreeMap<ObjId, BTreeSet<Symbol>> = BTreeMap::new();
+        let mut stack: Vec<ObjId> = Vec::new();
+        for (sym, value) in self.core.globals.iter() {
+            if Ident::from_symbol(sym).starts_with(RESERVED_PREFIX) {
+                continue;
+            }
+            let mut seen: BTreeSet<ObjId> = BTreeSet::new();
+            if let Some(id) = value_ref(value) {
+                seen.insert(id);
+                stack.push(id);
+                while let Some(id) = stack.pop() {
+                    for child in crate::snapshot::cell_refs(self.core.heap.cell(id)?) {
+                        if seen.insert(child) {
+                            stack.push(child);
+                        }
+                    }
+                }
+            }
+            for &id in &seen {
+                rooted.entry(id).or_default().insert(sym);
+            }
+        }
+        self.core.heap.clear_dirty();
+        self.core.globals.clear_dirty();
+        self.snap_cache = Some(SnapCache { token, rooted });
+        Ok(token)
     }
 
     /// Diffs the current state against `base` and emits a delta script, or
     /// reports that a full snapshot is required.
+    ///
+    /// When `base` was anchored by this browser's most recent
+    /// [`Browser::state_base`] call (and [`SnapshotOptions::incremental`]
+    /// is on), the deep comparison is gated by the write-barrier dirty
+    /// sets: only globals that were rebound, or that rooted a dirtied heap
+    /// cell at base time, are walked. The emitted script is byte-identical
+    /// to the legacy full walk either way.
     ///
     /// # Errors
     ///
@@ -157,7 +257,29 @@ impl Browser {
         options: &SnapshotOptions,
     ) -> Result<DeltaCapture, WebError> {
         self.core.doc.ensure_ids();
-        capture_delta(&self.core, &base.core, options, self.capture_hints())
+        let anchored = options.incremental
+            && matches!(
+                (&base.origin, &self.snap_cache),
+                (Some((bid, tok)), Some(cache)) if *bid == self.browser_id && *tok == cache.token
+            );
+        let mut work = CaptureWork::default();
+        let result = capture_delta(
+            &self.core,
+            &base.core,
+            options,
+            self.capture_hints.as_ref(),
+            if anchored {
+                self.snap_cache.as_ref()
+            } else {
+                None
+            },
+            &mut self.render_cache,
+            &mut work,
+        )?;
+        if matches!(result, DeltaCapture::Delta(_)) {
+            self.meter_charge(work.cmp_pairs + work.cells)?;
+        }
+        Ok(result)
     }
 
     /// Applies a delta produced by [`Browser::capture_delta`] on the peer.
@@ -181,78 +303,145 @@ fn capture_delta(
     base: &Core,
     options: &SnapshotOptions,
     hints: Option<&CaptureHints>,
+    cache: Option<&SnapCache>,
+    render_cache: &mut RenderCache,
+    work: &mut CaptureWork,
 ) -> Result<DeltaCapture, WebError> {
     let mut stats = DeltaStats::default();
     let mut functions = String::new();
     let mut body = String::new();
 
     // ---- Functions: additions/changes re-declare; removals need a full
-    // snapshot (MiniJS cannot un-define).
-    for name in base.functions.keys() {
+    // snapshot (MiniJS cannot un-define). Name order, like the legacy
+    // string-keyed walk, so `FullRequired` reasons stay byte-identical.
+    for def in base.functions_sorted() {
+        let name = &def.name;
         if name.starts_with(RESERVED_PREFIX) {
             continue;
         }
-        if !new.functions.contains_key(name) {
+        if !new.functions.contains_key(&name.sym()) {
             full!("function {name:?} was removed");
         }
     }
-    for (name, def) in &new.functions {
+    for def in new.functions_sorted() {
+        let name = &def.name;
         if name.starts_with(RESERVED_PREFIX) {
             continue;
         }
-        if base.functions.get(name).map(|d| d.as_ref()) != Some(def.as_ref()) {
+        if base.functions.get(&name.sym()).map(|d| d.as_ref()) != Some(def.as_ref()) {
             functions.push_str(&def.to_string());
             stats.changed_functions += 1;
         }
     }
 
     // ---- Globals: removals need a full snapshot; changes re-serialize.
-    for name in base.globals.keys() {
-        if !new.globals.contains_key(name) {
+    for name in base.globals.names_sorted() {
+        if !new.globals.contains(name.sym()) {
             full!("global {name:?} was removed");
         }
     }
-    let mut changed: BTreeSet<String> = BTreeSet::new();
-    for (name, value) in &new.globals {
+    // Dirty-gated candidate set when an incremental anchor is available;
+    // `None` means every global is a candidate (legacy full walk). A
+    // base-present global that was never rebound and rooted no dirtied
+    // base-time cell cannot have changed deep value.
+    let candidates: Option<BTreeSet<Symbol>> = cache.map(|c| {
+        let mut set: BTreeSet<Symbol> = new.globals.dirty().clone();
+        for id in new.heap.dirty_cells() {
+            if let Some(roots) = c.rooted.get(id) {
+                set.extend(roots.iter().copied());
+            }
+        }
+        set
+    });
+    let mut changed: BTreeSet<Symbol> = BTreeSet::new();
+    for (name, value) in new.globals.iter_sorted() {
         if name.starts_with(RESERVED_PREFIX) {
             continue;
         }
-        let same = match base.globals.get(name) {
+        let sym = name.sym();
+        let same = match base.globals.get(sym) {
             Some(old) => {
                 // Write-set pruning: a global the effect analysis proved
                 // unwritable by handler code cannot differ from the base —
                 // skip the deep heap walk. Globals absent from the base
                 // are always "changed" regardless of hints.
                 if let Some(h) = hints {
-                    if !h.writable_globals.contains(name) {
+                    if !h.writable_globals.contains(name.as_str()) {
                         stats.pruned_globals += 1;
+                        continue;
+                    }
+                }
+                // Incremental skip: not a candidate → provably unchanged.
+                if let Some(cand) = &candidates {
+                    if !cand.contains(&sym) {
                         continue;
                     }
                 }
                 // Visited-set only — nothing is emitted in iteration order.
                 // lint: allow(hash-iter)
                 let mut visited = std::collections::HashSet::new();
-                new.heap.deep_eq(value, &base.heap, old, &mut visited)
+                let eq = new.heap.deep_eq(value, &base.heap, old, &mut visited);
+                work.cmp_pairs += visited.len() as u64;
+                eq
             }
             None => false,
         };
         if !same {
-            changed.insert(name.clone());
+            changed.insert(sym);
         }
     }
 
     // ---- Aliasing hazard: a changed global's structure shared with an
     // unchanged global would be duplicated by re-serialization, breaking
-    // identity. Fall back in that case.
+    // identity. Fall back in that case. Legacy reports the *smallest*
+    // shared cell id; both paths below preserve that.
     let changed_reach = reachable_from(new, &changed)?;
-    let unchanged: BTreeSet<String> = new
-        .globals
-        .keys()
-        .filter(|k| !changed.contains(*k) && !k.starts_with(RESERVED_PREFIX))
-        .cloned()
-        .collect();
-    let unchanged_reach = reachable_from(new, &unchanged)?;
-    if let Some(shared) = changed_reach.intersection(&unchanged_reach).next() {
+    let shared: Option<ObjId> = match (cache, &candidates) {
+        (Some(c), Some(cand)) => {
+            // Unchanged *candidates* may have been dirtied and reverted, so
+            // their live reach must be re-walked; every other unchanged
+            // global's live reach equals its base-time index entry (no
+            // in-reach cell was dirtied, no rebind happened).
+            let unchanged_live: BTreeSet<Symbol> = cand
+                .iter()
+                .copied()
+                .filter(|s| {
+                    !changed.contains(s)
+                        && new.globals.contains(*s)
+                        && !Ident::from_symbol(*s).starts_with(RESERVED_PREFIX)
+                })
+                .collect();
+            let live_reach = reachable_from(new, &unchanged_live)?;
+            let mut found = None;
+            for &cell in &changed_reach {
+                let in_static = c.rooted.get(&cell).is_some_and(|roots| {
+                    roots.iter().any(|g| {
+                        !changed.contains(g)
+                            && !unchanged_live.contains(g)
+                            && new.globals.contains(*g)
+                    })
+                });
+                if live_reach.contains(&cell) || in_static {
+                    found = Some(cell);
+                    break;
+                }
+            }
+            found
+        }
+        _ => {
+            let unchanged: BTreeSet<Symbol> = new
+                .globals
+                .iter()
+                .filter(|(s, _)| {
+                    !changed.contains(s) && !Ident::from_symbol(*s).starts_with(RESERVED_PREFIX)
+                })
+                .map(|(s, _)| s)
+                .collect();
+            let unchanged_reach = reachable_from(new, &unchanged)?;
+            changed_reach.intersection(&unchanged_reach).next().copied()
+        }
+    };
+    if let Some(shared) = shared {
         full!(
             "heap cell #{} is shared between changed and unchanged globals",
             shared.index()
@@ -273,9 +462,10 @@ fn capture_delta(
     }
 
     if !changed.is_empty() {
-        let emit = emit_globals_script(new, &changed, options)?;
+        let emit = emit_globals_script(new, &changed, options, Some(render_cache))?;
         body.push_str(&emit.script);
         stats.changed_globals = changed.len();
+        work.cells = emit.cells as u64;
     }
 
     // ---- Listener diff.
@@ -293,12 +483,12 @@ fn capture_delta(
     // pending (identical queues: nothing to do) or consumed by the peer's
     // run; a delta cannot "partially consume", so any difference clears
     // the queue and re-dispatches the new one.
-    let base_queue: Vec<(Option<String>, String)> = base
+    let base_queue: Vec<(Option<Ident>, String)> = base
         .queue
         .iter()
         .map(|e| Ok((node_key(base, e.target)?, e.event.clone())))
         .collect::<Result<_, WebError>>()?;
-    let new_queue: Vec<(Option<String>, String)> = new
+    let new_queue: Vec<(Option<Ident>, String)> = new
         .queue
         .iter()
         .map(|e| Ok((node_key(new, e.target)?, e.event.clone())))
@@ -328,10 +518,10 @@ fn capture_delta(
     Ok(DeltaCapture::Delta(DeltaScript { script, stats }))
 }
 
-fn reachable_from(core: &Core, names: &BTreeSet<String>) -> Result<BTreeSet<ObjId>, WebError> {
+fn reachable_from(core: &Core, names: &BTreeSet<Symbol>) -> Result<BTreeSet<ObjId>, WebError> {
     let mut seen: BTreeSet<ObjId> = BTreeSet::new();
     let mut stack: Vec<ObjId> = Vec::new();
-    for name in names {
+    for &name in names {
         if let Some(value) = core.globals.get(name) {
             if let Some(id) = value_ref(value) {
                 if seen.insert(id) {
@@ -351,12 +541,13 @@ fn reachable_from(core: &Core, names: &BTreeSet<String>) -> Result<BTreeSet<ObjI
 }
 
 /// Stable identity of a DOM node across captures: its id attribute, or the
-/// body anchor.
-fn node_key(core: &Core, id: DomNodeId) -> Result<Option<String>, WebError> {
+/// body anchor. Interned, so repeated captures of a stable document reuse
+/// the same key storage instead of rebuilding fresh `String`s every round.
+fn node_key(core: &Core, id: DomNodeId) -> Result<Option<Ident>, WebError> {
     if id == core.doc.body() {
-        return Ok(Some("<body>".to_string()));
+        return Ok(Some(Ident::from_symbol(Symbol::BODY_ANCHOR)));
     }
-    Ok(core.doc.attr(id, "id")?.map(str::to_string))
+    Ok(core.doc.attr(id, "id")?.map(Ident::new))
 }
 
 type DiffResult = Result<Result<Vec<String>, String>, WebError>;
@@ -364,8 +555,11 @@ type DiffResult = Result<Result<Vec<String>, String>, WebError>;
 fn diff_dom(new: &Core, base: &Core) -> DiffResult {
     let mut ops: Vec<String> = Vec::new();
 
-    // Index both documents by node key.
-    let mut base_by_key: BTreeMap<String, DomNodeId> = BTreeMap::new();
+    // Index both documents by interned node key. `Ident` orders by name,
+    // so iteration (and therefore every emitted diagnostic) matches the
+    // old `String`-keyed maps byte for byte — without re-allocating key
+    // strings on every capture.
+    let mut base_by_key: BTreeMap<Ident, DomNodeId> = BTreeMap::new();
     for id in base.doc.walk() {
         match node_key(base, id)? {
             Some(key) => {
@@ -376,7 +570,7 @@ fn diff_dom(new: &Core, base: &Core) -> DiffResult {
             None => return Ok(Err("base document has an element without id".to_string())),
         }
     }
-    let mut new_by_key: BTreeMap<String, DomNodeId> = BTreeMap::new();
+    let mut new_by_key: BTreeMap<Ident, DomNodeId> = BTreeMap::new();
     for id in new.doc.walk() {
         match node_key(new, id)? {
             Some(key) => {
@@ -519,7 +713,9 @@ fn diff_listeners(new: &Core, base: &Core) -> DiffResult {
     let key_of =
         |core: &Core, l: &crate::browser::Listener| -> Result<(String, String, String), WebError> {
             Ok((
-                node_key(core, l.target)?.unwrap_or_default(),
+                node_key(core, l.target)?
+                    .map(|k| k.as_str().to_string())
+                    .unwrap_or_default(),
                 l.event.clone(),
                 l.handler.clone(),
             ))

@@ -21,6 +21,8 @@ impl DomNodeId {
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct DomNode {
     pub(crate) tag: String,
+    // Attribute names are arbitrary app data, not identifiers.
+    // lint: allow(string-keyed-map)
     pub(crate) attrs: BTreeMap<String, String>,
     pub(crate) text: String,
     pub(crate) children: Vec<DomNodeId>,

@@ -20,6 +20,13 @@ pub enum WebError {
     },
     /// Runtime evaluation failed (type errors, unknown identifiers, ...).
     Runtime(String),
+    /// An internal invariant was violated (e.g. a typed `JsValue` handle
+    /// pointed at a heap cell of a different shape). Distinct from
+    /// [`WebError::Runtime`] so embedders can tell engine bugs and
+    /// corrupted snapshots apart from ordinary app-level failures;
+    /// surfaced as an error instead of a panic so corrupted state cannot
+    /// abort a migration mid-flight.
+    Internal(String),
     /// A DOM operation failed (unknown element id, invalid target, ...).
     Dom(String),
     /// HTML document parsing failed.
@@ -49,6 +56,7 @@ impl fmt::Display for WebError {
             WebError::Lex { line, message } => write!(f, "lex error (line {line}): {message}"),
             WebError::Parse { line, message } => write!(f, "parse error (line {line}): {message}"),
             WebError::Runtime(msg) => write!(f, "runtime error: {msg}"),
+            WebError::Internal(msg) => write!(f, "internal error: {msg}"),
             WebError::Dom(msg) => write!(f, "dom error: {msg}"),
             WebError::Html(msg) => write!(f, "html error: {msg}"),
             WebError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),

@@ -1,0 +1,436 @@
+//! String interning for MiniJS identifiers.
+//!
+//! Every identifier the lexer produces is interned once into a
+//! thread-local [`Interner`] and carried through the AST, the
+//! interpreter and the snapshot engine as a [`Symbol`] — a dense `u32`
+//! assigned in first-intern order. All hot-path name comparisons
+//! (keyword checks, frame lookups, global/function/host resolution)
+//! become integer compares instead of per-call string compares, the
+//! idiom rhai uses for its pre-hashed identifiers.
+//!
+//! The interner hashes with FNV-1a (no external dependencies, matching
+//! the analyzer's memo keys) and keeps the backing text as `Rc<str>`, so
+//! resolving a symbol back to its name is a cheap pointer clone.
+//! Interning is deterministic: the well-known names below occupy fixed
+//! indices, and everything after them is numbered in parse order.
+//! Symbols are only meaningful within their thread — `Rc` already makes
+//! the AST `!Send`, so a symbol can never cross threads.
+//!
+//! Interning is purely in-memory: nothing about wire formats changes,
+//! and any output that used to be emitted in *name* order must resolve
+//! and sort, never iterate symbol-keyed maps directly (enforced by the
+//! `string-keyed-map` lint rule plus the bit-identity suite in
+//! `tests/interning.rs`).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Deref;
+use std::rc::Rc;
+
+/// An interned identifier: a dense index into the thread-local
+/// [`Interner`]. Comparing two symbols compares two `u32`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+/// Names interned at fixed indices before any user code, so keyword and
+/// built-in checks compile down to constant compares. Order is part of
+/// the determinism contract — append only.
+const WELL_KNOWN: &[&str] = &[
+    "var",
+    "function",
+    "return",
+    "if",
+    "else",
+    "while",
+    "for",
+    "typeof",
+    "true",
+    "false",
+    "null",
+    "undefined",
+    "new",
+    "Float32Array",
+    "document",
+    "console",
+    "Math",
+    "body",
+    "<body>",
+    "__snapedge_restore",
+    "__snapedge_apply_delta",
+];
+
+macro_rules! well_known {
+    ($($(#[$doc:meta])* $name:ident = $idx:expr;)*) => {
+        impl Symbol {
+            $( $(#[$doc])* pub const $name: Symbol = Symbol($idx); )*
+        }
+    };
+}
+
+well_known! {
+    /// `var`
+    VAR = 0;
+    /// `function`
+    FUNCTION = 1;
+    /// `return`
+    RETURN = 2;
+    /// `if`
+    IF = 3;
+    /// `else`
+    ELSE = 4;
+    /// `while`
+    WHILE = 5;
+    /// `for`
+    FOR = 6;
+    /// `typeof`
+    TYPEOF = 7;
+    /// `true`
+    TRUE = 8;
+    /// `false`
+    FALSE = 9;
+    /// `null`
+    NULL = 10;
+    /// `undefined`
+    UNDEFINED = 11;
+    /// `new`
+    NEW = 12;
+    /// `Float32Array`
+    FLOAT32_ARRAY = 13;
+    /// `document`
+    DOCUMENT = 14;
+    /// `console`
+    CONSOLE = 15;
+    /// `Math`
+    MATH = 16;
+    /// `body`
+    BODY = 17;
+    /// The DOM body anchor sentinel used by delta node keys.
+    BODY_ANCHOR = 18;
+    /// The snapshot restore wrapper.
+    SNAPEDGE_RESTORE = 19;
+    /// The delta apply wrapper.
+    SNAPEDGE_APPLY_DELTA = 20;
+}
+
+impl Symbol {
+    /// The dense index of this symbol.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Interns `name` in the thread-local interner.
+    #[must_use]
+    pub fn intern(name: &str) -> Symbol {
+        INTERNER.with(|i| i.borrow_mut().intern(name))
+    }
+
+    /// The interned text, as a cheap `Rc` clone.
+    #[must_use]
+    pub fn resolve(self) -> Rc<str> {
+        INTERNER.with(|i| i.borrow().resolve(self))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.resolve())
+    }
+}
+
+/// FNV-1a over a byte string — the same dependency-free hash the
+/// analyzer's effect cache uses.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic string interner: names map to dense [`Symbol`]s in
+/// first-intern order, with the [well-known names](Symbol::VAR) at fixed
+/// indices.
+#[derive(Debug)]
+pub struct Interner {
+    // FNV-keyed bucket map; never iterated (lookup only), so the
+    // non-deterministic iteration order of HashMap cannot leak.
+    // lint: allow(hash-iter)
+    buckets: HashMap<u64, Vec<u32>>,
+    names: Vec<Rc<str>>,
+}
+
+impl Default for Interner {
+    fn default() -> Interner {
+        Interner::new()
+    }
+}
+
+impl Interner {
+    /// An interner pre-seeded with the well-known names.
+    #[must_use]
+    pub fn new() -> Interner {
+        let mut interner = Interner {
+            buckets: HashMap::new(),
+            names: Vec::new(),
+        };
+        for name in WELL_KNOWN {
+            interner.intern(name);
+        }
+        interner
+    }
+
+    /// Interns `name`, returning its (stable) symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        let hash = fnv1a(name.as_bytes());
+        let bucket = self.buckets.entry(hash).or_default();
+        for &idx in bucket.iter() {
+            if &*self.names[idx as usize] == name {
+                return Symbol(idx);
+            }
+        }
+        // 4 billion distinct identifiers in one thread is out of scope
+        // for a browser simulation.
+        assert!(u32::try_from(self.names.len()).is_ok(), "interner overflow");
+        let idx = self.names.len() as u32;
+        self.names.push(Rc::from(name));
+        bucket.push(idx);
+        Symbol(idx)
+    }
+
+    /// Resolves a symbol back to its text.
+    #[must_use]
+    pub fn resolve(&self, sym: Symbol) -> Rc<str> {
+        Rc::clone(&self.names[sym.0 as usize])
+    }
+
+    /// Number of distinct names interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `false`: the well-known names are always present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+thread_local! {
+    static INTERNER: RefCell<Interner> = RefCell::new(Interner::new());
+}
+
+/// An identifier: pre-interned symbol plus its text. The text rides
+/// along as an `Rc<str>` so error messages and the pretty-printer never
+/// need an interner round-trip; equality compares only the symbol.
+#[derive(Clone)]
+pub struct Ident {
+    sym: Symbol,
+    name: Rc<str>,
+}
+
+impl fmt::Debug for Ident {
+    /// Prints like the `String` it replaced (`"name"`), keeping every
+    /// `{:?}`-formatted diagnostic byte-identical.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.name, f)
+    }
+}
+
+impl Ident {
+    /// Interns `name` into an identifier.
+    #[must_use]
+    pub fn new(name: &str) -> Ident {
+        let sym = Symbol::intern(name);
+        Ident {
+            sym,
+            name: sym.resolve(),
+        }
+    }
+
+    /// Rebuilds the identifier for `sym`.
+    #[must_use]
+    pub fn from_symbol(sym: Symbol) -> Ident {
+        Ident {
+            sym,
+            name: sym.resolve(),
+        }
+    }
+
+    /// The interned symbol.
+    #[must_use]
+    pub fn sym(&self) -> Symbol {
+        self.sym
+    }
+
+    /// The identifier text.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Deref for Ident {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl PartialEq for Ident {
+    fn eq(&self, other: &Ident) -> bool {
+        self.sym == other.sym
+    }
+}
+
+impl Eq for Ident {}
+
+impl PartialOrd for Ident {
+    fn partial_cmp(&self, other: &Ident) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ident {
+    /// Orders by *name*, not symbol — `Ident`-keyed collections keep the
+    /// same deterministic order the `String`-keyed ones had.
+    fn cmp(&self, other: &Ident) -> std::cmp::Ordering {
+        self.name.cmp(&other.name)
+    }
+}
+
+impl std::hash::Hash for Ident {
+    /// Hashes the *text* (name↔symbol is bijective per thread, so this
+    /// stays consistent with `Eq`) — required for the `Borrow<str>`
+    /// contract.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+    }
+}
+
+impl PartialEq<str> for Ident {
+    fn eq(&self, other: &str) -> bool {
+        &*self.name == other
+    }
+}
+
+impl PartialEq<&str> for Ident {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.name == *other
+    }
+}
+
+impl PartialEq<Ident> for str {
+    fn eq(&self, other: &Ident) -> bool {
+        self == &*other.name
+    }
+}
+
+impl PartialEq<Ident> for &str {
+    fn eq(&self, other: &Ident) -> bool {
+        *self == &*other.name
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(name: &str) -> Ident {
+        Ident::new(name)
+    }
+}
+
+impl From<String> for Ident {
+    fn from(name: String) -> Ident {
+        Ident::new(&name)
+    }
+}
+
+impl From<&Ident> for String {
+    fn from(ident: &Ident) -> String {
+        ident.name.to_string()
+    }
+}
+
+impl std::borrow::Borrow<str> for Ident {
+    fn borrow(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_names_have_fixed_indices() {
+        assert_eq!(Symbol::intern("var"), Symbol::VAR);
+        assert_eq!(Symbol::intern("function"), Symbol::FUNCTION);
+        assert_eq!(Symbol::intern("document"), Symbol::DOCUMENT);
+        assert_eq!(Symbol::intern("<body>"), Symbol::BODY_ANCHOR);
+        assert_eq!(
+            Symbol::intern("__snapedge_apply_delta"),
+            Symbol::SNAPEDGE_APPLY_DELTA
+        );
+        for (i, name) in WELL_KNOWN.iter().enumerate() {
+            assert_eq!(Symbol::intern(name).index(), i as u32, "{name}");
+        }
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let a = Symbol::intern("some_user_name_a");
+        let b = Symbol::intern("some_user_name_b");
+        assert_ne!(a, b);
+        assert_eq!(Symbol::intern("some_user_name_a"), a);
+        assert_eq!(&*a.resolve(), "some_user_name_a");
+    }
+
+    #[test]
+    fn fresh_interner_numbers_in_first_intern_order() {
+        let mut interner = Interner::new();
+        let base = interner.len() as u32;
+        assert_eq!(interner.intern("zzz").index(), base);
+        assert_eq!(interner.intern("aaa").index(), base + 1);
+        assert_eq!(interner.intern("zzz").index(), base);
+        assert_eq!(&*interner.resolve(Symbol(base + 1)), "aaa");
+    }
+
+    #[test]
+    fn ident_compares_by_symbol_but_orders_by_name() {
+        let z: Ident = "zfirst_interned".into();
+        let a: Ident = "alater_interned".into();
+        assert_ne!(z, a);
+        assert_eq!(z, Ident::new("zfirst_interned"));
+        assert!(a < z, "Ord must follow the text, not the intern order");
+        assert_eq!(z, "zfirst_interned");
+        assert_eq!("zfirst_interned", z);
+        assert_eq!(z.as_str(), "zfirst_interned");
+        assert_eq!(format!("{z}"), "zfirst_interned");
+    }
+
+    #[test]
+    fn ident_derefs_to_str() {
+        let i = Ident::new("counter");
+        assert!(i.starts_with("count"));
+        assert_eq!(i.len(), 7);
+        let owned: String = (&i).into();
+        assert_eq!(owned, "counter");
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

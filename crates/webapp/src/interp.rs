@@ -8,12 +8,96 @@
 use crate::ast::{Expr, FunctionDef, Stmt};
 use crate::browser::{Browser, Core, Listener, PendingEvent};
 use crate::dom::DomNodeId;
+use crate::intern::{Ident, Symbol};
 use crate::value::{HeapCell, JsValue};
 use crate::WebError;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-type Frame = BTreeMap<String, JsValue>;
+/// The local-variable layout of one function: every name the body can
+/// bind (parameters first, then `var` declarations in first-occurrence
+/// order), each mapped to a dense slot. Computed once per definition and
+/// cached on the browser keyed by function symbol, validated by pointer
+/// identity against the registered definition — local lookup at run time
+/// is a symbol-indexed slot hit instead of a string-keyed map walk.
+#[derive(Debug)]
+pub(crate) struct FrameLayout {
+    slots: Vec<Symbol>,
+    index: BTreeMap<Symbol, usize>,
+}
+
+impl FrameLayout {
+    pub(crate) fn for_def(def: &FunctionDef) -> FrameLayout {
+        let mut layout = FrameLayout {
+            slots: Vec::new(),
+            index: BTreeMap::new(),
+        };
+        for param in &def.params {
+            layout.add(param.sym());
+        }
+        scan_vars(&def.body, &mut layout);
+        layout
+    }
+
+    fn add(&mut self, sym: Symbol) {
+        let next = self.slots.len();
+        self.index.entry(sym).or_insert_with(|| {
+            self.slots.push(sym);
+            next
+        });
+    }
+
+    fn slot_of(&self, sym: Symbol) -> Option<usize> {
+        self.index.get(&sym).copied()
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Collects `var` names into the layout. Does not descend into nested
+/// function declarations — their `var`s bind in *their* frame.
+fn scan_vars(stmts: &[Stmt], layout: &mut FrameLayout) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Var(name, _) => layout.add(name.sym()),
+            Stmt::If(_, then_body, else_body) => {
+                scan_vars(then_body, layout);
+                scan_vars(else_body, layout);
+            }
+            Stmt::While(_, body) => scan_vars(body, layout),
+            Stmt::For {
+                init, update, body, ..
+            } => {
+                if let Some(init) = init {
+                    scan_vars(std::slice::from_ref(init), layout);
+                }
+                if let Some(update) = update {
+                    scan_vars(std::slice::from_ref(update), layout);
+                }
+                scan_vars(body, layout);
+            }
+            Stmt::Function(_) | Stmt::Assign(..) | Stmt::Expr(_) | Stmt::Return(_) => {}
+        }
+    }
+}
+
+/// One call frame: slot-indexed locals. `None` means the slot's `var`
+/// has not executed yet — MiniJS does not hoist, so reads fall through
+/// to the global scope and assignments create globals until the
+/// declaration runs (parameters are occupied from entry).
+struct Frame {
+    layout: Rc<FrameLayout>,
+    slots: Vec<Option<JsValue>>,
+}
+
+impl Frame {
+    fn new(layout: Rc<FrameLayout>) -> Frame {
+        let slots = vec![None; layout.len()];
+        Frame { layout, slots }
+    }
+}
 
 enum Flow {
     Normal,
@@ -40,29 +124,58 @@ impl Browser {
         name: &str,
         args: &[JsValue],
     ) -> Result<JsValue, WebError> {
+        self.call_function_sym(Symbol::intern(name), name, args)
+    }
+
+    pub(crate) fn call_function_sym(
+        &mut self,
+        sym: Symbol,
+        name: &str,
+        args: &[JsValue],
+    ) -> Result<JsValue, WebError> {
         if let Some(m) = self.meter.as_mut() {
             m.enter_call()?;
         }
-        let result = self.call_function_inner(name, args);
+        let result = self.call_function_inner(sym, name, args);
         if let Some(m) = self.meter.as_mut() {
             m.exit_call();
         }
         result
     }
 
-    fn call_function_inner(&mut self, name: &str, args: &[JsValue]) -> Result<JsValue, WebError> {
+    /// The cached `FrameLayout` for `def`, computed on first call and
+    /// revalidated by pointer identity (redefining a function replaces
+    /// the `Rc`, which invalidates the entry automatically).
+    fn frame_layout(&mut self, sym: Symbol, def: &Rc<FunctionDef>) -> Rc<FrameLayout> {
+        match self.layout_cache.get(&sym) {
+            Some((cached_def, layout)) if Rc::ptr_eq(cached_def, def) => Rc::clone(layout),
+            _ => {
+                let layout = Rc::new(FrameLayout::for_def(def));
+                self.layout_cache
+                    .insert(sym, (Rc::clone(def), Rc::clone(&layout)));
+                layout
+            }
+        }
+    }
+
+    fn call_function_inner(
+        &mut self,
+        sym: Symbol,
+        name: &str,
+        args: &[JsValue],
+    ) -> Result<JsValue, WebError> {
         let def: Rc<FunctionDef> = self
             .core
             .functions
-            .get(name)
+            .get(&sym)
             .cloned()
             .ok_or_else(|| WebError::Runtime(format!("unknown function {name:?}")))?;
-        let mut frame: Frame = BTreeMap::new();
+        let layout = self.frame_layout(sym, &def);
+        let mut frame = Frame::new(layout);
         for (i, param) in def.params.iter().enumerate() {
-            frame.insert(
-                param.clone(),
-                args.get(i).cloned().unwrap_or(JsValue::Undefined),
-            );
+            if let Some(slot) = frame.layout.slot_of(param.sym()) {
+                frame.slots[slot] = Some(args.get(i).cloned().unwrap_or(JsValue::Undefined));
+            }
         }
         let mut frame = Some(frame);
         match self.exec_stmts(&def.body, &mut frame)? {
@@ -119,11 +232,16 @@ impl Browser {
                     None => JsValue::Undefined,
                 };
                 match frame {
-                    Some(locals) => {
-                        locals.insert(name.clone(), value);
-                    }
+                    // The layout indexed every `var` in the body, so the
+                    // slot exists; occupy it now (no hoisting).
+                    Some(locals) => match locals.layout.slot_of(name.sym()) {
+                        Some(slot) => locals.slots[slot] = Some(value),
+                        None => {
+                            self.core.globals.insert(name.sym(), value);
+                        }
+                    },
                     None => {
-                        self.core.globals.insert(name.clone(), value);
+                        self.core.globals.insert(name.sym(), value);
                     }
                 }
                 Ok(Flow::Normal)
@@ -140,7 +258,7 @@ impl Browser {
             Stmt::Function(def) => {
                 self.core
                     .functions
-                    .insert(def.name.clone(), Rc::new(def.clone()));
+                    .insert(def.name.sym(), Rc::new(def.clone()));
                 Ok(Flow::Normal)
             }
             Stmt::Return(e) => {
@@ -203,14 +321,18 @@ impl Browser {
         match target {
             Expr::Ident(name) => {
                 if let Some(locals) = frame {
-                    if locals.contains_key(name) {
-                        locals.insert(name.clone(), value);
-                        return Ok(());
+                    if let Some(slot) = locals.layout.slot_of(name.sym()) {
+                        // Only an *occupied* slot is a local — before its
+                        // `var` runs, assignment still targets a global.
+                        if locals.slots[slot].is_some() {
+                            locals.slots[slot] = Some(value);
+                            return Ok(());
+                        }
                     }
                 }
                 // Assignment to an undeclared name creates/overwrites a
                 // global, as in sloppy-mode JS.
-                self.core.globals.insert(name.clone(), value);
+                self.core.globals.insert(name.sym(), value);
                 Ok(())
             }
             Expr::Member(obj_expr, prop) => {
@@ -358,20 +480,28 @@ impl Browser {
         }
     }
 
-    fn lookup(&mut self, name: &str, frame: &Option<Frame>) -> Result<JsValue, WebError> {
+    /// Resolution order (mirrored by the static analyzer): occupied
+    /// frame slot, global, top-level function, host object. Every step
+    /// is a symbol-keyed probe — no string comparison on this path.
+    fn lookup(&mut self, name: &Ident, frame: &Option<Frame>) -> Result<JsValue, WebError> {
+        let sym = name.sym();
         if let Some(locals) = frame {
-            if let Some(v) = locals.get(name) {
-                return Ok(v.clone());
+            if let Some(slot) = locals.layout.slot_of(sym) {
+                if let Some(v) = &locals.slots[slot] {
+                    return Ok(v.clone());
+                }
             }
         }
-        if let Some(v) = self.core.globals.get(name) {
+        if let Some(v) = self.core.globals.get(sym) {
             return Ok(v.clone());
         }
-        if self.core.functions.contains_key(name) {
-            return Ok(JsValue::Function(name.to_string()));
+        if self.core.functions.contains_key(&sym) {
+            return Ok(JsValue::Function(name.clone()));
         }
-        if matches!(name, "document" | "console" | "Math") || self.hosts.contains_key(name) {
-            return Ok(JsValue::Host(name.to_string()));
+        if matches!(sym, Symbol::DOCUMENT | Symbol::CONSOLE | Symbol::MATH)
+            || self.hosts.contains_key(&sym)
+        {
+            return Ok(JsValue::Host(name.clone()));
         }
         Err(WebError::Runtime(format!("unknown identifier {name:?}")))
     }
@@ -489,7 +619,7 @@ impl Browser {
                 JsValue::Object(id) => {
                     let f = self.core.heap.get_prop(*id, method)?;
                     match f {
-                        JsValue::Function(name) => self.call_function_by_name(&name, &args),
+                        JsValue::Function(name) => self.call_function_sym(name.sym(), &name, &args),
                         other => Err(WebError::Runtime(format!(
                             "{method:?} is not a function (got {})",
                             other.type_name()
@@ -504,7 +634,7 @@ impl Browser {
         }
         let f = self.eval(callee, frame)?;
         match f {
-            JsValue::Function(name) => self.call_function_by_name(&name, &args),
+            JsValue::Function(name) => self.call_function_sym(name.sym(), &name, &args),
             other => Err(WebError::Runtime(format!(
                 "{} is not callable",
                 other.type_name()
@@ -672,7 +802,7 @@ impl Browser {
                     .as_str()?
                     .to_string();
                 let handler = match args.get(1) {
-                    Some(JsValue::Function(name)) => name.clone(),
+                    Some(JsValue::Function(name)) => name.as_str().to_string(),
                     other => {
                         return Err(WebError::Runtime(format!(
                             "addEventListener needs a function, got {:?}",
@@ -694,7 +824,7 @@ impl Browser {
                     .as_str()?
                     .to_string();
                 let handler = match args.get(1) {
-                    Some(JsValue::Function(name)) => Some(name.clone()),
+                    Some(JsValue::Function(name)) => Some(name.as_str().to_string()),
                     _ => None,
                 };
                 self.core.listeners.retain(|l| {
@@ -794,7 +924,7 @@ impl Browser {
         }
     }
 
-    fn host_get(&mut self, host: &str, prop: &str) -> Result<JsValue, WebError> {
+    fn host_get(&mut self, host: &Ident, prop: &str) -> Result<JsValue, WebError> {
         let value = self.host_get_inner(host, prop)?;
         // One metered op per host-API access, charged after the host ran
         // so heap growth it caused is observed against the cap.
@@ -802,27 +932,27 @@ impl Browser {
         Ok(value)
     }
 
-    fn host_get_inner(&mut self, host: &str, prop: &str) -> Result<JsValue, WebError> {
-        match host {
-            "document" => match prop {
+    fn host_get_inner(&mut self, host: &Ident, prop: &str) -> Result<JsValue, WebError> {
+        match host.sym() {
+            Symbol::DOCUMENT => match prop {
                 "body" => Ok(JsValue::Dom(self.core.doc.body())),
                 other => Err(WebError::Runtime(format!(
                     "unknown document property {other:?}"
                 ))),
             },
-            "Math" => match prop {
+            Symbol::MATH => match prop {
                 "PI" => Ok(JsValue::Number(std::f64::consts::PI)),
                 other => Err(WebError::Runtime(format!(
                     "unknown Math property {other:?}"
                 ))),
             },
-            name => {
+            sym => {
                 let mut h = self
                     .hosts
-                    .remove(name)
-                    .ok_or_else(|| WebError::Runtime(format!("unknown host object {name:?}")))?;
+                    .remove(&sym)
+                    .ok_or_else(|| WebError::Runtime(format!("unknown host object {host:?}")))?;
                 let result = h.get(prop, &mut self.core);
-                self.hosts.insert(name.to_string(), h);
+                self.hosts.insert(sym, h);
                 result
             }
         }
@@ -830,7 +960,7 @@ impl Browser {
 
     fn host_call(
         &mut self,
-        host: &str,
+        host: &Ident,
         method: &str,
         args: &[JsValue],
     ) -> Result<JsValue, WebError> {
@@ -841,12 +971,12 @@ impl Browser {
 
     fn host_call_inner(
         &mut self,
-        host: &str,
+        host: &Ident,
         method: &str,
         args: &[JsValue],
     ) -> Result<JsValue, WebError> {
-        match host {
-            "document" => match method {
+        match host.sym() {
+            Symbol::DOCUMENT => match method {
                 "getElementById" => {
                     let id = args
                         .first()
@@ -876,7 +1006,7 @@ impl Browser {
                     "unknown document method {other:?}"
                 ))),
             },
-            "console" => match method {
+            Symbol::CONSOLE => match method {
                 "log" => {
                     let line = args
                         .iter()
@@ -890,7 +1020,7 @@ impl Browser {
                     "unknown console method {other:?}"
                 ))),
             },
-            "Math" => {
+            Symbol::MATH => {
                 let num = |i: usize| -> Result<f64, WebError> {
                     args.get(i)
                         .ok_or_else(|| WebError::Runtime(format!("Math.{method} missing arg {i}")))?
@@ -923,13 +1053,13 @@ impl Browser {
                 };
                 Ok(JsValue::Number(v))
             }
-            name => {
+            sym => {
                 let mut h = self
                     .hosts
-                    .remove(name)
-                    .ok_or_else(|| WebError::Runtime(format!("unknown host object {name:?}")))?;
+                    .remove(&sym)
+                    .ok_or_else(|| WebError::Runtime(format!("unknown host object {host:?}")))?;
                 let result = h.call(method, args, &mut self.core);
-                self.hosts.insert(name.to_string(), h);
+                self.hosts.insert(sym, h);
                 result
             }
         }
@@ -983,10 +1113,9 @@ fn stringify_value(core: &Core, value: &JsValue, depth: usize) -> String {
 }
 
 /// Internal invariant violation: a typed `JsValue` handle pointed at a
-/// heap cell of a different shape. Surfaced as a runtime error instead of
-/// a panic so corrupted state cannot abort a migration mid-flight.
+/// heap cell of a different shape — see [`WebError::Internal`].
 fn heap_cell_mismatch(what: &str) -> WebError {
-    WebError::Runtime(format!("internal error: heap cell mismatch in {what}"))
+    WebError::Internal(format!("heap cell mismatch in {what}"))
 }
 
 fn js_equals(a: &JsValue, b: &JsValue) -> bool {

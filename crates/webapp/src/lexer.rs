@@ -1,13 +1,15 @@
 //! Tokenizer for MiniJS — the JavaScript subset the browser runtime
 //! executes and the snapshot generator emits.
 
+use crate::intern::Ident;
 use crate::WebError;
 
 /// A lexical token.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Token {
-    /// Identifier or keyword.
-    Ident(String),
+    /// Identifier or keyword, pre-interned — one interner hit per token,
+    /// after which every comparison is a symbol compare.
+    Ident(Ident),
     /// Numeric literal (always f64, like JS).
     Number(f64),
     /// String literal (already unescaped).
@@ -196,7 +198,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, WebError> {
             }
             let text: String = bytes[start..i].iter().collect();
             out.push(Spanned {
-                token: Token::Ident(text),
+                token: Token::Ident(Ident::new(&text)),
                 line,
             });
             continue;

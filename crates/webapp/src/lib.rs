@@ -56,6 +56,7 @@ mod dom;
 mod error;
 mod host;
 pub mod html;
+pub mod intern;
 mod interp;
 pub mod lexer;
 mod meter;
@@ -68,6 +69,7 @@ pub use delta::{CaptureHints, DeltaCapture, DeltaScript, DeltaStats, StateBase};
 pub use dom::{Document, DomNodeId};
 pub use error::WebError;
 pub use host::{FnHost, HostEffect, HostObject};
+pub use intern::{Ident, Interner, Symbol};
 pub use meter::{Meter, MeterLimits};
 pub use snapshot::{
     is_reserved_machinery, state_eq, Snapshot, SnapshotOptions, SnapshotStats, RESERVED_PREFIX,

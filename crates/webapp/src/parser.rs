@@ -1,6 +1,7 @@
 //! Recursive-descent parser for MiniJS.
 
 use crate::ast::{Expr, FunctionDef, Stmt};
+use crate::intern::{Ident, Symbol};
 use crate::lexer::{lex, Spanned, Token};
 use crate::snapshot::{is_reserved_machinery, RESERVED_PREFIX};
 use crate::WebError;
@@ -117,8 +118,10 @@ impl Parser {
         }
     }
 
-    fn eat_keyword(&mut self, kw: &str) -> bool {
-        if matches!(self.peek(), Token::Ident(name) if name == kw) {
+    /// Keywords are pre-interned, so this is a symbol (integer) compare
+    /// per token instead of a string compare.
+    fn eat_keyword(&mut self, kw: Symbol) -> bool {
+        if matches!(self.peek(), Token::Ident(name) if name.sym() == kw) {
             self.advance();
             true
         } else {
@@ -126,7 +129,7 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self) -> Result<String, WebError> {
+    fn expect_ident(&mut self) -> Result<Ident, WebError> {
         match self.advance() {
             Token::Ident(name) => Ok(name),
             _ => {
@@ -160,7 +163,7 @@ impl Parser {
     }
 
     fn statement_inner(&mut self) -> Result<Stmt, WebError> {
-        if self.eat_keyword("var") {
+        if self.eat_keyword(Symbol::VAR) {
             let line = self.line();
             let name = self.expect_ident()?;
             self.check_declared_name(&name, line)?;
@@ -172,7 +175,7 @@ impl Parser {
             self.expect_punct(";")?;
             return Ok(Stmt::Var(name, init));
         }
-        if self.eat_keyword("function") {
+        if self.eat_keyword(Symbol::FUNCTION) {
             let line = self.line();
             let name = self.expect_ident()?;
             self.check_declared_name(&name, line)?;
@@ -193,7 +196,7 @@ impl Parser {
             let body = self.block()?;
             return Ok(Stmt::Function(FunctionDef { name, params, body }));
         }
-        if self.eat_keyword("return") {
+        if self.eat_keyword(Symbol::RETURN) {
             if self.eat_punct(";") {
                 return Ok(Stmt::Return(None));
             }
@@ -201,17 +204,17 @@ impl Parser {
             self.expect_punct(";")?;
             return Ok(Stmt::Return(Some(e)));
         }
-        if self.eat_keyword("if") {
+        if self.eat_keyword(Symbol::IF) {
             return self.if_statement();
         }
-        if self.eat_keyword("while") {
+        if self.eat_keyword(Symbol::WHILE) {
             self.expect_punct("(")?;
             let cond = self.expression()?;
             self.expect_punct(")")?;
             let body = self.block()?;
             return Ok(Stmt::While(cond, body));
         }
-        if self.eat_keyword("for") {
+        if self.eat_keyword(Symbol::FOR) {
             self.expect_punct("(")?;
             let init = if self.eat_punct(";") {
                 None
@@ -250,7 +253,7 @@ impl Parser {
     /// A `var` declaration, assignment, or expression — without its
     /// terminator (used for plain statements and `for` headers).
     fn simple_statement(&mut self) -> Result<Stmt, WebError> {
-        if self.eat_keyword("var") {
+        if self.eat_keyword(Symbol::VAR) {
             let line = self.line();
             let name = self.expect_ident()?;
             self.check_declared_name(&name, line)?;
@@ -295,8 +298,8 @@ impl Parser {
         let cond = self.expression()?;
         self.expect_punct(")")?;
         let then_body = self.block()?;
-        let else_body = if self.eat_keyword("else") {
-            if self.eat_keyword("if") {
+        let else_body = if self.eat_keyword(Symbol::ELSE) {
+            if self.eat_keyword(Symbol::IF) {
                 vec![self.if_statement()?]
             } else {
                 self.block()?
@@ -435,7 +438,7 @@ impl Parser {
             }
             return Ok(Expr::Unary("-", Box::new(operand)));
         }
-        if self.eat_keyword("typeof") {
+        if self.eat_keyword(Symbol::TYPEOF) {
             self.enter()?;
             let operand = self.unary();
             self.leave();
@@ -449,7 +452,7 @@ impl Parser {
         loop {
             if self.eat_punct(".") {
                 let name = self.expect_ident()?;
-                expr = Expr::Member(Box::new(expr), name);
+                expr = Expr::Member(Box::new(expr), name.as_str().to_string());
             } else if self.eat_punct("[") {
                 let index = self.expression()?;
                 self.expect_punct("]")?;
@@ -483,27 +486,27 @@ impl Parser {
                 self.advance();
                 Ok(Expr::Str(s))
             }
-            Token::Ident(name) => match name.as_str() {
-                "true" => {
+            Token::Ident(name) => match name.sym() {
+                Symbol::TRUE => {
                     self.advance();
                     Ok(Expr::Bool(true))
                 }
-                "false" => {
+                Symbol::FALSE => {
                     self.advance();
                     Ok(Expr::Bool(false))
                 }
-                "null" => {
+                Symbol::NULL => {
                     self.advance();
                     Ok(Expr::Null)
                 }
-                "undefined" => {
+                Symbol::UNDEFINED => {
                     self.advance();
                     Ok(Expr::Undefined)
                 }
-                "new" => {
+                Symbol::NEW => {
                     self.advance();
                     let ctor = self.expect_ident()?;
-                    if ctor != "Float32Array" {
+                    if ctor.sym() != Symbol::FLOAT32_ARRAY {
                         return Err(self.error(&format!(
                             "only `new Float32Array(...)` is supported, got new {ctor}"
                         )));
@@ -544,7 +547,7 @@ impl Parser {
                 if !self.eat_punct("}") {
                     loop {
                         let key = match self.advance() {
-                            Token::Ident(name) => name,
+                            Token::Ident(name) => name.as_str().to_string(),
                             Token::Str(s) => s,
                             _ => {
                                 self.pos = self.pos.saturating_sub(1);

@@ -17,10 +17,24 @@
 use crate::ast::{escape_str, number_literal};
 use crate::browser::{Browser, Core};
 use crate::html::serialize_body;
+use crate::intern::Symbol;
 use crate::value::{HeapCell, JsValue, ObjId};
 use crate::WebError;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Cache of rendered `Float32Array` literals, keyed by
+/// `(heap generation, cell, version)`. The write barrier bumps a cell's
+/// version on every mutation, so a hit is guaranteed byte-identical to
+/// re-rendering — clean payload cells share their serialized text across
+/// captures instead of being re-stringified each time.
+pub(crate) type RenderCache = BTreeMap<(u64, ObjId, u32), Rc<str>>;
+
+/// Beyond this many cached literals the cache is dropped wholesale —
+/// payload arrays are few and large, so eviction precision is not worth
+/// bookkeeping.
+const RENDER_CACHE_MAX: usize = 1024;
 
 /// Options controlling snapshot generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +58,15 @@ pub struct SnapshotOptions {
     /// pre-ship. Off (the default) leaves every capture byte-identical
     /// to the unanalyzed path.
     pub effects: bool,
+    /// Let delta capture use the write-barrier dirty sets recorded since
+    /// [`Browser::state_base`](crate::Browser::state_base): only globals
+    /// touched since the base (and globals rooting dirtied heap cells)
+    /// are deep-compared, so capture cost scales with state *changed*
+    /// instead of state *held*. Produces byte-identical deltas to the
+    /// full-walk path; `false` forces the legacy full comparison
+    /// (capturing against a base from a different browser falls back
+    /// automatically). Full snapshots are unaffected.
+    pub incremental: bool,
 }
 
 impl Default for SnapshotOptions {
@@ -52,6 +75,7 @@ impl Default for SnapshotOptions {
             inline_single_use: true,
             verify: false,
             effects: false,
+            incremental: true,
         }
     }
 }
@@ -126,6 +150,12 @@ impl Browser {
         self.core.listeners.clear();
         self.core.queue.clear();
         self.core.heap = crate::value::Heap::new();
+        // The heap was rebuilt: every capture anchor and derived cache is
+        // void (the fresh generation would shield the render cache anyway,
+        // but stale entries are dead weight).
+        self.snap_cache = None;
+        self.layout_cache.clear();
+        self.render_cache.clear();
         self.load_html(snapshot.html())
     }
 }
@@ -169,19 +199,26 @@ pub(crate) struct GlobalsEmit {
 /// Serializes the heap reachable from the *selected* globals, plus the
 /// assignments for those globals. Shared by full capture (all globals) and
 /// delta capture (changed globals only).
+///
+/// Globals are symbol-keyed in memory, but every serialized artifact is
+/// defined in *name* order — selection resolves and sorts before any
+/// byte is emitted. `render_cache` (when provided) reuses serialized
+/// `Float32Array` text for cells whose version is unchanged.
 pub(crate) fn emit_globals_script(
     core: &Core,
-    names: &BTreeSet<String>,
+    names: &BTreeSet<Symbol>,
     options: &SnapshotOptions,
+    mut render_cache: Option<&mut RenderCache>,
 ) -> Result<GlobalsEmit, WebError> {
-    // ---- Reachability, in deterministic order. ----
+    // ---- Reachability, in deterministic (name) order. ----
     let mut order: Vec<ObjId> = Vec::new();
     let mut seen: BTreeSet<ObjId> = BTreeSet::new();
     let mut stack: Vec<ObjId> = Vec::new();
-    let selected: Vec<(&String, &JsValue)> = core
+    let selected: Vec<(crate::intern::Ident, &JsValue)> = core
         .globals
-        .iter()
-        .filter(|(k, _)| names.contains(*k) && !k.starts_with(RESERVED_PREFIX))
+        .iter_sorted()
+        .into_iter()
+        .filter(|(k, _)| names.contains(&k.sym()) && !k.starts_with(RESERVED_PREFIX))
         .collect();
     for (_, value) in &selected {
         if let Some(id) = value_ref(value) {
@@ -255,9 +292,10 @@ pub(crate) fn emit_globals_script(
     }
 
     // ---- Collision-free temporary prefix. ----
+    let global_names = core.globals.names_sorted();
     let mut prefix = "__h".to_string();
-    while core.globals.keys().any(|k| k.starts_with(&prefix))
-        || core.functions.keys().any(|k| k.starts_with(&prefix))
+    while global_names.iter().any(|k| k.starts_with(&prefix))
+        || core.functions.values().any(|d| d.name.starts_with(&prefix))
     {
         prefix.push('_');
     }
@@ -279,7 +317,26 @@ pub(crate) fn emit_globals_script(
             }
             HeapCell::Float32Array(data) => {
                 let _ = write!(script, "var {} = ", temp_name(id));
-                render_f32_literal(data, &mut script);
+                match render_cache.as_deref_mut() {
+                    Some(cache) => {
+                        let key = (core.heap.generation(), id, core.heap.version(id));
+                        if let Some(text) = cache.get(&key) {
+                            script.push_str(text);
+                        } else {
+                            // The rendered text is retained by the cache as
+                            // an `Rc<str>` — per-miss ownership is the
+                            // point. lint: allow(collect-in-loop)
+                            let mut text = String::new();
+                            render_f32_literal(data, &mut text);
+                            script.push_str(&text);
+                            if cache.len() >= RENDER_CACHE_MAX {
+                                cache.clear();
+                            }
+                            cache.insert(key, Rc::from(text));
+                        }
+                    }
+                    None => render_f32_literal(data, &mut script),
+                }
                 script.push_str(";\n");
             }
         }
@@ -404,13 +461,15 @@ fn render_cell_literal(
 fn capture(browser: &mut Browser, options: &SnapshotOptions) -> Result<Snapshot, WebError> {
     browser.core.doc.ensure_ids();
     let core = &browser.core;
+    let render_cache = &mut browser.render_cache;
 
     let mut script = String::new();
     script.push_str("// snapshot generated by snapedge\n");
 
-    // 1. Functions (sorted by name — BTreeMap order). The reserved restore
-    //    function from a previous snapshot generation is never app state.
-    for def in core.functions.values() {
+    // 1. Functions, sorted by name (the map is symbol-keyed, so emission
+    //    re-sorts). The reserved restore function from a previous
+    //    snapshot generation is never app state.
+    for def in core.functions_sorted() {
         if def.name.starts_with(RESERVED_PREFIX) {
             continue;
         }
@@ -420,8 +479,8 @@ fn capture(browser: &mut Browser, options: &SnapshotOptions) -> Result<Snapshot,
     // 2-4. State rebuilding runs inside a function so heap temporaries are
     // locals; app globals are created by un-declared assignment.
     script.push_str(&format!("function {RESERVED_PREFIX}restore() {{\n"));
-    let all_names: BTreeSet<String> = core.globals.keys().cloned().collect();
-    let emit = emit_globals_script(core, &all_names, options)?;
+    let all_names: BTreeSet<Symbol> = core.globals.iter().map(|(s, _)| s).collect();
+    let emit = emit_globals_script(core, &all_names, options, Some(render_cache))?;
     script.push_str(&emit.script);
 
     // 5. Event listeners (registration order preserved).
@@ -466,8 +525,8 @@ fn capture(browser: &mut Browser, options: &SnapshotOptions) -> Result<Snapshot,
         inlined_cells: emit.inlined,
         functions: core
             .functions
-            .keys()
-            .filter(|n| !n.starts_with(RESERVED_PREFIX))
+            .values()
+            .filter(|d| !d.name.starts_with(RESERVED_PREFIX))
             .count(),
         listeners: core.listeners.len(),
         pending_events: core.queue.len(),
@@ -595,12 +654,13 @@ pub(crate) fn find_cyclic(core: &Core, order: &[ObjId]) -> Result<BTreeSet<ObjId
 /// preserved execution state. Host objects are environment and excluded.
 pub fn state_eq(a: &Browser, b: &Browser) -> bool {
     let (ca, cb) = (a.core(), b.core());
-    // Globals: same names, deep-equal values.
+    // Globals: same names, deep-equal values. Symbols are per-thread
+    // canonical, so a symbol probe across two browsers compares names.
     if ca.globals.len() != cb.globals.len() {
         return false;
     }
-    for (name, va) in &ca.globals {
-        let Some(vb) = cb.globals.get(name) else {
+    for (sym, va) in ca.globals.iter() {
+        let Some(vb) = cb.globals.get(sym) else {
             return false;
         };
         // Visited-set only — nothing is emitted in iteration order.
@@ -610,22 +670,23 @@ pub fn state_eq(a: &Browser, b: &Browser) -> bool {
             return false;
         }
     }
-    // Functions: identical ASTs, ignoring reserved snapshot machinery.
+    // Functions: identical ASTs (names included — `FunctionDef` equality
+    // covers them), ignoring reserved snapshot machinery.
     let fa: Vec<_> = ca
-        .functions
-        .iter()
-        .filter(|(n, _)| !n.starts_with(RESERVED_PREFIX))
+        .functions_sorted()
+        .into_iter()
+        .filter(|d| !d.name.starts_with(RESERVED_PREFIX))
         .collect();
     let fb: Vec<_> = cb
-        .functions
-        .iter()
-        .filter(|(n, _)| !n.starts_with(RESERVED_PREFIX))
+        .functions_sorted()
+        .into_iter()
+        .filter(|d| !d.name.starts_with(RESERVED_PREFIX))
         .collect();
     if fa.len() != fb.len() {
         return false;
     }
-    for ((na, da), (nb, db)) in fa.iter().zip(&fb) {
-        if na != nb || da.as_ref() != db.as_ref() {
+    for (da, db) in fa.iter().zip(&fb) {
+        if da.as_ref() != db.as_ref() {
             return false;
         }
     }

@@ -8,8 +8,10 @@
 //! dominates snapshot sizes in the paper's experiments.
 
 use crate::dom::DomNodeId;
+use crate::intern::Ident;
 use crate::WebError;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Handle to a heap cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -41,12 +43,13 @@ pub enum JsValue {
     Array(ObjId),
     /// Reference to a heap `Float32Array`.
     Float32Array(ObjId),
-    /// A top-level function, by name.
-    Function(String),
+    /// A top-level function, by (pre-interned) name.
+    Function(Ident),
     /// A DOM element reference.
     Dom(DomNodeId),
-    /// A host (native) object, by registration name (e.g. `"model"`).
-    Host(String),
+    /// A host (native) object, by (pre-interned) registration name
+    /// (e.g. `"model"`).
+    Host(Ident),
 }
 
 impl JsValue {
@@ -113,7 +116,9 @@ impl JsValue {
 /// One heap slot.
 #[derive(Debug, Clone, PartialEq)]
 pub enum HeapCell {
-    /// A plain object with insertion-stable (sorted) properties.
+    /// A plain object with insertion-stable (sorted) properties. Keys
+    /// are arbitrary app data, not identifiers.
+    /// lint: allow(string-keyed-map)
     Object(BTreeMap<String, JsValue>),
     /// A dense array.
     Array(Vec<JsValue>),
@@ -121,18 +126,54 @@ pub enum HeapCell {
     Float32Array(Vec<f32>),
 }
 
+/// Distinguishes heaps across a `restore_snapshot` (which rebuilds the
+/// arena, reusing [`ObjId`] indices): every fresh heap gets a new
+/// generation, so version-keyed caches can never confuse a recycled id.
+static HEAP_GENERATION: AtomicU64 = AtomicU64::new(1);
+
 /// Arena of heap cells. No garbage collection: apps in this runtime are
 /// short-lived and snapshots only serialize *reachable* cells, so garbage
 /// simply never escapes a session.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// The arena carries a **write barrier**: every mutable borrow and every
+/// allocation marks the cell dirty and bumps its version counter. The
+/// snapshot layer anchors a capture base with [`Heap::clear_dirty`] and
+/// then only deep-compares cells dirtied since — capture cost scales
+/// with cells *changed*, not cells *held*. Equality ([`PartialEq`])
+/// deliberately compares contents only; dirty bookkeeping is capture
+/// machinery, not state.
+#[derive(Debug, Clone)]
 pub struct Heap {
     cells: Vec<HeapCell>,
+    /// Per-cell mutation counters (parallel to `cells`).
+    versions: Vec<u32>,
+    /// Cells mutated (or allocated) since the last [`Heap::clear_dirty`].
+    dirty: BTreeSet<ObjId>,
+    /// Process-unique id of this arena.
+    generation: u64,
+}
+
+impl Default for Heap {
+    fn default() -> Heap {
+        Heap::new()
+    }
+}
+
+impl PartialEq for Heap {
+    fn eq(&self, other: &Heap) -> bool {
+        self.cells == other.cells
+    }
 }
 
 impl Heap {
     /// An empty heap.
     pub fn new() -> Heap {
-        Heap::default()
+        Heap {
+            cells: Vec::new(),
+            versions: Vec::new(),
+            dirty: BTreeSet::new(),
+            generation: HEAP_GENERATION.fetch_add(1, Ordering::Relaxed),
+        }
     }
 
     /// Number of cells ever allocated.
@@ -145,22 +186,27 @@ impl Heap {
         self.cells.is_empty()
     }
 
+    fn alloc(&mut self, cell: HeapCell) -> ObjId {
+        let id = ObjId(self.cells.len());
+        self.cells.push(cell);
+        self.versions.push(0);
+        self.dirty.insert(id);
+        id
+    }
+
     /// Allocates an empty object, returning its value.
     pub fn alloc_object(&mut self) -> JsValue {
-        self.cells.push(HeapCell::Object(BTreeMap::new()));
-        JsValue::Object(ObjId(self.cells.len() - 1))
+        JsValue::Object(self.alloc(HeapCell::Object(BTreeMap::new())))
     }
 
     /// Allocates an array with the given elements.
     pub fn alloc_array(&mut self, elems: Vec<JsValue>) -> JsValue {
-        self.cells.push(HeapCell::Array(elems));
-        JsValue::Array(ObjId(self.cells.len() - 1))
+        JsValue::Array(self.alloc(HeapCell::Array(elems)))
     }
 
     /// Allocates a `Float32Array` with the given data.
     pub fn alloc_f32(&mut self, data: Vec<f32>) -> JsValue {
-        self.cells.push(HeapCell::Float32Array(data));
-        JsValue::Float32Array(ObjId(self.cells.len() - 1))
+        JsValue::Float32Array(self.alloc(HeapCell::Float32Array(data)))
     }
 
     /// Borrows a cell.
@@ -175,15 +221,45 @@ impl Heap {
             .ok_or_else(|| WebError::Runtime(format!("dangling heap handle #{}", id.0)))
     }
 
-    /// Mutably borrows a cell.
+    /// Mutably borrows a cell. This is the single mutation funnel — every
+    /// property/index write routes through here — so it doubles as the
+    /// write barrier: the cell is marked dirty and its version bumped.
     ///
     /// # Errors
     ///
     /// Returns [`WebError::Runtime`] for a dangling handle.
     pub fn cell_mut(&mut self, id: ObjId) -> Result<&mut HeapCell, WebError> {
-        self.cells
+        let cell = self
+            .cells
             .get_mut(id.0)
-            .ok_or_else(|| WebError::Runtime(format!("dangling heap handle #{}", id.0)))
+            .ok_or_else(|| WebError::Runtime(format!("dangling heap handle #{}", id.0)))?;
+        self.dirty.insert(id);
+        if let Some(v) = self.versions.get_mut(id.0) {
+            *v = v.wrapping_add(1);
+        }
+        Ok(cell)
+    }
+
+    /// Cells mutated or allocated since the last [`Heap::clear_dirty`].
+    pub fn dirty_cells(&self) -> &BTreeSet<ObjId> {
+        &self.dirty
+    }
+
+    /// Anchors a capture base: from here on, [`Heap::dirty_cells`] names
+    /// exactly the cells that may differ from this instant.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Mutation counter of a cell (0 for never-mutated or dangling ids).
+    pub fn version(&self, id: ObjId) -> u32 {
+        self.versions.get(id.0).copied().unwrap_or(0)
+    }
+
+    /// Process-unique id of this arena (changes when a restore rebuilds
+    /// the heap, so version-keyed caches survive `ObjId` reuse).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Gets a property of an object cell (`undefined` when missing,

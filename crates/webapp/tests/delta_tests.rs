@@ -262,7 +262,7 @@ fn aliasing_between_changed_and_unchanged_forces_full() {
 
 #[test]
 fn element_removal_forces_full() {
-    let (_client, server, _base) = agreed_pair(
+    let (_client, mut server, _base) = agreed_pair(
         r#"
         var el = document.createElement("div");
         el.setAttribute("id", "gone");

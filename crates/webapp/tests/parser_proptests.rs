@@ -73,7 +73,7 @@ fn expr(rng: &mut Rng, depth: usize) -> Expr {
         return if rng.next_bool() {
             literal(rng)
         } else {
-            Expr::Ident(ident(rng))
+            Expr::Ident(ident(rng).into())
         };
     }
     let d = depth - 1;
@@ -121,9 +121,9 @@ fn stmt(rng: &mut Rng, depth: usize) -> Stmt {
                 } else {
                     None
                 };
-                Stmt::Var(ident(rng), init)
+                Stmt::Var(ident(rng).into(), init)
             }
-            1 => Stmt::Assign(Expr::Ident(ident(rng)), expr(rng, 2)),
+            1 => Stmt::Assign(Expr::Ident(ident(rng).into()), expr(rng, 2)),
             _ => Stmt::Expr(expr(rng, 2)),
         };
     }
@@ -143,12 +143,14 @@ fn stmt(rng: &mut Rng, depth: usize) -> Stmt {
             Stmt::While(expr(rng, 2), (0..n).map(|_| stmt(rng, d)).collect())
         }
         _ => {
-            let params = (0..rng.gen_range_usize(0, 3)).map(|_| ident(rng)).collect();
+            let params = (0..rng.gen_range_usize(0, 3))
+                .map(|_| ident(rng).into())
+                .collect();
             let body = (0..rng.gen_range_usize(0, 3))
                 .map(|_| stmt(rng, d))
                 .collect();
             Stmt::Function(FunctionDef {
-                name: ident(rng),
+                name: ident(rng).into(),
                 params,
                 body,
             })
@@ -200,7 +202,7 @@ fn numbers_roundtrip_exactly() {
     for case in 0..128u64 {
         let mut rng = Rng::seed_from_u64(7500 + case);
         let n = finite_f64(&mut rng);
-        let prog = vec![Stmt::Var("x".to_string(), Some(Expr::Number(n)))];
+        let prog = vec![Stmt::Var("x".into(), Some(Expr::Number(n)))];
         let printed = print_program(&prog);
         let reparsed = parse_program(&printed).unwrap();
         let Stmt::Var(_, Some(Expr::Number(m))) = &reparsed[0] else {
@@ -230,7 +232,7 @@ fn strings_roundtrip_exactly() {
         if case % 4 == 1 {
             s.push('\t');
         }
-        let prog = vec![Stmt::Var("x".to_string(), Some(Expr::Str(s.clone())))];
+        let prog = vec![Stmt::Var("x".into(), Some(Expr::Str(s.clone())))];
         let printed = print_program(&prog);
         let reparsed = parse_program(&printed).unwrap();
         let Stmt::Var(_, Some(Expr::Str(t))) = &reparsed[0] else {
