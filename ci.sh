@@ -42,6 +42,9 @@ cargo test --offline -q -p snapedge-integration --test effects
 echo "== interning suite (incremental-capture bit-identity, meter-visible O(changed) capture)"
 cargo test --offline -q -p snapedge-integration --test interning
 
+echo "== balance suite (queue-aware selection, admission control, fair share, balance-off bit-compat)"
+cargo test --offline -q -p snapedge-integration --test balance
+
 echo "== meter exhaustion CLI smoke (capped primary fails over, run still succeeds)"
 meter_smoke=$(cargo run --offline --release -p snapedge-cli --bin snapedge -- run \
     --model tiny_cnn --servers "edge-a,meter=ops=1;edge-b")
@@ -49,6 +52,9 @@ grep -q "edge-b" <<<"$meter_smoke"
 
 echo "== fleet scale smoke (10k clients under a wall-clock budget)"
 cargo run --offline --release -p snapedge-bench --bin fleet_scale
+
+echo "== balancing micro (report-only: rotation vs queue-aware p99 on a skewed fleet)"
+cargo run --offline --release -p snapedge-bench --bin fleet_balance
 
 echo "== pruned capture micro (report-only: pruned vs full capture time)"
 cargo run --offline --release -p snapedge-bench --bin capture_pruned

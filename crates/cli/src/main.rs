@@ -85,7 +85,8 @@ const USAGE: &str = "usage:
   snapedge fleet   --model <name> [--clients <n>] [--arrival <spec>]
                    [--duration <s>] [--rounds <n>] [--servers <spec>]
                    [--mbps <rate>] [--seed <n>] [--retry <spec>] [--real true]
-                   [--meter <spec>]
+                   [--meter <spec>] [--balance true] [--fair-share true]
+                   [--batch-window <s>]
   snapedge install --model <name> [--mbps <rate>]
   snapedge models
   snapedge analyze [--all-apps true | --model <name> [--cut <label>]]
@@ -131,7 +132,18 @@ const USAGE: &str = "usage:
     Open-loop arrivals landing on a busy client queue client-side. By
     default the fleet runs the calibrated analytic workload (tens of
     thousands of clients in milliseconds); --real true builds one real
-    browser session per client instead.";
+    browser session per client instead.
+  --balance true prices each server's predicted queueing delay into
+    server selection and admission (snapedge fleet): modeled clients
+    pick the least-predicted-sojourn server instead of rotating, real
+    sessions add the predicted wait to failover ranking and degrade a
+    round to local when the queue erases the offload win. Off by
+    default (bit-identical replay).
+  --fair-share true grants each server CPU by deficit round robin over
+    tenants instead of arrival order, so one chatty client cannot
+    starve co-located clients. --batch-window <s> opportunistically
+    batches admissions co-queued within the window behind a busy CPU.
+    Both off by default (bit-identical replay).";
 
 fn main() -> ExitCode {
     match real_main() {
@@ -248,6 +260,39 @@ fn parse_effects_flag(args: &Args) -> Result<bool, String> {
         Some("true") | Some("on") => Ok(true),
         Some("false") | Some("off") => Ok(false),
         Some(other) => Err(format!("bad --effects {other:?} (use true/false)")),
+    }
+}
+
+fn parse_balance_flag(args: &Args) -> Result<bool, String> {
+    match args.flag("balance") {
+        None => Ok(false),
+        Some("true") | Some("on") => Ok(true),
+        Some("false") | Some("off") => Ok(false),
+        Some(other) => Err(format!("bad --balance {other:?} (use true/false)")),
+    }
+}
+
+fn parse_fair_share_flag(args: &Args) -> Result<bool, String> {
+    match args.flag("fair-share") {
+        None => Ok(false),
+        Some("true") | Some("on") => Ok(true),
+        Some("false") | Some("off") => Ok(false),
+        Some(other) => Err(format!("bad --fair-share {other:?} (use true/false)")),
+    }
+}
+
+fn parse_batch_window_flag(args: &Args) -> Result<Option<Duration>, String> {
+    match args.flag("batch-window") {
+        None => Ok(None),
+        Some(v) => {
+            let secs: f64 = v.parse().map_err(|e| format!("bad --batch-window: {e}"))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(format!(
+                    "bad --batch-window {v:?} (need non-negative seconds)"
+                ));
+            }
+            Ok(Some(Duration::from_secs_f64(secs)))
+        }
     }
 }
 
@@ -520,6 +565,10 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
     cfg.retry = parse_retry_flag(args)?;
     cfg.meter = parse_meter_flag(args)?;
     cfg.predict = parse_predict_flag(args)?;
+    cfg.balance = parse_balance_flag(args)?;
+    cfg.fair_share = parse_fair_share_flag(args)?;
+    cfg.batch_window = parse_batch_window_flag(args)?;
+    let balancing = cfg.balance || cfg.fair_share || cfg.batch_window.is_some();
     if let Some(seed) = args.flag("seed") {
         cfg.seed = seed.parse().map_err(|e| format!("bad --seed: {e}"))?;
     }
@@ -566,14 +615,34 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
             report.total_ops, report.peak_heap
         );
     }
-    for server in &report.servers {
+    if balancing {
+        let rejects: usize = report.servers.iter().map(|s| s.rejects).sum();
         println!(
-            "server:     {:<16} {:>8} round(s) | busy {:.3}s | utilization {:.1}%",
-            server.name,
-            server.rounds,
-            server.busy.as_secs_f64(),
-            server.utilization * 100.0
+            "balance:    fairness {:.3} | {} admission reject(s) | max batch {}",
+            report.fairness, rejects, report.max_batch
         );
+    }
+    for server in &report.servers {
+        if balancing {
+            println!(
+                "server:     {:<16} {:>8} round(s) | busy {:.3}s | utilization {:.1}% | {} admit(s), {} reject(s), {} batch(es)",
+                server.name,
+                server.rounds,
+                server.busy.as_secs_f64(),
+                server.utilization * 100.0,
+                server.admits,
+                server.rejects,
+                server.batches
+            );
+        } else {
+            println!(
+                "server:     {:<16} {:>8} round(s) | busy {:.3}s | utilization {:.1}%",
+                server.name,
+                server.rounds,
+                server.busy.as_secs_f64(),
+                server.utilization * 100.0
+            );
+        }
     }
     Ok(())
 }
@@ -1084,6 +1153,29 @@ mod tests {
         assert!(parse_predict_flag(&args(&["run", "--predict", "on"])).unwrap());
         assert!(!parse_predict_flag(&args(&["run", "--predict", "false"])).unwrap());
         assert!(parse_predict_flag(&args(&["run", "--predict", "maybe"])).is_err());
+    }
+
+    #[test]
+    fn balance_flags_parse_and_default_off() {
+        assert!(!parse_balance_flag(&args(&["fleet"])).unwrap());
+        assert!(parse_balance_flag(&args(&["fleet", "--balance", "true"])).unwrap());
+        assert!(parse_balance_flag(&args(&["fleet", "--balance", "on"])).unwrap());
+        assert!(!parse_balance_flag(&args(&["fleet", "--balance", "off"])).unwrap());
+        assert!(parse_balance_flag(&args(&["fleet", "--balance", "maybe"])).is_err());
+        assert!(!parse_fair_share_flag(&args(&["fleet"])).unwrap());
+        assert!(parse_fair_share_flag(&args(&["fleet", "--fair-share", "true"])).unwrap());
+        assert!(parse_fair_share_flag(&args(&["fleet", "--fair-share", "no"])).is_err());
+    }
+
+    #[test]
+    fn batch_window_flag_parses_seconds() {
+        assert_eq!(parse_batch_window_flag(&args(&["fleet"])).unwrap(), None);
+        assert_eq!(
+            parse_batch_window_flag(&args(&["fleet", "--batch-window", "0.25"])).unwrap(),
+            Some(Duration::from_millis(250))
+        );
+        assert!(parse_batch_window_flag(&args(&["fleet", "--batch-window", "-1"])).is_err());
+        assert!(parse_batch_window_flag(&args(&["fleet", "--batch-window", "soon"])).is_err());
     }
 
     #[test]

@@ -372,6 +372,38 @@ mod tests {
     }
 
     #[test]
+    fn retry_penalty_is_bounded_by_the_health_clamp() {
+        use snapedge_net::{BandwidthEstimator, LinkHealth, MAX_PREDICTED_RETRIES};
+        // Drive a link-health record into the ground: every windowed
+        // attempt faults, so the raw retry expectation explodes — and the
+        // clamp, not the raw expectation, must bound what the planner
+        // charges. The cap used to live as a magic `8` in `health.rs`
+        // only; this pins the two paths to the one named constant.
+        let mut health = LinkHealth::new(BandwidthEstimator::default());
+        health.observe_faults(64, Duration::from_secs(1));
+        let prediction = health.predict(Duration::from_secs(1));
+        assert_eq!(prediction.predicted_retries, MAX_PREDICTED_RETRIES);
+
+        let policy = RetryPolicy::default();
+        let plan = offloader("agenet", false)
+            .decide_predictive(&LinkConfig::wifi_30mbps(), true, 0, &prediction, &policy)
+            .unwrap();
+        assert_eq!(
+            plan.penalty,
+            policy.cumulative_backoff(MAX_PREDICTED_RETRIES)
+        );
+        // A wilder prediction cannot charge more than the clamp allows.
+        let wild = LinkPrediction {
+            predicted_retries: MAX_PREDICTED_RETRIES,
+            ..prediction
+        };
+        let capped = offloader("agenet", false)
+            .decide_predictive(&LinkConfig::wifi_30mbps(), true, 0, &wild, &policy)
+            .unwrap();
+        assert_eq!(capped.penalty, plan.penalty);
+    }
+
+    #[test]
     fn predicted_time_never_exceeds_local() {
         // The controller can always fall back; its plan is never worse
         // than local execution.

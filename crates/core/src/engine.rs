@@ -42,6 +42,7 @@
 //! into a [`SessionConfig`] — including a bare
 //! [`OffloadConfig`](crate::OffloadConfig).
 
+use crate::balance::{jain, Balancer, DrrScheduler, DEFAULT_DRR_QUANTUM};
 use crate::session::{OffloadSession, RoundReport, RoundStep, SessionConfig};
 use crate::OffloadError;
 use snapedge_dnn::zoo;
@@ -155,6 +156,16 @@ pub struct RoundOutcome {
     /// Peak heap (cells) the meter observed on the serving server (zero
     /// when unmetered, modeled or local).
     pub peak_heap: usize,
+    /// Whether the round was degraded to local *proactively* — the
+    /// predictive/admission gate rejected the offload before any bytes
+    /// committed to the wire (contrast [`RoundOutcome::fell_back`], the
+    /// reactive exhaustion path).
+    pub proactive: bool,
+    /// Fleet index of the server the round targeted: the one that served
+    /// it, or — for a round completed on the client — the candidate the
+    /// session was aimed at when it degraded. Attributes per-server
+    /// admit/reject counts in the [`FleetReport`].
+    pub target: usize,
 }
 
 /// Where a client's round state machine paused — what a [`Workload`]
@@ -215,6 +226,40 @@ pub trait Workload {
     ///
     /// Propagates app/protocol/network failures from the round.
     fn continue_round(&mut self, client: usize) -> Result<EngineStep, OffloadError>;
+
+    /// Like [`Workload::begin_round`], with the engine's queue-delay
+    /// [`Balancer`] in hand — called instead of `begin_round` when
+    /// balancing is on. Workloads that select servers (or gate
+    /// admission) consult `balancer` for each candidate's predicted
+    /// queueing delay; the default ignores it and stays load-blind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates app/protocol/network failures from the round.
+    fn begin_round_balanced(
+        &mut self,
+        client: usize,
+        at: Duration,
+        image_seed: u64,
+        balancer: &Balancer,
+    ) -> Result<EngineStep, OffloadError> {
+        let _ = balancer;
+        self.begin_round(client, at, image_seed)
+    }
+
+    /// Notifies the workload that `client`'s compute admission was
+    /// parked behind `server`'s busy CPU at time `at` under fair-share
+    /// ordering (tracing hook; the default does nothing).
+    fn note_deferred(&mut self, client: usize, server: usize, at: Duration) {
+        let _ = (client, server, at);
+    }
+
+    /// Notifies the workload that `clients` were granted `server`'s CPU
+    /// together at time `at` as one opportunistic batch (tracing hook;
+    /// the default does nothing).
+    fn note_batch(&mut self, clients: &[usize], server: usize, at: Duration) {
+        let _ = (clients, server, at);
+    }
 }
 
 /// The full-fidelity workload: one real [`OffloadSession`] per client —
@@ -278,10 +323,10 @@ impl SessionWorkload {
                 EngineStep::NeedCompute { server, at }
             }
             RoundStep::Done(report) => {
-                let finished_at = self
+                let (finished_at, target) = self
                     .sessions
                     .get(client)
-                    .map(|s| s.now())
+                    .map(|s| (s.now(), s.current_server()))
                     .unwrap_or_default();
                 let outcome = RoundOutcome {
                     client,
@@ -292,6 +337,8 @@ impl SessionWorkload {
                     server: report.server.clone(),
                     ops_used: report.ops_used,
                     peak_heap: report.peak_heap,
+                    proactive: report.proactive,
+                    target,
                 };
                 self.reports.push(report);
                 EngineStep::Done(outcome)
@@ -326,6 +373,38 @@ impl Workload for SessionWorkload {
     fn continue_round(&mut self, client: usize) -> Result<EngineStep, OffloadError> {
         let step = self.session(client)?.round_finish()?;
         Ok(self.step_of(client, step))
+    }
+
+    fn begin_round_balanced(
+        &mut self,
+        client: usize,
+        at: Duration,
+        image_seed: u64,
+        balancer: &Balancer,
+    ) -> Result<EngineStep, OffloadError> {
+        // Hand the session the fleet-wide queue outlook before its round
+        // starts: the current server's entry becomes the admission
+        // prior, the full vector re-ranks failover candidates.
+        let outlook = balancer.outlook(at);
+        let session = self.session(client)?;
+        session.set_queue_outlook(outlook);
+        session.advance_clock_to(at);
+        let step = session.round_start(image_seed)?;
+        Ok(self.step_of(client, step))
+    }
+
+    fn note_deferred(&mut self, client: usize, _server: usize, at: Duration) {
+        if let Some(session) = self.sessions.get_mut(client) {
+            session.record_admit_deferred(at);
+        }
+    }
+
+    fn note_batch(&mut self, clients: &[usize], _server: usize, at: Duration) {
+        for &client in clients {
+            if let Some(session) = self.sessions.get_mut(client) {
+                session.record_batch_formed(at, clients.len());
+            }
+        }
     }
 }
 
@@ -408,6 +487,35 @@ impl ModeledWorkload {
             .get_mut(client)
             .ok_or_else(|| OffloadError::Config(format!("workload has no client {client}")))
     }
+
+    /// Bumps and returns `client`'s 1-based round counter.
+    fn next_round(&mut self, client: usize) -> Result<usize, OffloadError> {
+        match self.rounds.get_mut(client) {
+            Some(r) => {
+                *r += 1;
+                Ok(*r)
+            }
+            None => Err(OffloadError::Config(format!(
+                "workload has no client {client}"
+            ))),
+        }
+    }
+
+    /// Parks the chosen round and yields its compute request.
+    fn issue(
+        &mut self,
+        client: usize,
+        at: Duration,
+        server: usize,
+    ) -> Result<EngineStep, OffloadError> {
+        let ready = at + self.capture + self.up[server % self.up.len()];
+        *self.slot(client)? = Some(ModeledRound {
+            clicked: at,
+            server,
+            released: ready,
+        });
+        Ok(EngineStep::NeedCompute { server, at: ready })
+    }
 }
 
 impl Workload for ModeledWorkload {
@@ -422,27 +530,42 @@ impl Workload for ModeledWorkload {
         _image_seed: u64,
     ) -> Result<EngineStep, OffloadError> {
         let fleet = self.names.len();
-        let round = match self.rounds.get_mut(client) {
-            Some(r) => {
-                *r += 1;
-                *r
-            }
-            None => {
-                return Err(OffloadError::Config(format!(
-                    "workload has no client {client}"
-                )))
-            }
-        };
-        // Round-robin server choice, offset by client so a cold fleet
-        // spreads load instead of stampeding candidate 0.
+        let round = self.next_round(client)?;
+        // Load-blind round-robin server choice, offset by client so a
+        // cold fleet spreads load instead of stampeding candidate 0 —
+        // the legacy path `begin_round_balanced` supersedes when
+        // balancing is on.
         let server = (client + round - 1) % fleet;
-        let ready = at + self.capture + self.up[server % fleet];
-        *self.slot(client)? = Some(ModeledRound {
-            clicked: at,
-            server,
-            released: ready,
-        });
-        Ok(EngineStep::NeedCompute { server, at: ready })
+        self.issue(client, at, server)
+    }
+
+    fn begin_round_balanced(
+        &mut self,
+        client: usize,
+        at: Duration,
+        _image_seed: u64,
+        balancer: &Balancer,
+    ) -> Result<EngineStep, OffloadError> {
+        let fleet = self.names.len();
+        self.next_round(client)?;
+        // Least-predicted-sojourn selection: per candidate, the wire and
+        // CPU cost of the round plus the queueing delay the balancer
+        // predicts at the moment the uplink would land. Ties go to the
+        // lowest index, keeping selection deterministic.
+        let mut server = 0usize;
+        let mut best = Duration::MAX;
+        for s in 0..fleet {
+            let ready = at + self.capture + self.up[s];
+            let sojourn = self.up[s]
+                .saturating_add(balancer.predicted_wait(s, ready))
+                .saturating_add(self.service[s])
+                .saturating_add(self.down[s]);
+            if sojourn < best {
+                server = s;
+                best = sojourn;
+            }
+        }
+        self.issue(client, at, server)
     }
 
     fn compute(&mut self, client: usize, admitted_at: Duration) -> Result<Duration, OffloadError> {
@@ -482,6 +605,8 @@ impl Workload for ModeledWorkload {
             server: self.names[round.server % fleet].clone(),
             ops_used: 0,
             peak_heap: 0,
+            proactive: false,
+            target: round.server % fleet,
         }))
     }
 }
@@ -495,8 +620,19 @@ pub struct ServerLoad {
     pub rounds: usize,
     /// Total virtual time its CPU spent executing.
     pub busy: Duration,
-    /// `busy / makespan` — the duty cycle over the run.
+    /// `busy / makespan` — the duty cycle over the run (`0` for a run
+    /// that never completed a round, where the makespan is zero).
     pub utilization: f64,
+    /// Compute admissions routed to this server (every [`Ev::Admit`],
+    /// whether granted immediately, deferred, or batched).
+    pub admits: usize,
+    /// Rounds the admission gate degraded to local while this server was
+    /// the round's target — the queueing delay (or predicted link
+    /// health) erased the offload win before any bytes shipped.
+    pub rejects: usize,
+    /// Opportunistic batches (two or more co-queued grants admitted
+    /// together) this server formed. Zero without a batch window.
+    pub batches: usize,
 }
 
 /// What a fleet run produced: throughput, latency percentiles (sojourn
@@ -527,6 +663,14 @@ pub struct FleetReport {
     /// Largest metered heap (cells) any serving server observed (zero
     /// for unmetered or modeled runs).
     pub peak_heap: usize,
+    /// Jain's fairness index over per-client completed rounds, among
+    /// clients that issued at least one round: `1.0` when every active
+    /// client completed the same count, approaching `1/n` when one
+    /// tenant monopolized the fleet.
+    pub fairness: f64,
+    /// Largest opportunistic batch any server formed (zero without a
+    /// batch window, one-sized grants never count).
+    pub max_batch: usize,
 }
 
 /// A global event on the engine's virtual clock.
@@ -542,8 +686,9 @@ enum Ev {
     Begin { client: usize, issued: Duration },
     /// A client's uplinked request asks for a server CPU.
     Admit { client: usize, server: usize },
-    /// A server CPU frees; the client's round resumes.
-    Release { client: usize },
+    /// A server CPU frees; the client's round resumes. `server` keys the
+    /// fair-share queue the freed CPU should grant from next.
+    Release { client: usize, server: usize },
 }
 
 /// The scheduler: one global `(time, seq)`-ordered event queue
@@ -560,6 +705,14 @@ pub struct Engine<W> {
     max_rounds: Option<usize>,
     seed: u64,
     event_log: Vec<String>,
+    /// Queue-aware selection + admission control (default off: the
+    /// load-blind paths replay bit for bit).
+    balance: bool,
+    /// Deficit-round-robin grant ordering per server (default off:
+    /// arrival-order grants replay bit for bit).
+    fair_share: bool,
+    /// Opportunistic co-queued grant batching window (default `None`).
+    batch_window: Option<Duration>,
 }
 
 impl Engine<SessionWorkload> {
@@ -576,7 +729,13 @@ impl Engine<SessionWorkload> {
         let cfg: SessionConfig = cfg.into();
         let names = cfg.servers.iter().map(|s| s.name.clone()).collect();
         let seed = cfg.seed;
-        Ok(Engine::with_workload(SessionWorkload::new(cfg, clients)?, names).seed(seed))
+        let (balance, fair, window) = (cfg.balance, cfg.fair_share, cfg.batch_window);
+        let mut engine =
+            Engine::with_workload(SessionWorkload::new(cfg, clients)?, names).seed(seed);
+        engine.balance = balance;
+        engine.fair_share = fair;
+        engine.batch_window = window;
+        Ok(engine)
     }
 }
 
@@ -594,7 +753,13 @@ impl Engine<ModeledWorkload> {
         let cfg: SessionConfig = cfg.into();
         let names = cfg.servers.iter().map(|s| s.name.clone()).collect();
         let seed = cfg.seed;
-        Ok(Engine::with_workload(ModeledWorkload::new(cfg, clients)?, names).seed(seed))
+        let (balance, fair, window) = (cfg.balance, cfg.fair_share, cfg.batch_window);
+        let mut engine =
+            Engine::with_workload(ModeledWorkload::new(cfg, clients)?, names).seed(seed);
+        engine.balance = balance;
+        engine.fair_share = fair;
+        engine.batch_window = window;
+        Ok(engine)
     }
 }
 
@@ -612,6 +777,9 @@ impl<W: Workload> Engine<W> {
             max_rounds: None,
             seed: 42,
             event_log: Vec::new(),
+            balance: false,
+            fair_share: false,
+            batch_window: None,
         }
     }
 
@@ -640,6 +808,30 @@ impl<W: Workload> Engine<W> {
     /// session/modeled constructors default this to the config's seed).
     pub fn seed(mut self, seed: u64) -> Engine<W> {
         self.seed = seed;
+        self
+    }
+
+    /// Toggles queue-aware balancing: least-predicted-sojourn server
+    /// selection plus the admission-control prior (the session/modeled
+    /// constructors default this to the config's `balance` knob; off
+    /// replays the load-blind paths bit for bit).
+    pub fn balance(mut self, on: bool) -> Engine<W> {
+        self.balance = on;
+        self
+    }
+
+    /// Toggles per-tenant deficit-round-robin grant ordering (the
+    /// constructors default this to the config's `fair_share` knob).
+    pub fn fair_share(mut self, on: bool) -> Engine<W> {
+        self.fair_share = on;
+        self
+    }
+
+    /// Enables opportunistic batching of grants co-queued within
+    /// `window` (the constructors default this to the config's
+    /// `batch_window` knob).
+    pub fn batch_window(mut self, window: Duration) -> Engine<W> {
+        self.batch_window = Some(window);
         self
     }
 
@@ -721,6 +913,24 @@ impl<W: Workload> Engine<W> {
         let mut makespan = Duration::ZERO;
         let mut total_ops = 0u64;
         let mut peak_heap = 0usize;
+        // Queue-aware balancing state. The balancer is engine-owned so
+        // both workload paths read one signal; it is fed on every grant
+        // even when balancing is off (pure state, zero output impact),
+        // keeping the off path byte-identical.
+        let mut balancer = Balancer::new(fleet);
+        // Fair share and batching both *park* admissions instead of
+        // granting in strict arrival order, so they share one deferred
+        // grant path keyed by server.
+        let defer = self.fair_share || self.batch_window.is_some();
+        let mut pending: Vec<VecDeque<(usize, Duration)>> = vec![VecDeque::new(); fleet];
+        let mut drr: Vec<DrrScheduler> = (0..fleet)
+            .map(|_| DrrScheduler::new(DEFAULT_DRR_QUANTUM))
+            .collect();
+        let mut admits: Vec<usize> = vec![0; fleet];
+        let mut rejects: Vec<usize> = vec![0; fleet];
+        let mut batches: Vec<usize> = vec![0; fleet];
+        let mut completed_by: Vec<usize> = vec![0; clients];
+        let mut max_batch = 0usize;
 
         match self.arrival {
             ArrivalProcess::ClosedLoop { .. } => {
@@ -760,7 +970,12 @@ impl<W: Workload> Engine<W> {
                     rounds_done[client] += 1;
                     let seed =
                         round_image_seed(self.seed, client as u64, rounds_done[client] as u64);
-                    let step = self.workload.begin_round(client, now, seed)?;
+                    let step = if self.balance {
+                        self.workload
+                            .begin_round_balanced(client, now, seed, &balancer)?
+                    } else {
+                        self.workload.begin_round(client, now, seed)?
+                    };
                     Self::dispatch(
                         &mut queue,
                         &mut self.event_log,
@@ -780,23 +995,79 @@ impl<W: Workload> Engine<W> {
                             makespan: &mut makespan,
                             total_ops: &mut total_ops,
                             peak_heap: &mut peak_heap,
+                            rejects: &mut rejects,
+                            completed_by: &mut completed_by,
                         },
                     );
                 }
                 Ev::Admit { client, server } => {
                     let idx = server % fleet;
-                    let start = now.max(busy_until[idx]);
-                    waits.push(start - now);
-                    self.event_log.push(format!(
-                        "t={now:?}: admit client={client} server={idx} start={start:?}"
-                    ));
-                    let released = self.workload.compute(client, start)?;
-                    busy_until[idx] = released;
-                    busy_total[idx] += released.saturating_sub(start);
-                    grants[idx] += 1;
-                    queue.push(released, Ev::Release { client });
+                    admits[idx] += 1;
+                    if !defer {
+                        // Arrival-order grant — byte-identical to the
+                        // pre-balancing engine (the balancer feed is
+                        // pure state, invisible in every output).
+                        let start = now.max(busy_until[idx]);
+                        waits.push(start - now);
+                        self.event_log.push(format!(
+                            "t={now:?}: admit client={client} server={idx} start={start:?}"
+                        ));
+                        let released = self.workload.compute(client, start)?;
+                        balancer.note_grant(
+                            idx,
+                            start - now,
+                            released.saturating_sub(start),
+                            released,
+                        );
+                        busy_until[idx] = released;
+                        busy_total[idx] += released.saturating_sub(start);
+                        grants[idx] += 1;
+                        queue.push(
+                            released,
+                            Ev::Release {
+                                client,
+                                server: idx,
+                            },
+                        );
+                    } else {
+                        // Fair-share / batching path: park the request
+                        // behind the server's CPU; an idle CPU grants
+                        // (and opportunistically batches) right away.
+                        self.event_log.push(format!(
+                            "t={now:?}: admit client={client} server={idx} deferred"
+                        ));
+                        pending[idx].push_back((client, now));
+                        balancer.set_queue_depth(idx, pending[idx].len());
+                        if busy_until[idx] <= now {
+                            Self::grant_parked(
+                                &mut self.workload,
+                                &mut self.event_log,
+                                &mut queue,
+                                &mut balancer,
+                                &mut pending[idx],
+                                if self.fair_share {
+                                    Some(&mut drr[idx])
+                                } else {
+                                    None
+                                },
+                                self.batch_window,
+                                idx,
+                                now,
+                                GrantStats {
+                                    waits: &mut waits,
+                                    busy_until: &mut busy_until[idx],
+                                    busy_total: &mut busy_total[idx],
+                                    grants: &mut grants[idx],
+                                    batches: &mut batches[idx],
+                                    max_batch: &mut max_batch,
+                                },
+                            )?;
+                        } else {
+                            self.workload.note_deferred(client, idx, now);
+                        }
+                    }
                 }
-                Ev::Release { client } => {
+                Ev::Release { client, server } => {
                     self.event_log
                         .push(format!("t={now:?}: release client={client}"));
                     let step = self.workload.continue_round(client)?;
@@ -819,8 +1090,40 @@ impl<W: Workload> Engine<W> {
                             makespan: &mut makespan,
                             total_ops: &mut total_ops,
                             peak_heap: &mut peak_heap,
+                            rejects: &mut rejects,
+                            completed_by: &mut completed_by,
                         },
                     );
+                    if defer {
+                        // The freed CPU grants the next parked request
+                        // (the last member of a batch frees it).
+                        let idx = server % fleet;
+                        if busy_until[idx] <= now && !pending[idx].is_empty() {
+                            Self::grant_parked(
+                                &mut self.workload,
+                                &mut self.event_log,
+                                &mut queue,
+                                &mut balancer,
+                                &mut pending[idx],
+                                if self.fair_share {
+                                    Some(&mut drr[idx])
+                                } else {
+                                    None
+                                },
+                                self.batch_window,
+                                idx,
+                                now,
+                                GrantStats {
+                                    waits: &mut waits,
+                                    busy_until: &mut busy_until[idx],
+                                    busy_total: &mut busy_total[idx],
+                                    grants: &mut grants[idx],
+                                    batches: &mut batches[idx],
+                                    max_batch: &mut max_batch,
+                                },
+                            )?;
+                        }
+                    }
                 }
             }
         }
@@ -849,7 +1152,18 @@ impl<W: Workload> Engine<W> {
                         / makespan.as_secs_f64())
                     .min(1.0)
                 },
+                admits: admits.get(idx).copied().unwrap_or_default(),
+                rejects: rejects.get(idx).copied().unwrap_or_default(),
+                batches: batches.get(idx).copied().unwrap_or_default(),
             })
+            .collect();
+        // Fairness reads over clients that actually entered the run —
+        // idle provisioned clients would dilute the index.
+        let active: Vec<f64> = rounds_done
+            .iter()
+            .zip(&completed_by)
+            .filter(|&(&issued_rounds, _)| issued_rounds > 0)
+            .map(|(_, &done)| done as f64)
             .collect();
         Ok(FleetReport {
             clients,
@@ -862,7 +1176,97 @@ impl<W: Workload> Engine<W> {
             servers,
             total_ops,
             peak_heap,
+            fairness: jain(&active),
+            max_batch,
         })
+    }
+
+    /// Grants the front of `server`'s fair-share queue at time `now`:
+    /// the DRR ring picks the tenant when fair share is on (arrival
+    /// order otherwise), and a batch window sweeps in every parked
+    /// request enqueued within `window` of the primary. Each member gets
+    /// its own compute grant and release; the CPU reservation covers the
+    /// whole batch span once.
+    #[allow(clippy::too_many_arguments)]
+    fn grant_parked(
+        workload: &mut W,
+        event_log: &mut Vec<String>,
+        queue: &mut EventQueue<Ev>,
+        balancer: &mut Balancer,
+        pending: &mut VecDeque<(usize, Duration)>,
+        mut drr: Option<&mut DrrScheduler>,
+        window: Option<Duration>,
+        idx: usize,
+        now: Duration,
+        stats: GrantStats<'_>,
+    ) -> Result<(), OffloadError> {
+        let Some(&(head_client, _)) = pending.front() else {
+            return Ok(());
+        };
+        let primary = match drr.as_deref_mut() {
+            Some(sched) => {
+                let waiting: Vec<usize> = pending.iter().map(|&(c, _)| c).collect();
+                sched.pick(&waiting).unwrap_or(head_client)
+            }
+            None => head_client,
+        };
+        let pos = pending.iter().position(|&(c, _)| c == primary).unwrap_or(0);
+        let Some((_, primary_enq)) = pending.remove(pos) else {
+            return Ok(());
+        };
+        let mut batch: Vec<(usize, Duration)> = vec![(primary, primary_enq)];
+        if let Some(window) = window {
+            // Sweep in every parked request enqueued within the window
+            // of the primary (two-sided: a DRR primary may sit behind
+            // older requests that are *outside* its window).
+            let lo = primary_enq.saturating_sub(window);
+            let hi = primary_enq.saturating_add(window);
+            let mut keep = VecDeque::with_capacity(pending.len());
+            while let Some((c, enq)) = pending.pop_front() {
+                if enq >= lo && enq <= hi {
+                    batch.push((c, enq));
+                } else {
+                    keep.push_back((c, enq));
+                }
+            }
+            *pending = keep;
+        }
+        let mut span_end = now;
+        for &(client, enq) in &batch {
+            let wait = now.saturating_sub(enq);
+            stats.waits.push(wait);
+            event_log.push(format!(
+                "t={now:?}: grant client={client} server={idx} enq={enq:?}"
+            ));
+            let released = workload.compute(client, now)?;
+            queue.push(
+                released,
+                Ev::Release {
+                    client,
+                    server: idx,
+                },
+            );
+            if let Some(sched) = drr.as_deref_mut() {
+                sched.charge(client, released.saturating_sub(now));
+            }
+            balancer.note_grant(idx, wait, released.saturating_sub(now), released);
+            span_end = span_end.max(released);
+            *stats.grants += 1;
+        }
+        *stats.busy_until = (*stats.busy_until).max(span_end);
+        *stats.busy_total += span_end.saturating_sub(now);
+        if batch.len() >= 2 {
+            *stats.batches += 1;
+            *stats.max_batch = (*stats.max_batch).max(batch.len());
+            event_log.push(format!(
+                "t={now:?}: batch server={idx} size={}",
+                batch.len()
+            ));
+            let members: Vec<usize> = batch.iter().map(|&(c, _)| c).collect();
+            workload.note_batch(&members, idx, now);
+        }
+        balancer.set_queue_depth(idx, pending.len());
+        Ok(())
     }
 
     /// Routes a workload step: a compute request re-enters the queue, a
@@ -885,8 +1289,18 @@ impl<W: Workload> Engine<W> {
                     outcome.finished_at, outcome.round, outcome.server
                 ));
                 *state.completed += 1;
+                if let Some(done) = state.completed_by.get_mut(client) {
+                    *done += 1;
+                }
                 if outcome.fell_back {
                     *state.fallbacks += 1;
+                }
+                if outcome.proactive {
+                    // Admission control turned the offload down: charge
+                    // the reject to the server the round was aimed at.
+                    if let Some(rejected) = state.rejects.get_mut(outcome.target) {
+                        *rejected += 1;
+                    }
                 }
                 *state.total_ops += outcome.ops_used;
                 *state.peak_heap = (*state.peak_heap).max(outcome.peak_heap);
@@ -943,4 +1357,18 @@ struct DrainState<'a> {
     makespan: &'a mut Duration,
     total_ops: &'a mut u64,
     peak_heap: &'a mut usize,
+    rejects: &'a mut Vec<usize>,
+    completed_by: &'a mut Vec<usize>,
+}
+
+/// The per-server mutable slots a deferred grant updates (split out so
+/// the workload borrow and the statistics borrows can coexist inside
+/// [`Engine::grant_parked`]).
+struct GrantStats<'a> {
+    waits: &'a mut Vec<Duration>,
+    busy_until: &'a mut Duration,
+    busy_total: &'a mut Duration,
+    grants: &'a mut usize,
+    batches: &'a mut usize,
+    max_batch: &'a mut usize,
 }

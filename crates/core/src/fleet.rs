@@ -303,12 +303,31 @@ impl ServerPool {
     /// preference order), making selection deterministic. `None` when
     /// every candidate is exhausted.
     pub fn select(&self, pending_bytes: u64, model_bytes: u64) -> Option<usize> {
+        self.select_with_delays(pending_bytes, model_bytes, &[])
+    }
+
+    /// Least-predicted-**sojourn** selection: like [`ServerPool::select`]
+    /// but each candidate's predicted migration time is inflated by its
+    /// predicted server-side queueing delay (`delays[idx]`, from a
+    /// [`Balancer`](crate::balance::Balancer) outlook; missing entries
+    /// count as zero, so an empty slice is exactly the health-only
+    /// ordering). A fast link to a saturated CPU loses to a slower link
+    /// whose CPU is idle. Ties still go to the lowest index.
+    pub fn select_with_delays(
+        &self,
+        pending_bytes: u64,
+        model_bytes: u64,
+        delays: &[Duration],
+    ) -> Option<usize> {
         let mut best: Option<(usize, Duration)> = None;
         for idx in 0..self.servers.len() {
             if self.servers[idx].1.exhausted {
                 continue;
             }
-            let predicted = self.predicted_migration(idx, pending_bytes, model_bytes);
+            let queueing = delays.get(idx).copied().unwrap_or(Duration::ZERO);
+            let predicted = self
+                .predicted_migration(idx, pending_bytes, model_bytes)
+                .saturating_add(queueing);
             match best {
                 Some((_, incumbent)) if incumbent <= predicted => {}
                 _ => best = Some((idx, predicted)),
@@ -475,6 +494,22 @@ mod tests {
     fn ties_go_to_the_lowest_index() {
         let pool = ServerPool::new(vec![spec("a", 10.0), spec("b", 10.0)]);
         assert_eq!(pool.select(100_000, 0), Some(0));
+    }
+
+    #[test]
+    fn queueing_delay_overrules_the_faster_link() {
+        let pool = ServerPool::new(vec![spec("a", 30.0), spec("b", 10.0)]);
+        // Health-only ordering prefers the 30 Mbps link...
+        assert_eq!(pool.select(100_000, 0), Some(0));
+        // ...and an empty outlook is exactly that ordering.
+        assert_eq!(pool.select_with_delays(100_000, 0, &[]), Some(0));
+        // A saturated CPU behind the fast link flips the choice: the
+        // slower-link candidate finishes sooner end to end.
+        let outlook = [Duration::from_secs(5), Duration::ZERO];
+        assert_eq!(pool.select_with_delays(100_000, 0, &outlook), Some(1));
+        // Missing trailing entries count as idle.
+        let short = [Duration::from_secs(5)];
+        assert_eq!(pool.select_with_delays(100_000, 0, &short), Some(1));
     }
 
     #[test]

@@ -51,6 +51,7 @@
 
 pub mod adaptive;
 pub mod apps;
+pub mod balance;
 pub mod config;
 pub mod contention;
 pub mod device;
@@ -71,6 +72,7 @@ mod session;
 pub mod timeline;
 
 pub use adaptive::{AdaptiveOffloader, AdaptivePolicy, Decision, Plan};
+pub use balance::{jain, Balancer, DrrScheduler, DEFAULT_DRR_QUANTUM};
 pub use config::{ConfigBuilder, OffloadConfig};
 pub use contention::{simulate_contention, ContentionConfig, ContentionReport};
 pub use device::{edge_server_x86, odroid_xu4, DeviceProfile};

@@ -15,6 +15,7 @@
 //! by ([`LinkConfig`], [`ExecMode`], [`SnapshotOptions`], the trace
 //! types), so examples and tests need a single `use`.
 
+pub use crate::balance::{jain, Balancer, DrrScheduler, DEFAULT_DRR_QUANTUM};
 pub use crate::config::{ConfigBuilder, OffloadConfig};
 pub use crate::device::{edge_server_x86, odroid_xu4, DeviceProfile};
 pub use crate::engine::{

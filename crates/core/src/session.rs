@@ -265,6 +265,12 @@ pub struct OffloadSession {
     /// cost-bound gates run pre-ship in `round_start`, and its op floor
     /// feeds the link-health predictor as a compute-time prior.
     effects: Option<snapedge_analyze::EffectSummary>,
+    /// Per-candidate predicted queueing delay, pushed by the fleet
+    /// engine's balancer before each round when `cfg.balance` is on
+    /// (empty otherwise): the current server's entry feeds the adaptive
+    /// offloader as an admission-control prior, and the whole vector
+    /// re-ranks failover candidates by predicted sojourn.
+    queue_outlook: Vec<Duration>,
 }
 
 impl std::fmt::Debug for OffloadSession {
@@ -359,6 +365,7 @@ impl OffloadSession {
             meter_mark: 0,
             effect_cache: snapedge_analyze::EffectCache::new(),
             effects: None,
+            queue_outlook: Vec::new(),
         };
         session.apply_meter();
         session.setup_client()?;
@@ -689,7 +696,19 @@ impl OffloadSession {
     /// Propagates fatal (non-network) provisioning failures.
     fn failover(&mut self) -> Result<bool, OffloadError> {
         loop {
-            let Some(next) = self.pool.select(self.last_full_bytes, self.model_bytes) else {
+            // With balancing on, candidates are ranked by predicted
+            // *sojourn* (migration + server-side queueing delay from the
+            // engine's outlook); off, by migration time alone — the
+            // historical health-only ordering, bit for bit.
+            let delays: &[Duration] = if self.cfg.balance {
+                &self.queue_outlook
+            } else {
+                &[]
+            };
+            let Some(next) =
+                self.pool
+                    .select_with_delays(self.last_full_bytes, self.model_bytes, delays)
+            else {
                 return Ok(false);
             };
             let spec = match self.pool.spec(next) {
@@ -830,12 +849,32 @@ impl OffloadSession {
             return Ok(RoundStep::Done(report));
         }
 
+        // Queue-aware admission gate: record what the balancer predicts
+        // this round will wait for the current server's CPU. The
+        // prediction flows into `predict_plan` as an additive prior, so
+        // a queue deep enough to erase the offload win degrades the
+        // round to local below — the same proactive-local exit the
+        // link-health predictor takes.
+        if self.cfg.balance {
+            let wait = self.queue_prior();
+            let now = self.clock.now();
+            self.tracer.record(
+                &format!("balance_wait:{}us", wait.as_micros()),
+                Lane::Client,
+                EventKind::BalanceDecision,
+                now,
+                now,
+            );
+        }
+
         // Proactive link-health gate: consult the predictor before
         // committing any bytes to the wire. A Local verdict completes the
         // round on the client with zero retries spent; any other verdict
-        // is recorded and the offload proceeds as usual.
+        // is recorded and the offload proceeds as usual. Queue-aware
+        // balancing runs the same gate (its admission prior needs the
+        // predictive comparison) even when prediction alone is off.
         let mut prediction: Option<Decision> = None;
-        if self.cfg.predict {
+        if self.cfg.predict || self.cfg.balance {
             if let Some(plan) = self.predict_plan()? {
                 let now = self.clock.now();
                 self.tracer.record(
@@ -1058,6 +1097,47 @@ impl OffloadSession {
         self.current
     }
 
+    /// Installs the fleet engine's balancer outlook for the next round:
+    /// one predicted queueing delay per candidate, in fleet order. Only
+    /// consulted when `cfg.balance` is on.
+    pub(crate) fn set_queue_outlook(&mut self, outlook: Vec<Duration>) {
+        self.queue_outlook = outlook;
+    }
+
+    /// The predicted queueing delay of the *current* server — the
+    /// admission-control prior. Zero before any outlook was pushed (the
+    /// legacy closed-loop driver, where nothing competes for the CPU).
+    fn queue_prior(&self) -> Duration {
+        self.queue_outlook
+            .get(self.current)
+            .copied()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Records that the fleet scheduler parked this session's compute
+    /// admission behind a busy server under fair-share ordering.
+    pub(crate) fn record_admit_deferred(&mut self, at: Duration) {
+        self.tracer.record(
+            "admit_deferred",
+            Lane::Server,
+            EventKind::AdmitDeferred,
+            at,
+            at,
+        );
+    }
+
+    /// Records that this session's compute grant was merged into a
+    /// server-side batch of `size` co-queued inferences.
+    pub(crate) fn record_batch_formed(&mut self, at: Duration, size: usize) {
+        self.tracer.record(
+            &format!("batch:{size}"),
+            Lane::Server,
+            EventKind::BatchFormed,
+            at,
+            at,
+        );
+    }
+
     /// Advances the session's private clock to global time `t` (no-op
     /// when already past it) — how a scheduler aligns a parked session
     /// with the fleet-wide virtual clock before resuming it.
@@ -1090,10 +1170,18 @@ impl OffloadSession {
         // floor for the round, priced at the meter's nominal microsecond
         // per interpreter op — server-side app glue the layer-time
         // predictor cannot see. Zero (a no-op) when analysis is off.
-        let prior = match &self.effects {
+        let mut prior = match &self.effects {
             Some(summary) => Duration::from_micros(summary.cost.min_ops),
             None => Duration::ZERO,
         };
+        // Queue-aware admission control: the balancer's predicted
+        // queueing delay for the current server joins the offload side
+        // of the comparison, so a saturated CPU tips the plan to Local
+        // before any bytes commit to the wire. Zero when balancing is
+        // off (the outlook is never pushed).
+        if self.cfg.balance {
+            prior = prior.saturating_add(self.queue_prior());
+        }
         // The current server is provisioned by the time a round runs
         // (infer waits out the ACK), so no model bytes remain to charge.
         offloader

@@ -475,6 +475,8 @@ mod tests {
         assert!(is_hot_path("crates/webapp/src/interp.rs"));
         assert!(is_hot_path("crates/net/src/link.rs"));
         assert!(is_hot_path("crates/core/src/session.rs"));
+        // The balancer runs per round start on the engine's hot loop.
+        assert!(is_hot_path("crates/core/src/balance.rs"));
         // Opt-outs and other crates are not.
         assert!(!is_hot_path("crates/core/src/privacy.rs"));
         assert!(!is_hot_path("crates/cli/src/main.rs"));

@@ -38,8 +38,11 @@ const DEFAULT_WINDOW: Duration = Duration::from_secs(30);
 const MAX_FAULT_PROB: f64 = 0.9;
 
 /// Upper bound on predicted failed attempts — beyond this the path is
-/// hopeless and more precision buys nothing.
-const MAX_PREDICTED_RETRIES: u32 = 8;
+/// hopeless and more precision buys nothing. Public because the adaptive
+/// offloader's failed-attempt penalty (`cumulative_backoff` of the
+/// predicted retries) is bounded by exactly this clamp: the two paths
+/// must agree on one constant, not duplicate a magic `8`.
+pub const MAX_PREDICTED_RETRIES: u32 = 8;
 
 /// A bandwidth trend below this ratio counts as "shrinking": the
 /// estimate lost more than half its in-window peak and fresh samples are

@@ -40,6 +40,6 @@ mod queue;
 pub use clock::SimClock;
 pub use estimator::BandwidthEstimator;
 pub use fault::{FaultKind, FaultPlan, FaultWindow, LinkState};
-pub use health::{LinkHealth, LinkPrediction};
+pub use health::{LinkHealth, LinkPrediction, MAX_PREDICTED_RETRIES};
 pub use link::{Link, LinkConfig, NetError, Transfer};
 pub use queue::EventQueue;

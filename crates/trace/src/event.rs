@@ -119,6 +119,20 @@ pub enum EventKind {
     /// `"effect_verdict:exhaustion"`). Only emitted when effect analysis
     /// is enabled, so default traces are byte-identical to prior runs.
     EffectVerdict,
+    /// A queue-aware balancing decision consulted before committing
+    /// bytes to the wire (instant marker; the event name carries the
+    /// predicted queueing delay, e.g. `"balance_wait:1500us"`). Only
+    /// emitted when balancing is enabled, so default traces are
+    /// byte-identical to prior runs.
+    BalanceDecision,
+    /// A compute admission parked behind a busy server under fair-share
+    /// scheduling (instant marker). Only emitted when fair share or
+    /// batching is enabled.
+    AdmitDeferred,
+    /// Co-queued inference grants merged into one server-side batch
+    /// (instant marker; the event name carries the batch size, e.g.
+    /// `"batch:3"`). Only emitted when a batch window is configured.
+    BatchFormed,
     /// Anything else (markers, app phases, custom spans).
     Other,
 }
@@ -150,6 +164,9 @@ impl EventKind {
             EventKind::MeterTick => "meter_tick",
             EventKind::MeterExhausted => "meter_exhausted",
             EventKind::EffectVerdict => "effect_verdict",
+            EventKind::BalanceDecision => "balance_decision",
+            EventKind::AdmitDeferred => "admit_deferred",
+            EventKind::BatchFormed => "batch_formed",
             EventKind::Other => "other",
         }
     }
@@ -180,6 +197,9 @@ impl EventKind {
             "meter_tick" => Some(EventKind::MeterTick),
             "meter_exhausted" => Some(EventKind::MeterExhausted),
             "effect_verdict" => Some(EventKind::EffectVerdict),
+            "balance_decision" => Some(EventKind::BalanceDecision),
+            "admit_deferred" => Some(EventKind::AdmitDeferred),
+            "batch_formed" => Some(EventKind::BatchFormed),
             "other" => Some(EventKind::Other),
             _ => None,
         }
@@ -248,6 +268,9 @@ mod tests {
             EventKind::MeterTick,
             EventKind::MeterExhausted,
             EventKind::EffectVerdict,
+            EventKind::BalanceDecision,
+            EventKind::AdmitDeferred,
+            EventKind::BatchFormed,
             EventKind::Other,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));

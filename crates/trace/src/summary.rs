@@ -76,9 +76,18 @@ mod tests {
 
     #[test]
     fn empty_is_all_zero() {
+        // The uncontended fleet run hands an empty `waits` vector here:
+        // every field, *including the high percentiles*, must report zero
+        // rather than indexing past the end of the (empty) sorted sample.
         let s = Summary::of(&[]);
         assert_eq!(s.count, 0);
         assert_eq!(s.total, Duration::ZERO);
+        assert_eq!(s.min, Duration::ZERO);
+        assert_eq!(s.max, Duration::ZERO);
+        assert_eq!(s.mean, Duration::ZERO);
+        assert_eq!(s.p50, Duration::ZERO);
+        assert_eq!(s.p90, Duration::ZERO);
+        assert_eq!(s.p95, Duration::ZERO);
         assert_eq!(s.p99, Duration::ZERO);
     }
 
